@@ -1,0 +1,176 @@
+// Benchmarks regenerating every table and figure in the paper's evaluation,
+// plus the ablations DESIGN.md calls out. Each iteration performs the full
+// experiment (world build, convergence, measurement, analysis); ns/op is
+// therefore end-to-end regeneration cost. Run:
+//
+//	go test -bench=. -benchmem
+package rovista
+
+import (
+	"io"
+	"testing"
+
+	"github.com/netsec-lab/rovista/internal/experiments"
+)
+
+func BenchmarkFig1ROACoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig1(1, io.Discard)
+	}
+}
+
+func BenchmarkFig2Timelines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig2(1, io.Discard)
+	}
+}
+
+func BenchmarkFig3IPIDPatterns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig3(1, io.Discard)
+	}
+}
+
+func BenchmarkFig4VVPDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4(1, io.Discard)
+	}
+}
+
+func BenchmarkFig5ScoreCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5(1, io.Discard)
+	}
+}
+
+func BenchmarkFig6FullProtectionTrend(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6(1, io.Discard)
+	}
+}
+
+func BenchmarkFig7ScoreVsRank(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig7(1, io.Discard)
+	}
+}
+
+func BenchmarkFig8CollateralBenefit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig8(1, io.Discard)
+	}
+}
+
+func BenchmarkFig9CollateralDamage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig9(1, io.Discard)
+	}
+}
+
+func BenchmarkFig10SinglePrefixFPFN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig10(1, io.Discard)
+	}
+}
+
+func BenchmarkFig11CrowdsourcedList(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig11(1, io.Discard)
+	}
+}
+
+func BenchmarkTable1Tier1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table1(1, io.Discard)
+	}
+}
+
+func BenchmarkTable2Announcements(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Tables2And3(1, io.Discard)
+	}
+}
+
+// BenchmarkTable3NonROV shares the Tables-2-and-3 pipeline; the negative
+// claims are a slice of the same generated comparison.
+func BenchmarkTable3NonROV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Tables2And3(2, io.Discard)
+		if res.NegTotal == 0 {
+			b.Fatal("no negative claims generated")
+		}
+	}
+}
+
+func BenchmarkXValTraceroute(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.XVal(1, io.Discard)
+	}
+}
+
+func BenchmarkCoverageCensus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Coverage(1, io.Discard)
+	}
+}
+
+func BenchmarkBGPStreamAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.BGPStream(1, io.Discard)
+	}
+}
+
+func BenchmarkChallengesDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Challenges(1, io.Discard)
+	}
+}
+
+func BenchmarkSurveyValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Survey(1, io.Discard)
+	}
+}
+
+func BenchmarkAblationDetector(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationDetector(1, io.Discard)
+	}
+}
+
+func BenchmarkAblationUnanimity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationUnanimity(1, io.Discard)
+	}
+}
+
+func BenchmarkAblationTrafficCutoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationTrafficCutoff(1, io.Discard)
+	}
+}
+
+func BenchmarkAblationExclusivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationExclusivity(1, io.Discard)
+	}
+}
+
+// BenchmarkAblationMinVVPs measures the MinVVPs=1 variant directly (the
+// unanimity ablation covers 2-vs-1; this isolates the relaxed pipeline).
+func BenchmarkAblationMinVVPs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := BuildWorld(SmallWorldConfig(3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.AdvanceTo(0); err != nil {
+			b.Fatal(err)
+		}
+		cfg := DefaultRunnerConfig(3)
+		cfg.MinVVPsPerAS = 1
+		if snap := NewRunner(w, cfg).Measure(); len(snap.Reports) == 0 {
+			b.Fatal("no reports")
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Command rovista builds a simulated Internet, runs one full RoVista
+// measurement round at a chosen day, and prints per-AS ROV protection
+// scores — the same pipeline the paper ran daily for 20 months.
+//
+// Usage:
+//
+//	rovista [-seed N] [-day D] [-size small|medium|large] [-top K] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/netsec-lab/rovista/internal/core"
+	"github.com/netsec-lab/rovista/internal/export"
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/topology"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "world generation seed")
+	day := flag.Int("day", -1, "measurement day (default: last day of the timeline)")
+	size := flag.String("size", "small", "world size: small, medium or large")
+	top := flag.Int("top", 25, "print the top K scored ASes (0 = all)")
+	verbose := flag.Bool("v", false, "print per-AS details")
+	format := flag.String("format", "table", "output format: table, json or csv")
+	flag.Parse()
+
+	cfg, err := worldConfig(*size, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rovista:", err)
+		os.Exit(2)
+	}
+	w, err := core.BuildWorld(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rovista:", err)
+		os.Exit(1)
+	}
+	d := *day
+	if d < 0 {
+		d = cfg.Days
+	}
+	if *format == "table" {
+		fmt.Printf("world: %d ASes, %d hosts, %d invalid announcements; measuring day %d\n",
+			len(w.Topo.ASNs), w.Net.Hosts(), len(w.Invalids), d)
+	}
+	if err := w.AdvanceTo(d); err != nil {
+		fmt.Fprintln(os.Stderr, "rovista:", err)
+		os.Exit(1)
+	}
+
+	runner := core.NewRunner(w, core.DefaultRunnerConfig(*seed))
+	snap := runner.Measure()
+
+	switch *format {
+	case "json":
+		if err := export.FromSnapshot(snap).WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "rovista:", err)
+			os.Exit(1)
+		}
+		return
+	case "csv":
+		if err := export.FromSnapshot(snap).WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "rovista:", err)
+			os.Exit(1)
+		}
+		return
+	case "table":
+	default:
+		fmt.Fprintf(os.Stderr, "rovista: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	fmt.Printf("test prefixes: %d; qualified tNodes: %d; vVPs: %d; scored ASes: %d\n",
+		snap.TestPrefixes, len(snap.TNodes), snap.AllVVPs, len(snap.Reports))
+	fmt.Printf("per-(AS,tNode) unanimity: %.1f%%\n", 100*snap.ConsistentPairFraction)
+
+	type row struct {
+		asn inet.ASN
+		rep *core.ASReport
+	}
+	rows := make([]row, 0, len(snap.Reports))
+	for asn, rep := range snap.Reports {
+		rows = append(rows, row{asn, rep})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].rep.Score != rows[j].rep.Score {
+			return rows[i].rep.Score > rows[j].rep.Score
+		}
+		return rows[i].asn < rows[j].asn
+	})
+	if *top > 0 && len(rows) > *top {
+		rows = rows[:*top]
+	}
+	fmt.Printf("\n%10s %8s %7s %10s %22s\n", "ASN", "score", "vVPs", "tNodes", "ground truth")
+	for _, r := range rows {
+		truth := w.Truth[r.asn].Kind
+		if w.Truth[r.asn].DefaultLeak {
+			truth += "+default-leak"
+		}
+		fmt.Printf("%10v %7.1f%% %7d %6d/%-3d %22s\n",
+			r.asn, r.rep.Score, r.rep.VVPs, r.rep.TNodesFiltered, r.rep.TNodesMeasured, truth)
+		if *verbose {
+			for addr, filtered := range r.rep.Verdicts {
+				fmt.Printf("    tNode %v filtered=%v\n", addr, filtered)
+			}
+		}
+	}
+}
+
+func worldConfig(size string, seed int64) (core.WorldConfig, error) {
+	switch size {
+	case "small":
+		return core.SmallWorldConfig(seed), nil
+	case "medium":
+		cfg := core.DefaultWorldConfig(seed)
+		cfg.Topology = topology.Config{
+			Seed: seed, NumTier1: 6, NumTier2: 24, NumTier3: 90, NumStub: 280,
+			PrefixesPerAS: 1.3, Tier2PeerProb: 0.3, Tier3PeerProb: 0.03, MultihomeProb: 0.45,
+		}
+		return cfg, nil
+	case "large":
+		return core.DefaultWorldConfig(seed), nil
+	default:
+		return core.WorldConfig{}, fmt.Errorf("unknown size %q (want small, medium or large)", size)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/netsec-lab/rovista
+
+go 1.23

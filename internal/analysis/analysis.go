@@ -1,0 +1,301 @@
+// Package analysis implements the paper's §7 analyses over measurement
+// output: score CDFs (Figures 5 and 11), AS-rank binning (Figure 7),
+// collateral-benefit cohort detection (§7.3), collateral-damage forensics
+// (§7.4), and the §7.6 classification of why ASes stall below a 100% score.
+package analysis
+
+import (
+	"sort"
+
+	"github.com/netsec-lab/rovista/internal/bgp"
+	"github.com/netsec-lab/rovista/internal/core"
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/topology"
+	"github.com/netsec-lab/rovista/internal/trace"
+)
+
+// CDFPoint is one point of an empirical CDF over scores.
+type CDFPoint struct {
+	Score float64
+	Frac  float64
+}
+
+// ScoreCDF computes the CDF of the given scores at 1-point resolution
+// (Figure 5).
+func ScoreCDF(scores map[inet.ASN]float64) []CDFPoint {
+	if len(scores) == 0 {
+		return nil
+	}
+	vals := make([]float64, 0, len(scores))
+	for _, s := range scores {
+		vals = append(vals, s)
+	}
+	sort.Float64s(vals)
+	var out []CDFPoint
+	for x := 0.0; x <= 100.0; x++ {
+		idx := sort.SearchFloat64s(vals, x+1e-9)
+		out = append(out, CDFPoint{Score: x, Frac: float64(idx) / float64(len(vals))})
+	}
+	return out
+}
+
+// ScoreBuckets is the Figure-7 stacked distribution: fraction of ASes per
+// score range.
+type ScoreBuckets struct {
+	// Fractions for [0,20), [20,40), [40,60), [60,80), [80,100].
+	Frac [5]float64
+	N    int
+}
+
+func bucketOf(score float64) int {
+	switch {
+	case score < 20:
+		return 0
+	case score < 40:
+		return 1
+	case score < 60:
+		return 2
+	case score < 80:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// RankBin is one Figure-7 x-axis bin.
+type RankBin struct {
+	LoRank, HiRank int // inclusive rank range
+	Buckets        ScoreBuckets
+}
+
+// ScoreByRank bins scored ASes by topology rank (Figure 7: higher-ranked
+// ASes tend to score higher).
+func ScoreByRank(topo *topology.Topology, scores map[inet.ASN]float64, binSize int) []RankBin {
+	if binSize <= 0 {
+		binSize = 1000
+	}
+	byRank := topo.ByRank()
+	var out []RankBin
+	for lo := 0; lo < len(byRank); lo += binSize {
+		hi := lo + binSize
+		if hi > len(byRank) {
+			hi = len(byRank)
+		}
+		bin := RankBin{LoRank: lo + 1, HiRank: hi}
+		for _, asn := range byRank[lo:hi] {
+			if s, ok := scores[asn]; ok {
+				bin.Buckets.Frac[bucketOf(s)]++
+				bin.Buckets.N++
+			}
+		}
+		if bin.Buckets.N > 0 {
+			for i := range bin.Buckets.Frac {
+				bin.Buckets.Frac[i] /= float64(bin.Buckets.N)
+			}
+		}
+		out = append(out, bin)
+	}
+	return out
+}
+
+// MeanScoreTopVsBottom summarizes Figure 7's headline: mean score of the
+// top-ranked half vs the bottom half.
+func MeanScoreTopVsBottom(topo *topology.Topology, scores map[inet.ASN]float64) (top, bottom float64) {
+	byRank := topo.ByRank()
+	half := len(byRank) / 2
+	sum := func(asns []inet.ASN) float64 {
+		s, n := 0.0, 0
+		for _, asn := range asns {
+			if v, ok := scores[asn]; ok {
+				s += v
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return s / float64(n)
+	}
+	return sum(byRank[:half]), sum(byRank[half:])
+}
+
+// BenefitCohort is a §7.3 finding: customer ASes whose scores jumped to
+// full protection on the same day their shared provider deployed ROV.
+type BenefitCohort struct {
+	Day      int
+	Provider inet.ASN
+	// Members are the ASes that jumped together (provider included when it
+	// jumped too).
+	Members []inet.ASN
+	// StubMembers are single-homed stubs — the ones guaranteed to inherit
+	// full collateral benefit.
+	StubMembers []inet.ASN
+}
+
+// BenefitCohorts groups same-day score jumps by a shared provider.
+func BenefitCohorts(topo *topology.Topology, jumps map[int][]inet.ASN) []BenefitCohort {
+	var days []int
+	for d := range jumps {
+		days = append(days, d)
+	}
+	sort.Ints(days)
+	var out []BenefitCohort
+	for _, day := range days {
+		members := jumps[day]
+		if len(members) < 2 {
+			continue
+		}
+		memberSet := make(map[inet.ASN]bool, len(members))
+		for _, m := range members {
+			memberSet[m] = true
+		}
+		// Find a member or upstream acting as provider of other members.
+		counts := make(map[inet.ASN]int)
+		for _, m := range members {
+			for _, p := range topo.Providers(m) {
+				counts[p]++
+			}
+		}
+		var provider inet.ASN
+		best := 0
+		for p, c := range counts {
+			if c > best || (c == best && p < provider) {
+				provider, best = p, c
+			}
+		}
+		if best < 2 {
+			continue
+		}
+		cohort := BenefitCohort{Day: day, Provider: provider, Members: members}
+		for _, m := range members {
+			if topo.IsStubWithSingleProvider(m) {
+				cohort.StubMembers = append(cohort.StubMembers, m)
+			}
+		}
+		out = append(out, cohort)
+	}
+	return out
+}
+
+// DamageCase is a §7.4 finding: a high-scoring AS that still reaches some
+// tNodes because a non-filtering transit diverts its traffic to the
+// invalid more-specific.
+type DamageCase struct {
+	ASN   inet.ASN
+	TNode inet.ASN // the wrong origin actually receiving the traffic
+	// Via is the first AS on the path with a zero score (the diverter).
+	Via inet.ASN
+}
+
+// DetectCollateralDamage runs the paper's three-step procedure over a
+// snapshot: for each AS scoring above minScore but below 100, traceroute
+// the reachable tNodes and confirm the packets flow through a zero-score
+// next hop even though a valid covering route exists.
+func DetectCollateralDamage(w *core.World, snap *core.Snapshot, minScore float64) []DamageCase {
+	scores := snap.Scores()
+	var out []DamageCase
+	var asns []inet.ASN
+	for asn := range snap.Reports {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, asn := range asns {
+		rep := snap.Reports[asn]
+		if rep.Score <= minScore || rep.Score >= 100 {
+			continue
+		}
+		for addr, filtered := range rep.Verdicts {
+			if filtered {
+				continue
+			}
+			res := trace.TCPTraceroute(w.Net, asn, addr, 443)
+			if !res.Reached || len(res.Hops) < 2 {
+				continue
+			}
+			via := res.FirstHopAfterSource()
+			if s, ok := scores[via]; ok && s > 0 {
+				continue // the next hop filters; not the §7.4 pattern
+			}
+			// Confirm a covering valid/unknown route exists at the AS (its
+			// packets had somewhere legitimate to go).
+			if r, lpmOK := w.Graph.AS(asn).Lookup(addr); lpmOK && !r.SelfOriginated() {
+				out = append(out, DamageCase{ASN: asn, TNode: res.LastHop(), Via: via})
+			}
+		}
+	}
+	return out
+}
+
+// ChallengeKind classifies why an AS stalls below 100% (§7.6).
+type ChallengeKind string
+
+// Challenge kinds.
+const (
+	ChallengeCustomerRoutes ChallengeKind = "customer-route-exemption"
+	ChallengeDefaultRoute   ChallengeKind = "default-route"
+	ChallengeEquipment      ChallengeKind = "equipment-or-other"
+)
+
+// Challenge is one §7.6 classification.
+type Challenge struct {
+	ASN  inet.ASN
+	Kind ChallengeKind
+	// Evidence is the AS the successful traceroutes pass through (for the
+	// customer/default cases).
+	Evidence inet.ASN
+}
+
+// ClassifyChallenges analyses ASes with score in (minScore, 100) using
+// traceroutes toward the tNodes they can still reach: if every successful
+// first hop is a customer, the AS exempts customer routes; if every
+// successful first hop is one non-customer AS, a default route (or single
+// leak) is the likely cause; otherwise it is bucketed as equipment/other.
+func ClassifyChallenges(w *core.World, snap *core.Snapshot, minScore float64) []Challenge {
+	var out []Challenge
+	var asns []inet.ASN
+	for asn := range snap.Reports {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, asn := range asns {
+		rep := snap.Reports[asn]
+		if rep.Score <= minScore || rep.Score >= 100 {
+			continue
+		}
+		firstHops := map[inet.ASN]bool{}
+		allCustomers := true
+		reachable := 0
+		for addr, filtered := range rep.Verdicts {
+			if filtered {
+				continue
+			}
+			res := trace.TCPTraceroute(w.Net, asn, addr, 443)
+			if !res.Reached {
+				continue
+			}
+			reachable++
+			fh := res.FirstHopAfterSource()
+			firstHops[fh] = true
+			if rel, ok := w.Graph.AS(asn).Neighbors[fh]; !ok || rel != bgp.Customer {
+				allCustomers = false
+			}
+		}
+		if reachable == 0 {
+			continue
+		}
+		ch := Challenge{ASN: asn}
+		switch {
+		case allCustomers:
+			ch.Kind = ChallengeCustomerRoutes
+		case len(firstHops) == 1:
+			ch.Kind = ChallengeDefaultRoute
+			for fh := range firstHops {
+				ch.Evidence = fh
+			}
+		default:
+			ch.Kind = ChallengeEquipment
+		}
+		out = append(out, ch)
+	}
+	return out
+}

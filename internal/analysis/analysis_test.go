@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"testing"
+
+	"github.com/netsec-lab/rovista/internal/core"
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/topology"
+)
+
+func TestScoreCDF(t *testing.T) {
+	scores := map[inet.ASN]float64{1: 0, 2: 50, 3: 100, 4: 100}
+	cdf := ScoreCDF(scores)
+	if len(cdf) != 101 {
+		t.Fatalf("points = %d", len(cdf))
+	}
+	at := func(x float64) float64 {
+		for _, p := range cdf {
+			if p.Score == x {
+				return p.Frac
+			}
+		}
+		return -1
+	}
+	if at(0) != 0.25 {
+		t.Fatalf("F(0) = %v", at(0))
+	}
+	if at(50) != 0.5 {
+		t.Fatalf("F(50) = %v", at(50))
+	}
+	if at(100) != 1 {
+		t.Fatalf("F(100) = %v", at(100))
+	}
+	// Monotone.
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Frac < cdf[i-1].Frac {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if ScoreCDF(nil) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[float64]int{0: 0, 19.9: 0, 20: 1, 55: 2, 79: 3, 80: 4, 100: 4}
+	for s, want := range cases {
+		if got := bucketOf(s); got != want {
+			t.Errorf("bucketOf(%v) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func smallTopo(seed int64) *topology.Topology {
+	return topology.Generate(topology.Config{
+		Seed: seed, NumTier1: 4, NumTier2: 10, NumTier3: 30, NumStub: 80,
+		PrefixesPerAS: 1, Tier2PeerProb: 0.3, Tier3PeerProb: 0.05, MultihomeProb: 0.4,
+	})
+}
+
+func TestScoreByRank(t *testing.T) {
+	topo := smallTopo(1)
+	// Top-ranked ASes score high, bottom low.
+	scores := map[inet.ASN]float64{}
+	for i, asn := range topo.ByRank() {
+		if i < 20 {
+			scores[asn] = 100
+		} else {
+			scores[asn] = 0
+		}
+	}
+	bins := ScoreByRank(topo, scores, 20)
+	if len(bins) != (len(topo.ASNs)+19)/20 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	if bins[0].Buckets.Frac[4] != 1 {
+		t.Fatalf("top bin high-score frac = %v", bins[0].Buckets.Frac)
+	}
+	if last := bins[len(bins)-1]; last.Buckets.Frac[0] != 1 {
+		t.Fatalf("bottom bin low-score frac = %v", last.Buckets.Frac)
+	}
+	top, bottom := MeanScoreTopVsBottom(topo, scores)
+	if top <= bottom {
+		t.Fatalf("top %v <= bottom %v", top, bottom)
+	}
+}
+
+func TestScoreByRankDefaultsBinSize(t *testing.T) {
+	topo := smallTopo(2)
+	bins := ScoreByRank(topo, map[inet.ASN]float64{}, 0)
+	if len(bins) != 1 { // 124 ASes < default bin 1000
+		t.Fatalf("bins = %d", len(bins))
+	}
+}
+
+func TestBenefitCohorts(t *testing.T) {
+	topo := smallTopo(3)
+	// Pick a provider with at least 2 customers and fake a jump cohort.
+	var provider inet.ASN
+	var customers []inet.ASN
+	for _, asn := range topo.ASNs {
+		if cs := topo.Customers(asn); len(cs) >= 2 {
+			provider, customers = asn, cs[:2]
+			break
+		}
+	}
+	if provider == 0 {
+		t.Skip("no multi-customer provider in topology")
+	}
+	jumps := map[int][]inet.ASN{
+		30: append([]inet.ASN{}, customers...),
+		40: {customers[0]}, // singleton: ignored
+	}
+	cohorts := BenefitCohorts(topo, jumps)
+	if len(cohorts) != 1 {
+		t.Fatalf("cohorts = %+v", cohorts)
+	}
+	if cohorts[0].Provider != provider || cohorts[0].Day != 30 {
+		t.Fatalf("cohort = %+v, want provider %v at day 30", cohorts[0], provider)
+	}
+}
+
+func TestBenefitCohortsNoSharedProvider(t *testing.T) {
+	topo := smallTopo(4)
+	// Two tier-1s never share a provider.
+	jumps := map[int][]inet.ASN{10: {topo.Tier1[0], topo.Tier1[1]}}
+	if got := BenefitCohorts(topo, jumps); len(got) != 0 {
+		t.Fatalf("unexpected cohort: %+v", got)
+	}
+}
+
+// End-to-end §7.3/§7.4/§7.6 detection over a measured world.
+func TestDetectionsOverWorld(t *testing.T) {
+	cfg := core.SmallWorldConfig(6)
+	cfg.CoveredInvalidAnnouncements = 2 // more collateral-damage fuel
+	w, err := core.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AdvanceTo(0); err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRunner(w, core.DefaultRunnerConfig(6))
+	snap := r.Measure()
+	if len(snap.Reports) == 0 {
+		t.Skip("seed yields no scored ASes")
+	}
+
+	damage := DetectCollateralDamage(w, snap, 50)
+	for _, d := range damage {
+		// Every reported diverter must have a zero (or absent) score.
+		if s, ok := snap.Scores()[d.Via]; ok && s > 0 {
+			t.Fatalf("diverter %v has score %v", d.Via, s)
+		}
+		// Damage cases must involve ASes that filter (score > 50 here).
+		if s := snap.Scores()[d.ASN]; s <= 50 {
+			t.Fatalf("damage case for low scorer %v (%v)", d.ASN, s)
+		}
+	}
+
+	challenges := ClassifyChallenges(w, snap, 50)
+	for _, c := range challenges {
+		switch c.Kind {
+		case ChallengeCustomerRoutes, ChallengeDefaultRoute, ChallengeEquipment:
+		default:
+			t.Fatalf("unknown challenge kind %q", c.Kind)
+		}
+	}
+}

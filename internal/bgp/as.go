@@ -1,0 +1,312 @@
+package bgp
+
+import (
+	"net/netip"
+	"sort"
+
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/rpki"
+)
+
+// pkey packs a masked IPv4 prefix into a compact map key.
+func pkey(p netip.Prefix) uint64 {
+	return uint64(inet.V4Int(p.Addr()))<<8 | uint64(uint8(p.Bits()))
+}
+
+// maskKey returns the key of addr truncated to plen bits.
+func maskKey(addr uint32, plen int) uint64 {
+	if plen == 0 {
+		return 0
+	}
+	m := addr >> (32 - plen) << (32 - plen)
+	return uint64(m)<<8 | uint64(uint8(plen))
+}
+
+// prefixState is the per-prefix Adj-RIB-In: at most one route per neighbor.
+type prefixState struct {
+	routes []Route
+}
+
+func (s *prefixState) upsert(r Route) {
+	for i := range s.routes {
+		if s.routes[i].LearnedFrom == r.LearnedFrom {
+			s.routes[i] = r
+			return
+		}
+	}
+	s.routes = append(s.routes, r)
+}
+
+// AS is one autonomous system in the graph: its neighbors, policy, and
+// routing state.
+type AS struct {
+	ASN       inet.ASN
+	Neighbors map[inet.ASN]Relationship
+
+	// Originated lists the prefixes this AS legitimately announces.
+	Originated []netip.Prefix
+
+	// Policy is the import policy (ROV behaviour); nil means AcceptAll.
+	Policy ImportPolicy
+
+	// VRPs is this AS's local view of the validated payloads (after any
+	// SLURM processing); nil means the AS sees no VRPs (all NotFound).
+	VRPs *rpki.VRPSet
+
+	// DefaultRoute, when set, names the neighbor that receives traffic for
+	// destinations missing from the FIB (the §7.6 "default route" pitfall).
+	DefaultRoute inet.ASN
+	HasDefault   bool
+	// DefaultScope, when valid, restricts the default route to destinations
+	// inside the prefix — modelling partial leaks such as Swisscom's DDoS
+	// on-ramp tunnels (§7.6), which re-exposed only some filtered space.
+	DefaultScope netip.Prefix
+
+	adjIn map[uint64]*prefixState
+	// rib maps prefix key -> selected best route.
+	rib map[uint64]Route
+	// lenCount tracks how many FIB entries exist per prefix length, so the
+	// data-plane LPM only probes populated lengths.
+	lenCount [33]int
+
+	// export fan-out lists, precomputed at reset time.
+	exportAll       []inet.ASN // every neighbor
+	exportCustomers []inet.ASN // customer neighbors only
+}
+
+// NewAS creates an AS with no neighbors.
+func NewAS(asn inet.ASN) *AS {
+	return &AS{
+		ASN:       asn,
+		Neighbors: make(map[inet.ASN]Relationship),
+		adjIn:     make(map[uint64]*prefixState),
+		rib:       make(map[uint64]Route),
+	}
+}
+
+// policy returns the effective import policy.
+func (a *AS) policy() ImportPolicy {
+	if a.Policy == nil {
+		return AcceptAll{}
+	}
+	return a.Policy
+}
+
+// validity computes the RFC 6811 outcome of ann under this AS's VRP view.
+func (a *AS) validity(ann Announcement) rpki.Validity {
+	if a.VRPs == nil {
+		return rpki.NotFound
+	}
+	return a.VRPs.Validate(ann.Prefix, ann.Origin())
+}
+
+// resetRoutingState clears all learned state (used before a re-convergence).
+func (a *AS) resetRoutingState() {
+	a.adjIn = make(map[uint64]*prefixState)
+	a.rib = make(map[uint64]Route, len(a.Originated))
+	a.lenCount = [33]int{}
+	for _, p := range a.Originated {
+		a.installBest(Route{
+			Prefix:      p.Masked(),
+			LearnedFrom: a.ASN,
+			LocalPref:   1 << 20, // own routes beat anything learned
+			selfOrigin:  true,
+		})
+	}
+	a.exportAll = a.exportAll[:0]
+	a.exportCustomers = a.exportCustomers[:0]
+	for n, rel := range a.Neighbors {
+		a.exportAll = append(a.exportAll, n)
+		if rel == Customer {
+			a.exportCustomers = append(a.exportCustomers, n)
+		}
+	}
+	sort.Slice(a.exportAll, func(i, j int) bool { return a.exportAll[i] < a.exportAll[j] })
+	sort.Slice(a.exportCustomers, func(i, j int) bool { return a.exportCustomers[i] < a.exportCustomers[j] })
+}
+
+// resetPrefixes clears learned state for exactly the prefixes in set
+// (keyed by pkey) and re-installs self routes for any originated prefix in
+// the set. Export fan-out lists are rebuilt if missing.
+func (a *AS) resetPrefixes(set map[uint64]bool) {
+	for k := range set {
+		delete(a.adjIn, k)
+		if r, ok := a.rib[k]; ok {
+			delete(a.rib, k)
+			a.lenCount[r.Prefix.Bits()]--
+		}
+	}
+	for _, p := range a.Originated {
+		if set[pkey(p.Masked())] {
+			a.installBest(Route{
+				Prefix:      p.Masked(),
+				LearnedFrom: a.ASN,
+				LocalPref:   1 << 20,
+				selfOrigin:  true,
+			})
+		}
+	}
+	if len(a.exportAll) == 0 && len(a.Neighbors) > 0 {
+		a.rebuildExportLists()
+	}
+}
+
+func (a *AS) rebuildExportLists() {
+	a.rebuildExportLists()
+}
+
+func (a *AS) installBest(r Route) {
+	k := pkey(r.Prefix)
+	if _, had := a.rib[k]; !had {
+		a.lenCount[r.Prefix.Bits()]++
+	}
+	a.rib[k] = r
+}
+
+// importAnnouncement runs the import pipeline for one announcement from a
+// neighbor. It returns true when the best route for the prefix changed.
+// The announcement's path slice is retained without copying; senders must
+// treat emitted paths as immutable.
+func (a *AS) importAnnouncement(from inet.ASN, ann Announcement) bool {
+	rel, ok := a.Neighbors[from]
+	if !ok || ann.ContainsAS(a.ASN) {
+		return false
+	}
+	validity := a.validity(ann)
+	dec := a.policy().Evaluate(a.ASN, from, rel, ann, validity)
+	if !dec.Accept {
+		return false
+	}
+	r := Route{
+		Prefix:      ann.Prefix,
+		Path:        ann.Path,
+		LearnedFrom: from,
+		Rel:         rel,
+		Validity:    validity,
+		LocalPref:   rel.localPref() + dec.LocalPrefDelta,
+	}
+	k := pkey(r.Prefix)
+	st := a.adjIn[k]
+	if st == nil {
+		st = &prefixState{}
+		a.adjIn[k] = st
+	}
+	st.upsert(r)
+	return a.selectBest(k, st)
+}
+
+// selectBest recomputes the best route for the prefix behind key k,
+// reporting whether the installed best changed.
+func (a *AS) selectBest(k uint64, st *prefixState) bool {
+	old, hadOld := a.rib[k]
+	if hadOld && old.selfOrigin {
+		return false // own prefixes never lose to learned routes
+	}
+	var best Route
+	haveBest := false
+	// Order of iteration is irrelevant: better() ends with a strict
+	// LearnedFrom tiebreak and each neighbor appears at most once, so the
+	// winner is unique.
+	for i := range st.routes {
+		if !haveBest || st.routes[i].better(best) {
+			best, haveBest = st.routes[i], true
+		}
+	}
+	if !haveBest {
+		return false
+	}
+	if hadOld && routesEqual(old, best) {
+		return false
+	}
+	a.installBest(best)
+	return true
+}
+
+func routesEqual(x, y Route) bool {
+	if x.Prefix != y.Prefix || x.LearnedFrom != y.LearnedFrom || x.LocalPref != y.LocalPref || len(x.Path) != len(y.Path) {
+		return false
+	}
+	for i := range x.Path {
+		if x.Path[i] != y.Path[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// exportTargets returns the neighbors that should receive the given best
+// route under Gao-Rexford export rules: routes from customers (and own
+// routes) go to everyone; routes from peers/providers go to customers only.
+// The neighbor the route was learned from is included — the receiver's
+// AS-path loop check discards the echo — keeping the fan-out lists static.
+func (a *AS) exportTargets(r Route) []inet.ASN {
+	if r.selfOrigin || r.Rel == Customer {
+		return a.exportAll
+	}
+	return a.exportCustomers
+}
+
+// announcementFor builds the announcement this AS sends for route r. The
+// returned path is freshly allocated and shared by every neighbor copy, so
+// receivers must not mutate it.
+func (a *AS) announcementFor(r Route) *Announcement {
+	path := make([]inet.ASN, 0, len(r.Path)+1)
+	path = append(path, a.ASN)
+	path = append(path, r.Path...)
+	return &Announcement{Prefix: r.Prefix, Path: path}
+}
+
+// Lookup performs the data-plane longest-prefix match for dst. The boolean
+// reports whether a FIB entry (not the default route) matched.
+func (a *AS) Lookup(dst netip.Addr) (Route, bool) {
+	addr := inet.V4Int(dst)
+	for plen := 32; plen >= 0; plen-- {
+		if a.lenCount[plen] == 0 {
+			continue
+		}
+		if r, ok := a.rib[maskKey(addr, plen)]; ok {
+			return r, true
+		}
+	}
+	return Route{}, false
+}
+
+// BestRoute returns the selected route for an exact prefix.
+func (a *AS) BestRoute(prefix netip.Prefix) (Route, bool) {
+	r, ok := a.rib[pkey(prefix.Masked())]
+	return r, ok
+}
+
+// Routes returns all selected routes (the Loc-RIB) ordered by prefix.
+func (a *AS) Routes() []Route {
+	out := make([]Route, 0, len(a.rib))
+	for _, r := range a.rib {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return pkey(out[i].Prefix) < pkey(out[j].Prefix) })
+	return out
+}
+
+// DropRoute removes the FIB entry for prefix (used by tests and fault
+// injection to model partial tables).
+func (a *AS) DropRoute(prefix netip.Prefix) bool {
+	k := pkey(prefix.Masked())
+	r, ok := a.rib[k]
+	if !ok {
+		return false
+	}
+	delete(a.rib, k)
+	a.lenCount[r.Prefix.Bits()]--
+	return true
+}
+
+// OriginatesCovering reports whether the AS originates a prefix containing
+// dst (i.e. the packet has reached its destination network).
+func (a *AS) OriginatesCovering(dst netip.Addr) bool {
+	for _, p := range a.Originated {
+		if p.Contains(dst) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,134 @@
+package bgp
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/rpki"
+)
+
+// buildDiamond builds 1 at the top, 2 and 3 as its customers, 4 below both,
+// with 5 as a second origin AS attached to 3.
+func buildDiamond() *Graph {
+	g := NewGraph()
+	g.Link(1, 2, Customer)
+	g.Link(1, 3, Customer)
+	g.Link(2, 4, Customer)
+	g.Link(3, 4, Customer)
+	g.Link(3, 5, Customer)
+	g.AS(4).Originated = []netip.Prefix{pfx("10.4.0.0/16")}
+	g.AS(5).Originated = []netip.Prefix{pfx("10.5.0.0/16")}
+	return g
+}
+
+func snapshotRoutes(g *Graph) map[inet.ASN][]Route {
+	out := make(map[inet.ASN][]Route)
+	for asn, a := range g.ASes {
+		out[asn] = a.Routes()
+	}
+	return out
+}
+
+func routesMatch(t *testing.T, a, b map[inet.ASN][]Route) {
+	t.Helper()
+	for asn, ra := range a {
+		rb := b[asn]
+		if len(ra) != len(rb) {
+			t.Fatalf("AS %v route count %d vs %d", asn, len(ra), len(rb))
+		}
+		for i := range ra {
+			if !routesEqual(ra[i], rb[i]) {
+				t.Fatalf("AS %v route %d differs: %+v vs %+v", asn, i, ra[i], rb[i])
+			}
+		}
+	}
+}
+
+func TestConvergePrefixesMatchesFullAfterPolicyChange(t *testing.T) {
+	vrps := rpki.NewVRPSet([]rpki.VRP{{ASN: 4, Prefix: pfx("10.5.0.0/16"), MaxLength: 16}})
+	// AS 5's announcement of 10.5.0.0/16 is invalid (ROA names AS 4).
+	mk := func() *Graph {
+		g := buildDiamond()
+		for _, a := range g.ASes {
+			a.VRPs = vrps
+		}
+		return g
+	}
+
+	// Incremental path: converge without ROV, then AS 3 turns on ROV and
+	// only the invalid prefix re-converges.
+	inc := mk()
+	if _, err := inc.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	inc.AS(3).Policy = rovDropPolicy{}
+	if _, err := inc.ConvergePrefixes([]netip.Prefix{pfx("10.5.0.0/16")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference path: same final world, full converge.
+	full := mk()
+	full.AS(3).Policy = rovDropPolicy{}
+	if _, err := full.Converge(); err != nil {
+		t.Fatal(err)
+	}
+
+	routesMatch(t, snapshotRoutes(full), snapshotRoutes(inc))
+
+	// AS 3 must have dropped the invalid prefix but kept everything else.
+	if _, ok := inc.AS(3).BestRoute(pfx("10.5.0.0/16")); ok {
+		t.Fatal("invalid prefix survived at filtering AS")
+	}
+	if _, ok := inc.AS(3).BestRoute(pfx("10.4.0.0/16")); !ok {
+		t.Fatal("valid prefix lost during incremental converge")
+	}
+}
+
+func TestConvergePrefixesNewOrigination(t *testing.T) {
+	inc := buildDiamond()
+	if _, err := inc.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	// A hijack appears: AS 2 starts originating AS 5's prefix.
+	inc.AS(2).Originated = append(inc.AS(2).Originated, pfx("10.5.0.0/16"))
+	if _, err := inc.ConvergePrefixes([]netip.Prefix{pfx("10.5.0.0/16")}); err != nil {
+		t.Fatal(err)
+	}
+
+	full := buildDiamond()
+	full.AS(2).Originated = append(full.AS(2).Originated, pfx("10.5.0.0/16"))
+	if _, err := full.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	routesMatch(t, snapshotRoutes(full), snapshotRoutes(inc))
+}
+
+func TestConvergePrefixesWithdrawnOrigination(t *testing.T) {
+	g := buildDiamond()
+	g.AS(2).Originated = append(g.AS(2).Originated, pfx("10.5.0.0/16"))
+	if _, err := g.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	// Hijack ends.
+	g.AS(2).Originated = g.AS(2).Originated[:len(g.AS(2).Originated)-1]
+	if _, err := g.ConvergePrefixes([]netip.Prefix{pfx("10.5.0.0/16")}); err != nil {
+		t.Fatal(err)
+	}
+	full := buildDiamond()
+	if _, err := full.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	routesMatch(t, snapshotRoutes(full), snapshotRoutes(g))
+}
+
+func TestConvergePrefixesEmpty(t *testing.T) {
+	g := buildDiamond()
+	g.Converge()
+	before := snapshotRoutes(g)
+	rounds, err := g.ConvergePrefixes(nil)
+	if err != nil || rounds != 0 {
+		t.Fatalf("rounds=%d err=%v", rounds, err)
+	}
+	routesMatch(t, before, snapshotRoutes(g))
+}

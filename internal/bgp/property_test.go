@@ -1,0 +1,204 @@
+package bgp
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"github.com/netsec-lab/rovista/internal/inet"
+)
+
+// randomHierarchy builds a random 3-tier topology with peering and returns
+// the converged graph.
+func randomHierarchy(seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	nTop, nMid, nLeaf := 3+rng.Intn(3), 6+rng.Intn(6), 15+rng.Intn(15)
+	var top, mid, leaf []inet.ASN
+	next := inet.ASN(100)
+	add := func(n int) []inet.ASN {
+		out := make([]inet.ASN, n)
+		for i := range out {
+			out[i] = next
+			next++
+			g.AddAS(out[i])
+		}
+		return out
+	}
+	top, mid, leaf = add(nTop), add(nMid), add(nLeaf)
+	for i := 0; i < len(top); i++ {
+		for j := i + 1; j < len(top); j++ {
+			g.Link(top[i], top[j], Peer)
+		}
+	}
+	for _, m := range mid {
+		g.Link(top[rng.Intn(len(top))], m, Customer)
+		if rng.Float64() < 0.4 {
+			g.Link(top[rng.Intn(len(top))], m, Customer)
+		}
+	}
+	for i := 0; i < len(mid); i++ {
+		for j := i + 1; j < len(mid); j++ {
+			if rng.Float64() < 0.2 {
+				g.Link(mid[i], mid[j], Peer)
+			}
+		}
+	}
+	for k, l := range leaf {
+		g.Link(mid[rng.Intn(len(mid))], l, Customer)
+		if rng.Float64() < 0.3 {
+			g.Link(mid[rng.Intn(len(mid))], l, Customer)
+		}
+		// Every leaf originates one prefix.
+		p := netip.PrefixFrom(inet.V4(uint32(10+k)<<24), 16)
+		g.AS(l).Originated = []netip.Prefix{p}
+	}
+	if _, err := g.Converge(); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestValleyFreeProperty: every installed route's path must be valley-free.
+// Walking from the route holder toward the origin, edges (how each hop
+// learned the route) must match the pattern Provider* Peer? Customer*:
+// traffic climbs away from the origin, crosses at most one peering link,
+// then descends — the Gao-Rexford guarantee.
+func TestValleyFreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomHierarchy(seed)
+		for asn, a := range g.ASes {
+			for _, r := range a.Routes() {
+				if r.SelfOriginated() {
+					continue
+				}
+				// Edge sequence from the holder toward the origin.
+				cur := asn
+				hops := r.Path
+				state := 0 // 0: providers allowed; 1: seen peer; 2: descending
+				for _, next := range hops {
+					rel, ok := g.AS(cur).Neighbors[next]
+					if !ok {
+						t.Logf("AS %v path %v uses non-adjacent hop %v", asn, hops, next)
+						return false
+					}
+					switch rel {
+					case Provider: // climbing away from origin? No: next is cur's provider
+						if state != 0 {
+							t.Logf("AS %v path %v climbs after turning (state %d)", asn, hops, state)
+							return false
+						}
+					case Peer:
+						if state >= 1 {
+							t.Logf("AS %v path %v crosses two peer links", asn, hops)
+							return false
+						}
+						state = 1
+					case Customer:
+						state = 2
+					}
+					cur = next
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConvergenceIdempotent: converging an unchanged graph again must yield
+// identical routing state.
+func TestConvergenceIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomHierarchy(seed)
+		before := snapshotRoutes(g)
+		if _, err := g.Converge(); err != nil {
+			return false
+		}
+		after := snapshotRoutes(g)
+		for asn, ra := range before {
+			rb := after[asn]
+			if len(ra) != len(rb) {
+				return false
+			}
+			for i := range ra {
+				if !routesEqual(ra[i], rb[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLookupAgreesWithBestRoute: the data-plane LPM must return the
+// installed best route of the most specific covering prefix.
+func TestLookupAgreesWithBestRoute(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomHierarchy(seed)
+		rng := rand.New(rand.NewSource(seed ^ 77))
+		for asn, a := range g.ASes {
+			routes := a.Routes()
+			if len(routes) == 0 {
+				continue
+			}
+			r := routes[rng.Intn(len(routes))]
+			addr := inet.NthAddr(r.Prefix, 1)
+			got, ok := a.Lookup(addr)
+			if !ok {
+				t.Logf("AS %v: no LPM for %v despite installed %v", asn, addr, r.Prefix)
+				return false
+			}
+			// The match must cover the address and be at least as specific
+			// as the route we picked.
+			if !got.Prefix.Contains(addr) || got.Prefix.Bits() < r.Prefix.Bits() {
+				t.Logf("AS %v: LPM %v for addr %v under %v", asn, got.Prefix, addr, r.Prefix)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeliveredPathsEndAtOrigin: every delivered data-plane path terminates
+// at an AS originating a covering prefix, and transits only adjacent ASes.
+func TestDeliveredPathsEndAtOrigin(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomHierarchy(seed)
+		rng := rand.New(rand.NewSource(seed ^ 99))
+		var asns []inet.ASN
+		for asn := range g.ASes {
+			asns = append(asns, asn)
+		}
+		for trial := 0; trial < 30; trial++ {
+			src := asns[rng.Intn(len(asns))]
+			dst := inet.V4(uint32(10+rng.Intn(30))<<24 | uint32(rng.Intn(1<<16)))
+			path, delivered := g.DataPath(src, dst)
+			if !delivered {
+				continue
+			}
+			last := path[len(path)-1]
+			if !g.AS(last).OriginatesCovering(dst) {
+				return false
+			}
+			for i := 1; i < len(path); i++ {
+				if _, adj := g.AS(path[i-1]).Neighbors[path[i]]; !adj {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package collectors
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/netsec-lab/rovista/internal/bgp"
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/ipid"
+	"github.com/netsec-lab/rovista/internal/netsim"
+	"github.com/netsec-lab/rovista/internal/rov"
+	"github.com/netsec-lab/rovista/internal/rpki"
+)
+
+func ip(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// campaignWorld: AS 1 provider; AS 2 filters (cannot reach the invalid
+// target), AS 3 does not; AS 4 announces the invalid prefix and hosts the
+// target.
+func campaignWorld(t *testing.T) *netsim.Network {
+	t.Helper()
+	vrps := rpki.NewVRPSet([]rpki.VRP{{ASN: 99, Prefix: pfx("10.4.0.0/16"), MaxLength: 16}})
+	g := bgp.NewGraph()
+	g.Link(1, 2, bgp.Customer)
+	g.Link(1, 3, bgp.Customer)
+	g.Link(1, 4, bgp.Customer)
+	g.AS(2).Originated = []netip.Prefix{pfx("10.2.0.0/16")}
+	g.AS(3).Originated = []netip.Prefix{pfx("10.3.0.0/16")}
+	g.AS(4).Originated = []netip.Prefix{pfx("10.4.0.0/16")}
+	g.AS(2).Policy = rov.Full()
+	g.AS(2).VRPs = vrps
+	if _, err := g.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	n := netsim.NewNetwork(g)
+	n.AddHost(netsim.NewHost(ip("10.4.0.1"), 4, ipid.Global, 1, 443))
+	return n
+}
+
+func TestRunCampaignConsensus(t *testing.T) {
+	n := campaignWorld(t)
+	fleet := NewFleet([]inet.ASN{2, 3}, 5)
+	stats := fleet.RunCampaign(n, []netip.Addr{ip("10.4.0.1")}, 443, 0, 1)
+
+	if stats.Measurements != 10 || stats.Failed != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(stats.InconsistentASes) != 0 {
+		t.Fatalf("unexpected inconsistency: %v", stats.InconsistentASes)
+	}
+	if stats.Tuples[2][ip("10.4.0.1")] {
+		t.Fatal("filtering AS should not reach the invalid target")
+	}
+	if !stats.Tuples[3][ip("10.4.0.1")] {
+		t.Fatal("non-filtering AS should reach the invalid target")
+	}
+}
+
+func TestRunCampaignFailureNoise(t *testing.T) {
+	n := campaignWorld(t)
+	fleet := NewFleet([]inet.ASN{2, 3}, 10)
+	stats := fleet.RunCampaign(n, []netip.Addr{ip("10.4.0.1")}, 443, 0.3, 2)
+	if stats.Failed == 0 {
+		t.Fatal("failure injection produced no failures")
+	}
+	// Consensus should still be correct from the surviving measurements.
+	if v, ok := stats.Tuples[3][ip("10.4.0.1")]; ok && !v {
+		t.Fatal("noise flipped the consensus")
+	}
+	if stats.RetentionRate() >= 1 || stats.RetentionRate() <= 0 {
+		t.Fatalf("retention = %v", stats.RetentionRate())
+	}
+}
+
+func TestRunCampaignAllFailed(t *testing.T) {
+	n := campaignWorld(t)
+	fleet := NewFleet([]inet.ASN{2}, 3)
+	stats := fleet.RunCampaign(n, []netip.Addr{ip("10.4.0.1")}, 443, 1.0, 3)
+	if stats.Failed != stats.Measurements {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(stats.Tuples) != 0 {
+		t.Fatal("no tuples expected when everything failed")
+	}
+}

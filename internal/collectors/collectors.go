@@ -1,0 +1,215 @@
+// Package collectors models the public BGP observation infrastructure the
+// paper builds on: RouteViews/RIS-style collectors that receive full tables
+// from a limited set of feeder ASes (so their view of the Internet is
+// deliberately partial — the source of RoVista's "false tNode" problem and
+// its coverage limitation), and RIPE-Atlas-style probe fleets used for
+// traceroute cross-validation.
+package collectors
+
+import (
+	"net/netip"
+	"sort"
+
+	"github.com/netsec-lab/rovista/internal/bgp"
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/rpki"
+)
+
+// RouteObs is one observed route at a collector.
+type RouteObs struct {
+	Prefix netip.Prefix
+	Path   []inet.ASN // as exported by the feeder (feeder first, origin last)
+	Feeder inet.ASN
+}
+
+// Origin returns the route's origin AS.
+func (r RouteObs) Origin() inet.ASN {
+	if len(r.Path) == 0 {
+		return r.Feeder
+	}
+	return r.Path[len(r.Path)-1]
+}
+
+// Collector is a RouteViews-style vantage point.
+type Collector struct {
+	Name    string
+	Feeders []inet.ASN
+}
+
+// View is a collector RIB snapshot.
+type View struct {
+	byPrefix map[netip.Prefix][]RouteObs
+}
+
+// Snapshot collects each feeder's current best routes.
+func (c *Collector) Snapshot(g *bgp.Graph) *View {
+	v := &View{byPrefix: make(map[netip.Prefix][]RouteObs)}
+	for _, f := range c.Feeders {
+		a := g.AS(f)
+		if a == nil {
+			continue
+		}
+		for _, r := range a.Routes() {
+			path := make([]inet.ASN, 0, len(r.Path)+1)
+			path = append(path, f)
+			path = append(path, r.Path...)
+			v.byPrefix[r.Prefix] = append(v.byPrefix[r.Prefix], RouteObs{
+				Prefix: r.Prefix,
+				Path:   path,
+				Feeder: f,
+			})
+		}
+	}
+	return v
+}
+
+// Prefixes returns every observed prefix in deterministic order.
+func (v *View) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(v.byPrefix))
+	for p := range v.byPrefix {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr() != out[j].Addr() {
+			return out[i].Addr().Less(out[j].Addr())
+		}
+		return out[i].Bits() < out[j].Bits()
+	})
+	return out
+}
+
+// Routes returns all observations for a prefix.
+func (v *View) Routes(p netip.Prefix) []RouteObs { return v.byPrefix[p.Masked()] }
+
+// Origins returns the distinct origin ASes observed for a prefix.
+func (v *View) Origins(p netip.Prefix) []inet.ASN {
+	seen := map[inet.ASN]bool{}
+	var out []inet.ASN
+	for _, r := range v.byPrefix[p.Masked()] {
+		o := r.Origin()
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PathsVia returns the observed AS paths for a prefix that include asn.
+func (v *View) PathsVia(p netip.Prefix, asn inet.ASN) [][]inet.ASN {
+	var out [][]inet.ASN
+	for _, r := range v.byPrefix[p.Masked()] {
+		for _, hop := range r.Path {
+			if hop == asn {
+				out = append(out, r.Path)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ValidityStats summarizes a snapshot against a VRP set (Figure 1's series).
+type ValidityStats struct {
+	Total     int // distinct prefixes observed
+	Covered   int // covered by at least one VRP
+	Invalid   int // at least one origin validates Invalid
+	Exclusive int // every observed origin is Invalid ("exclusively invalid")
+}
+
+// Classify computes coverage/invalidity statistics for the snapshot.
+func (v *View) Classify(vrps *rpki.VRPSet) ValidityStats {
+	var st ValidityStats
+	for p, obs := range v.byPrefix {
+		st.Total++
+		if vrps.CoversPrefix(p) {
+			st.Covered++
+		}
+		anyInvalid, allInvalid := false, true
+		for _, r := range obs {
+			switch vrps.Validate(p, r.Origin()) {
+			case rpki.Invalid:
+				anyInvalid = true
+			default:
+				allInvalid = false
+			}
+		}
+		if anyInvalid {
+			st.Invalid++
+			if allInvalid {
+				st.Exclusive++
+			}
+		}
+	}
+	return st
+}
+
+// ExclusivelyInvalid returns the prefixes for which every observed origin is
+// RPKI-invalid — the paper's test prefixes (§3.2): traffic for them cannot
+// be rescued by a legitimate announcement of the same prefix.
+func (v *View) ExclusivelyInvalid(vrps *rpki.VRPSet) []netip.Prefix {
+	var out []netip.Prefix
+	for p, obs := range v.byPrefix {
+		if len(obs) == 0 {
+			continue
+		}
+		all := true
+		for _, r := range obs {
+			if vrps.Validate(p, r.Origin()) != rpki.Invalid {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr() != out[j].Addr() {
+			return out[i].Addr().Less(out[j].Addr())
+		}
+		return out[i].Bits() < out[j].Bits()
+	})
+	return out
+}
+
+// Probe is a RIPE-Atlas-style measurement probe hosted inside an AS.
+type Probe struct {
+	ID  int
+	ASN inet.ASN
+}
+
+// Fleet is a set of probes, indexable by AS.
+type Fleet struct {
+	Probes []Probe
+	byASN  map[inet.ASN][]Probe
+}
+
+// NewFleet builds a fleet with n probes per AS for the given ASes.
+func NewFleet(asns []inet.ASN, perAS int) *Fleet {
+	f := &Fleet{byASN: make(map[inet.ASN][]Probe)}
+	id := 1
+	for _, asn := range asns {
+		for i := 0; i < perAS; i++ {
+			p := Probe{ID: id, ASN: asn}
+			id++
+			f.Probes = append(f.Probes, p)
+			f.byASN[asn] = append(f.byASN[asn], p)
+		}
+	}
+	return f
+}
+
+// InAS returns the probes hosted by asn.
+func (f *Fleet) InAS(asn inet.ASN) []Probe { return f.byASN[asn] }
+
+// ASNs lists the covered ASes in ascending order.
+func (f *Fleet) ASNs() []inet.ASN {
+	out := make([]inet.ASN, 0, len(f.byASN))
+	for a := range f.byASN {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/netsec-lab/rovista/internal/collectors"
+	"github.com/netsec-lab/rovista/internal/mrt"
+	"github.com/netsec-lab/rovista/internal/rpki"
+)
+
+// TestMRTRoundTripPreservesTestPrefixSelection: archiving the collector
+// view as a RouteViews-style MRT dump and re-importing it must yield the
+// same exclusively-invalid test prefixes — the property the paper's whole
+// pipeline rests on when it consumes real MRT archives.
+func TestMRTRoundTripPreservesTestPrefixSelection(t *testing.T) {
+	w := buildSmall(t, 23)
+	if err := w.AdvanceTo(0); err != nil {
+		t.Fatal(err)
+	}
+	view := w.Collector.Snapshot(w.Graph)
+	want := view.ExclusivelyInvalid(w.VRPs)
+
+	var buf bytes.Buffer
+	if err := mrt.WriteView(&buf, w.Collector.Name, view, w.Collector.Feeders, 1700000000); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := mrt.ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.CollectorName != w.Collector.Name {
+		t.Fatalf("collector name %q", dump.CollectorName)
+	}
+
+	// Recompute exclusivity from the re-imported observations.
+	obs := dump.Observations()
+	byPrefix := map[string][]collectors.RouteObs{}
+	for _, o := range obs {
+		byPrefix[o.Prefix.String()] = append(byPrefix[o.Prefix.String()], o)
+	}
+	got := map[string]bool{}
+	for key, list := range byPrefix {
+		all := true
+		for _, o := range list {
+			if w.VRPs.Validate(o.Prefix, o.Origin()) != rpki.Invalid {
+				all = false
+				break
+			}
+		}
+		if all {
+			got[key] = true
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("exclusive prefixes: %d after round trip, want %d", len(got), len(want))
+	}
+	for _, p := range want {
+		if !got[p.String()] {
+			t.Fatalf("lost exclusive prefix %v in MRT round trip", p)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+
+	"github.com/netsec-lab/rovista/internal/detect"
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/scan"
+)
+
+// RunnerConfig tunes the measurement pipeline.
+type RunnerConfig struct {
+	// BackgroundCutoff excludes vVPs above this rate (10 pkt/s, §6.1).
+	BackgroundCutoff float64
+	// MinVVPsPerAS is the minimum usable vVPs required to score an AS (the
+	// paper requires 10; simulated worlds attach fewer hosts per AS, so the
+	// default scales down to 2 while preserving the unanimity semantics).
+	MinVVPsPerAS int
+	// MaxVVPsPerAS caps the vVPs measured per AS to bound work.
+	MaxVVPsPerAS int
+	// MinTNodes is the minimum tNodes needed for a meaningful round (the
+	// paper observes ≥10, on average 31).
+	MinTNodes int
+	// Detect configures the per-pair measurement round.
+	Detect detect.Config
+	// Seed drives the measurement's own randomness.
+	Seed int64
+	// RecordPairs keeps every raw per-(vVP, tNode) result in the snapshot
+	// for diagnostics (memory-heavy; off by default).
+	RecordPairs bool
+}
+
+// DefaultRunnerConfig returns the standard pipeline settings.
+func DefaultRunnerConfig(seed int64) RunnerConfig {
+	return RunnerConfig{
+		BackgroundCutoff: 10,
+		MinVVPsPerAS:     2,
+		MaxVVPsPerAS:     3,
+		MinTNodes:        3,
+		Seed:             seed,
+	}
+}
+
+// ASReport is the per-AS outcome of one measurement round.
+type ASReport struct {
+	ASN inet.ASN
+	// Score is the ROV protection score in [0, 100]: the percentage of
+	// tNodes unreachable from every vVP in the AS due to outbound
+	// filtering (§6.2).
+	Score float64
+	// VVPs is the number of vantage points used.
+	VVPs int
+	// TNodesMeasured / TNodesFiltered give the score's numerator and
+	// denominator.
+	TNodesMeasured, TNodesFiltered int
+	// Unanimous is false when at least one tNode was discarded because the
+	// AS's vVPs disagreed (§6.2 consistency check).
+	Unanimous bool
+	// Verdicts maps each measured tNode address to whether it was judged
+	// outbound-filtered, enabling exact cross-validation against the data
+	// plane or traceroutes.
+	Verdicts map[netip.Addr]bool
+}
+
+// Snapshot is the result of one full measurement round.
+type Snapshot struct {
+	Day int
+
+	// TestPrefixes are the exclusively-invalid prefixes selected from the
+	// collector view.
+	TestPrefixes int
+	// TNodes are the qualified test nodes used in this round.
+	TNodes []scan.TNode
+	// AllVVPs counts every discovered vVP before the background cutoff.
+	AllVVPs int
+	// VVPsByAS holds the usable (post-cutoff) vVPs grouped by AS.
+	VVPsByAS map[inet.ASN][]scan.VVP
+
+	// Reports holds per-AS results for every AS with enough vVPs.
+	Reports map[inet.ASN]*ASReport
+
+	// ConsistentPairFraction is the fraction of (AS, tNode) cells whose
+	// vVPs agreed (the paper reports 95.1%).
+	ConsistentPairFraction float64
+
+	// VVPBackgroundRates records each discovered vVP's background rate
+	// (pre-cutoff), for the Figure 4 distribution.
+	VVPBackgroundRates map[inet.ASN][]float64
+
+	// PairResults holds raw per-pair results when RunnerConfig.RecordPairs
+	// is set.
+	PairResults []detect.PairResult
+}
+
+// Scores returns the per-AS protection scores.
+func (s *Snapshot) Scores() map[inet.ASN]float64 {
+	out := make(map[inet.ASN]float64, len(s.Reports))
+	for asn, r := range s.Reports {
+		out[asn] = r.Score
+	}
+	return out
+}
+
+// FullyProtected returns the ASes with a 100% score.
+func (s *Snapshot) FullyProtected() []inet.ASN {
+	var out []inet.ASN
+	for asn, r := range s.Reports {
+		if r.Score >= 100 {
+			out = append(out, asn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Runner executes measurement rounds against a world.
+type Runner struct {
+	W   *World
+	Cfg RunnerConfig
+
+	// cached vVP discovery (refreshed when the host population changes;
+	// static within a world, like the paper's daily vVP scans).
+	vvps []scan.VVP
+}
+
+// NewRunner creates a Runner.
+func NewRunner(w *World, cfg RunnerConfig) *Runner {
+	return &Runner{W: w, Cfg: cfg}
+}
+
+// scanner builds the discovery front-end.
+func (r *Runner) scanner() *scan.Scanner {
+	sc := scan.NewScanner(r.W.Net, r.W.ClientA, r.W.ClientB, 443, 80)
+	sc.Seed = r.Cfg.Seed
+	return sc
+}
+
+// DiscoverVVPs runs (or returns the cached) §4.2 vVP discovery over every
+// attached host.
+func (r *Runner) DiscoverVVPs() []scan.VVP {
+	if r.vvps != nil {
+		return r.vvps
+	}
+	var candidates = r.W.Net.AllAddrs()
+	// The clients themselves are not candidates.
+	filtered := candidates[:0]
+	for _, a := range candidates {
+		if a == r.W.ClientA.Addr || a == r.W.ClientB.Addr {
+			continue
+		}
+		filtered = append(filtered, a)
+	}
+	r.vvps = r.scanner().DiscoverVVPs(filtered)
+	return r.vvps
+}
+
+// InvalidateVVPCache forces rediscovery on the next round.
+func (r *Runner) InvalidateVVPCache() { r.vvps = nil }
+
+// Measure runs one complete RoVista round at the world's current day.
+func (r *Runner) Measure() *Snapshot {
+	w := r.W
+	snap := &Snapshot{
+		Day:                w.Day,
+		VVPsByAS:           make(map[inet.ASN][]scan.VVP),
+		Reports:            make(map[inet.ASN]*ASReport),
+		VVPBackgroundRates: make(map[inet.ASN][]float64),
+	}
+
+	// 1. Collector view → exclusively-invalid test prefixes (§3.2).
+	view := w.Collector.Snapshot(w.Graph)
+	testPrefixes := view.ExclusivelyInvalid(w.VRPs)
+	snap.TestPrefixes = len(testPrefixes)
+
+	// 2. tNode discovery and qualification (§4.1), followed by the false-
+	// tNode removal step: reference probes in confirmed-ROV and confirmed
+	// non-ROV ASes must disagree about each tNode's reachability, or the
+	// tNode is rejected (it is reachable through routes the collector never
+	// saw — e.g. the legitimate origin announcing the same prefix).
+	snap.TNodes = r.filterFalseTNodes(r.scanner().DiscoverTNodes(testPrefixes))
+	if len(snap.TNodes) < r.Cfg.MinTNodes {
+		return snap
+	}
+
+	// 3. vVP discovery (§4.2) and the background-traffic cutoff (§6.1).
+	all := r.DiscoverVVPs()
+	snap.AllVVPs = len(all)
+	for _, v := range all {
+		snap.VVPBackgroundRates[v.ASN] = append(snap.VVPBackgroundRates[v.ASN], v.BackgroundRate)
+		if v.BackgroundRate <= r.Cfg.BackgroundCutoff {
+			snap.VVPsByAS[v.ASN] = append(snap.VVPsByAS[v.ASN], v)
+		}
+	}
+
+	// 4. Per-pair measurement with the per-AS unanimity rule (§6.2).
+	// Iterate ASes in sorted order: pair measurements evolve shared host
+	// state (counters, background RNG), so a stable order is what makes
+	// whole rounds reproducible bit-for-bit.
+	asns := make([]inet.ASN, 0, len(snap.VVPsByAS))
+	for asn := range snap.VVPsByAS {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	consistent, totalCells := 0, 0
+	for _, asn := range asns {
+		vvps := snap.VVPsByAS[asn]
+		if len(vvps) < r.Cfg.MinVVPsPerAS {
+			continue
+		}
+		if len(vvps) > r.Cfg.MaxVVPsPerAS {
+			vvps = vvps[:r.Cfg.MaxVVPsPerAS]
+		}
+		report := &ASReport{ASN: asn, VVPs: len(vvps), Unanimous: true, Verdicts: make(map[netip.Addr]bool)}
+		for ti, tn := range snap.TNodes {
+			filteredVotes, reachableVotes := 0, 0
+			for vi, v := range vvps {
+				seed := r.Cfg.Seed ^ int64(uint32(asn))<<20 ^ int64(ti)<<8 ^ int64(vi)
+				res := detect.MeasurePair(w.Net, w.ClientA, v.Addr, tn, seed, r.Cfg.Detect)
+				if r.Cfg.RecordPairs {
+					snap.PairResults = append(snap.PairResults, res)
+				}
+				if !res.Usable {
+					continue
+				}
+				switch res.Outcome {
+				case detect.OutboundFiltering:
+					filteredVotes++
+				case detect.NoFiltering:
+					reachableVotes++
+				}
+				// Inbound filtering and inconclusive outcomes carry no
+				// information about the vVP's AS (§3.3 case b).
+			}
+			if filteredVotes+reachableVotes == 0 {
+				continue // nothing usable for this tNode
+			}
+			totalCells++
+			switch {
+			case filteredVotes > 0 && reachableVotes == 0:
+				consistent++
+				report.TNodesMeasured++
+				report.TNodesFiltered++
+				report.Verdicts[tn.Addr] = true
+			case reachableVotes > 0 && filteredVotes == 0:
+				consistent++
+				report.TNodesMeasured++
+				report.Verdicts[tn.Addr] = false
+			default:
+				// Disagreement: discard the tNode for this AS.
+				report.Unanimous = false
+			}
+		}
+		if report.TNodesMeasured == 0 {
+			continue
+		}
+		report.Score = 100 * float64(report.TNodesFiltered) / float64(report.TNodesMeasured)
+		snap.Reports[asn] = report
+	}
+	if totalCells > 0 {
+		snap.ConsistentPairFraction = float64(consistent) / float64(totalCells)
+	}
+	return snap
+}
+
+// filterFalseTNodes implements the §4.1 mitigation: the paper used RIPE
+// Atlas probes in ten ASes whose ROV status it had confirmed out-of-band.
+// Here the reference sets come from ground truth: full deployers (preferring
+// the filtered core) as the confirmed-ROV side, and clean never-filtering
+// ASes as the confirmed non-ROV side. A tNode survives when at most half of
+// the ROV probes reach it and at least half of the non-ROV probes do
+// (the paper's 90% thresholds, loosened for the smaller probe sets).
+func (r *Runner) filterFalseTNodes(tnodes []scan.TNode) []scan.TNode {
+	w := r.W
+	const maxProbes = 10
+	var rovProbes, cleanProbes []inet.ASN
+	for _, asn := range w.Topo.ByRank() { // core-first, like the paper's big ISPs
+		tr := w.Truth[asn]
+		if len(rovProbes) < maxProbes && tr.Kind == "full" && tr.DeployedAt(w.Day) && !tr.DefaultLeak {
+			rovProbes = append(rovProbes, asn)
+		}
+		if len(cleanProbes) < maxProbes && w.Clean[asn] {
+			cleanProbes = append(cleanProbes, asn)
+		}
+	}
+	if len(rovProbes) == 0 || len(cleanProbes) == 0 {
+		return tnodes
+	}
+	reachFrac := func(probes []inet.ASN, addr netip.Addr) float64 {
+		n := 0
+		for _, p := range probes {
+			if w.Graph.Reachable(p, addr) {
+				n++
+			}
+		}
+		return float64(n) / float64(len(probes))
+	}
+	out := tnodes[:0]
+	for _, tn := range tnodes {
+		if reachFrac(rovProbes, tn.Addr) <= 0.5 && reachFrac(cleanProbes, tn.Addr) >= 0.5 {
+			out = append(out, tn)
+		}
+	}
+	return out
+}
+
+// OracleScore computes the ground-truth protection score of an AS against
+// the current tNodes straight from the data plane (no side channel): the
+// fraction of tNodes the AS cannot reach. Used to validate the measurement.
+func (r *Runner) OracleScore(asn inet.ASN, tnodes []scan.TNode) float64 {
+	if len(tnodes) == 0 {
+		return 0
+	}
+	blocked := 0
+	for _, tn := range tnodes {
+		if !r.W.Graph.Reachable(asn, tn.Addr) {
+			blocked++
+		}
+	}
+	return 100 * float64(blocked) / float64(len(tnodes))
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/netsec-lab/rovista/internal/bgp"
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/rpki"
+)
+
+// MarkDirty records that routing state for prefix must be re-converged at
+// the next AdvanceTo (used by external mutators such as hijack injection).
+func (w *World) MarkDirty(p netip.Prefix) { w.dirty[p.Masked()] = true }
+
+// AddLink inserts a new adjacency mid-timeline (e.g. a content provider
+// becoming a tier-1's customer, the Figure-10 scenario). A new edge can
+// shift best routes for arbitrary prefixes, so the next AdvanceTo performs
+// a full re-convergence.
+func (w *World) AddLink(a, b inet.ASN, rel bgp.Relationship) error {
+	if err := w.Graph.Link(a, b, rel); err != nil {
+		return err
+	}
+	w.converged = false
+	return nil
+}
+
+// AdvanceTo moves the world to the given day: the relying party re-validates
+// the repositories, per-AS ROV policies flip according to the schedule,
+// misconfigured announcements start or stop, and routing re-converges —
+// incrementally when possible.
+func (w *World) AdvanceTo(day int) error {
+	if day < 0 || day > w.Cfg.Days {
+		return fmt.Errorf("core: day %d outside timeline [0, %d]", day, w.Cfg.Days)
+	}
+	w.Day = day
+
+	// Relying-party validation at this day.
+	rp := &rpki.RelyingParty{Day: day}
+	repos := make([]*rpki.Repository, 0, len(w.Authorities))
+	for _, r := range rpki.AllRIRs {
+		repos = append(repos, w.Authorities[r].Repo)
+	}
+	vrps, _ := rp.Validate(repos)
+	w.VRPs = vrps
+
+	// Apply ROV schedule. Only filtering ASes hold a VRP view: origin
+	// validation at import costs a trie walk per announcement, and
+	// non-validating ASes by definition do not perform it.
+	for asn, tr := range w.Truth {
+		a := w.Graph.AS(asn)
+		if tr.DeployedAt(day) {
+			a.Policy = tr.Policy
+			if tr.SLURMException.IsValid() {
+				// RFC 8416 local exception: VRPs covering the whitelisted
+				// prefix are filtered out of this AS's view, so the route
+				// validates NotFound and passes the filter (§7.1).
+				slurm := &rpki.SLURM{PrefixFilters: []rpki.PrefixFilter{{Prefix: coveringFilter(tr.SLURMException)}}}
+				a.VRPs = slurm.Apply(vrps)
+			} else {
+				a.VRPs = vrps
+			}
+		} else {
+			a.Policy = nil
+			a.VRPs = nil
+		}
+	}
+
+	// Apply the invalid-announcement schedule.
+	dirty := make(map[netip.Prefix]bool, len(w.dirty)+len(w.Invalids))
+	for p := range w.dirty {
+		dirty[p] = true
+	}
+	for _, inv := range w.Invalids {
+		active := day >= inv.StartDay && day < inv.EndDay
+		w.setOriginated(inv.Origin, inv.Prefix, active)
+		if inv.Shared {
+			w.setOriginated(inv.Victim, inv.Prefix, active)
+		}
+		dirty[inv.Prefix] = true
+	}
+
+	// Converge: full the first time, incremental afterwards. Policy
+	// changes only alter import decisions for RPKI-invalid announcements,
+	// and every invalid announcement's prefix is in the dirty set.
+	if !w.converged {
+		if _, err := w.Graph.Converge(); err != nil {
+			return err
+		}
+		w.converged = true
+	} else {
+		ps := make([]netip.Prefix, 0, len(dirty))
+		for p := range dirty {
+			ps = append(ps, p)
+		}
+		if _, err := w.Graph.ConvergePrefixes(ps); err != nil {
+			return err
+		}
+	}
+	w.dirty = make(map[netip.Prefix]bool)
+	return nil
+}
+
+// coveringFilter widens an invalid /20 to the /16 that holds its covering
+// ROA, so the SLURM filter removes the VRP that would invalidate it.
+func coveringFilter(p netip.Prefix) netip.Prefix {
+	wide, _ := p.Addr().Prefix(16)
+	return wide
+}
+
+// setOriginated adds or removes p from asn's originated prefixes.
+func (w *World) setOriginated(asn inet.ASN, p netip.Prefix, active bool) {
+	a := w.Graph.AS(asn)
+	idx := -1
+	for i, own := range a.Originated {
+		if own == p {
+			idx = i
+			break
+		}
+	}
+	switch {
+	case active && idx < 0:
+		a.Originated = append(a.Originated, p)
+	case !active && idx >= 0:
+		a.Originated = append(a.Originated[:idx], a.Originated[idx+1:]...)
+	}
+}

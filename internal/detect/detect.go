@@ -1,0 +1,204 @@
+// Package detect implements RoVista's per-pair measurement round (§4.3 and
+// Figure 3 of the paper): probe a vVP's IP-ID counter at a fixed cadence,
+// inject spoofed SYNs toward a tNode mid-round, and classify the resulting
+// IP-ID growth pattern as no filtering, inbound filtering, or outbound
+// filtering using the Appendix-A ARMA/ARIMA spike detector.
+package detect
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/netsec-lab/rovista/internal/netsim"
+	"github.com/netsec-lab/rovista/internal/scan"
+	"github.com/netsec-lab/rovista/internal/tcpsim"
+	"github.com/netsec-lab/rovista/internal/timeseries"
+)
+
+// Outcome classifies one (vVP, tNode) measurement.
+type Outcome uint8
+
+// Outcomes, mirroring Figure 2.
+const (
+	// Inconclusive: the observed pattern fits none of the three cases
+	// (loss, noise, or a broken host).
+	Inconclusive Outcome = iota
+	// NoFiltering: the spoofed burst produced exactly one spike — the vVP's
+	// RSTs reached the tNode and stopped the retransmissions.
+	NoFiltering
+	// InboundFiltering: no spike at all — the tNode's SYN-ACKs never
+	// reached the vVP.
+	InboundFiltering
+	// OutboundFiltering: a spike followed by an RTO-delayed echo — the
+	// vVP's RSTs were filtered on the way to the tNode (the ROV signal).
+	OutboundFiltering
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case NoFiltering:
+		return "no-filtering"
+	case InboundFiltering:
+		return "inbound-filtering"
+	case OutboundFiltering:
+		return "outbound-filtering"
+	default:
+		return "inconclusive"
+	}
+}
+
+// Config tunes the measurement round; zero values take the paper defaults.
+type Config struct {
+	ProbeInterval float64 // seconds between IP-ID probes (0.5)
+	PreProbes     int     // probes before the burst (10)
+	PostProbes    int     // probes after the burst (14 ≈ 7 s, covers the RTO echo)
+	SpoofCount    int     // spoofed SYNs in the burst (10)
+	RTO           float64 // expected tNode retransmission timeout (3 s)
+	Alpha         float64 // detector significance level (0.05)
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 0.5
+	}
+	if c.PreProbes == 0 {
+		c.PreProbes = 10
+	}
+	if c.PostProbes == 0 {
+		c.PostProbes = 14
+	}
+	if c.SpoofCount == 0 {
+		c.SpoofCount = 10
+	}
+	if c.RTO == 0 {
+		c.RTO = 3.0
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.05
+	}
+	return c
+}
+
+// PairResult is the outcome of one measurement round.
+type PairResult struct {
+	VVP     netip.Addr
+	TNode   scan.TNode
+	Outcome Outcome
+	// Usable reflects the Appendix-A FP/FN gate: false when the vVP's
+	// background noise precludes inference (such results are discarded).
+	Usable bool
+	FNRate float64
+	// IDs and Times are the raw observed IP-ID samples.
+	IDs   []uint16
+	Times []float64
+}
+
+// String implements fmt.Stringer.
+func (r PairResult) String() string {
+	return fmt.Sprintf("%v -> %v:%d: %v (usable=%v)", r.VVP, r.TNode.Addr, r.TNode.Port, r.Outcome, r.Usable)
+}
+
+// MeasurePair runs one Figure-3 round from the measurement client against
+// the (vvp, tnode) pair. The client must be able to reach both hosts; its
+// AS must allow source-address spoofing.
+func MeasurePair(net *netsim.Network, client *netsim.Host, vvpAddr netip.Addr, tn scan.TNode, seed int64, cfg Config) PairResult {
+	cfg = cfg.withDefaults()
+	s := netsim.NewSim(net, seed)
+
+	// Each round restarts virtual time, so absolute TCP deadlines from
+	// earlier rounds must not leak in.
+	if h, ok := net.HostAt(tn.Addr); ok {
+		h.TCP.Reset()
+	}
+	if h, ok := net.HostAt(vvpAddr); ok {
+		h.TCP.Reset()
+	}
+
+	res := PairResult{VVP: vvpAddr, TNode: tn}
+	prevHandler := client.Handler
+	client.Handler = func(sim *netsim.Sim, pkt netsim.Packet) bool {
+		if pkt.Kind == tcpsim.RST && pkt.Src == vvpAddr {
+			res.IDs = append(res.IDs, pkt.IPID)
+			res.Times = append(res.Times, sim.Now())
+		}
+		return true
+	}
+	defer func() { client.Handler = prevHandler }()
+
+	total := cfg.PreProbes + cfg.PostProbes
+	for i := 0; i < total; i++ {
+		k := i
+		s.At(float64(k)*cfg.ProbeInterval, func() {
+			s.SendFrom(client, client.Addr, vvpAddr, uint16(47000+k), 443, tcpsim.SYNACK)
+		})
+	}
+	// The spoofed burst fires between the pre and post windows, a quarter
+	// interval after the last pre probe (the paper's 4.5+ε).
+	burstAt := (float64(cfg.PreProbes-1) + 0.5) * cfg.ProbeInterval
+	s.At(burstAt, func() {
+		for j := 0; j < cfg.SpoofCount; j++ {
+			s.SendFrom(client, vvpAddr, tn.Addr, uint16(48000+j), tn.Port, tcpsim.SYN)
+		}
+	})
+	s.Run(float64(total)*cfg.ProbeInterval + cfg.RTO + 5)
+
+	res.classify(cfg)
+	return res
+}
+
+// classify applies the Appendix-A detector and the Figure-2/3 decision
+// rules to the recorded IP-ID samples.
+func (r *PairResult) classify(cfg Config) {
+	if len(r.IDs) != cfg.PreProbes+cfg.PostProbes {
+		// Lost probes (path trouble toward the vVP itself): no inference.
+		r.Outcome = Inconclusive
+		r.Usable = false
+		return
+	}
+	growth := timeseries.GrowthSeries(r.IDs)
+	pre := growth[:cfg.PreProbes-1]
+	post := growth[cfg.PreProbes-1:]
+
+	det := &timeseries.Detector{Alpha: cfg.Alpha, ExpectedSpike: float64(cfg.SpoofCount)}
+	out := det.Detect(pre, post)
+	r.Usable = out.Usable
+	r.FNRate = out.FNRate
+	if !out.Usable {
+		r.Outcome = Inconclusive
+		return
+	}
+
+	// Post-growth index k spans samples (pre-1+k, pre+k); the burst falls
+	// inside index 0, and the RTO echo arrives cfg.RTO later.
+	rtoIdx := int(cfg.RTO/cfg.ProbeInterval + 0.5)
+	injection, echo, stray := false, false, false
+	for _, sp := range out.Spikes {
+		switch {
+		case sp.Index <= 1:
+			injection = true
+		case abs(sp.Index-rtoIdx) <= 1 || abs(sp.Index-rtoIdx-1) <= 1:
+			echo = true
+		default:
+			stray = true
+		}
+	}
+	switch {
+	case injection && echo:
+		r.Outcome = OutboundFiltering
+	case injection && !stray:
+		r.Outcome = NoFiltering
+	case !injection && !echo && !stray:
+		r.Outcome = InboundFiltering
+	default:
+		r.Outcome = Inconclusive
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,76 @@
+// Package experiments regenerates every table and figure from the paper's
+// evaluation (the experiment index lives in DESIGN.md). Each experiment
+// builds a seeded world, runs the relevant pipeline, returns a typed result
+// for programmatic checks, and can render itself as the rows/series the
+// paper reports.
+//
+// Absolute numbers come from simulated Internets a fraction of the real
+// one's size; the shapes — who wins, rough factors, crossovers — are the
+// reproduction targets (see EXPERIMENTS.md for the paper-vs-measured log).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/netsec-lab/rovista/internal/core"
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/topology"
+)
+
+// mediumWorld returns a measurement-friendly world: big enough for
+// distributional figures, small enough that a full RoVista round stays in
+// the seconds range.
+func mediumWorld(seed int64) core.WorldConfig {
+	cfg := core.DefaultWorldConfig(seed)
+	cfg.Topology = topology.Config{
+		Seed:          seed,
+		NumTier1:      6,
+		NumTier2:      24,
+		NumTier3:      90,
+		NumStub:       280,
+		PrefixesPerAS: 1.3,
+		Tier2PeerProb: 0.3,
+		Tier3PeerProb: 0.03,
+		MultihomeProb: 0.45,
+	}
+	cfg.Days = 600
+	cfg.HostsPerAS = 4
+	cfg.InvalidAnnouncements = 10
+	cfg.CoveredInvalidAnnouncements = 2
+	cfg.SharedInvalidAnnouncements = 3
+	return cfg
+}
+
+// smallWorld returns the test-sized world used by longitudinal experiments
+// (many measurement rounds).
+func smallWorld(seed int64) core.WorldConfig {
+	return core.SmallWorldConfig(seed)
+}
+
+func mustWorld(cfg core.WorldConfig) *core.World {
+	w, err := core.BuildWorld(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: building world: %v", err))
+	}
+	return w
+}
+
+func sortedKeys(m map[inet.ASN]float64) []inet.ASN {
+	out := make([]inet.ASN, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func fprintf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}
+
+// percent formats a fraction as a percentage string.
+func percent(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

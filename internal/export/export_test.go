@@ -1,0 +1,128 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/netsec-lab/rovista/internal/core"
+)
+
+func snapshot(t *testing.T) *core.Snapshot {
+	t.Helper()
+	w, err := core.BuildWorld(core.SmallWorldConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AdvanceTo(0); err != nil {
+		t.Fatal(err)
+	}
+	return core.NewRunner(w, core.DefaultRunnerConfig(3)).Measure()
+}
+
+func TestFromSnapshotOrdering(t *testing.T) {
+	d := FromSnapshot(snapshot(t))
+	if len(d.Records) == 0 {
+		t.Fatal("no records")
+	}
+	for i := 1; i < len(d.Records); i++ {
+		a, b := d.Records[i-1], d.Records[i]
+		if a.Score < b.Score || (a.Score == b.Score && a.ASN > b.ASN) {
+			t.Fatalf("ordering violated at %d: %+v then %+v", i, a, b)
+		}
+	}
+	for _, r := range d.Records {
+		if r.TNodesFiltered > r.TNodesMeasured {
+			t.Fatalf("filtered > measured: %+v", r)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := FromSnapshot(snapshot(t))
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rov_protection_score") {
+		t.Fatal("JSON missing field names")
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Day != d.Day || len(back.Records) != len(d.Records) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	for i := range d.Records {
+		if back.Records[i] != d.Records[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, back.Records[i], d.Records[i])
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := FromSnapshot(snapshot(t))
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(d.Records) {
+		t.Fatalf("rows = %d, want %d", len(recs), len(d.Records))
+	}
+	for i := range recs {
+		// Score goes through 2-decimal formatting.
+		if recs[i].ASN != d.Records[i].ASN || recs[i].VVPs != d.Records[i].VVPs {
+			t.Fatalf("row %d differs", i)
+		}
+		diff := recs[i].Score - d.Records[i].Score
+		if diff > 0.01 || diff < -0.01 {
+			t.Fatalf("row %d score drift %v", i, diff)
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Fatal("wrong header accepted")
+	}
+	bad := "asn,rov_protection_score,vvps,tnodes_measured,tnodes_filtered,unanimous\nx,1,2,3,4,true\n"
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Fatal("non-numeric ASN accepted")
+	}
+}
+
+func TestTimelineSeries(t *testing.T) {
+	cfg := core.SmallWorldConfig(4)
+	cfg.Days = 40
+	w, err := core.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRunner(w, core.DefaultRunnerConfig(4))
+	tl, err := r.RunTimeline(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick any scored AS from the last snapshot.
+	last := tl.Snapshots[len(tl.Snapshots)-1]
+	for asn := range last.Reports {
+		pts := TimelineSeries(tl, asn)
+		if len(pts) == 0 {
+			t.Fatalf("no series for %v", asn)
+		}
+		for _, p := range pts {
+			if p.Score < 0 || p.Score > 100 {
+				t.Fatalf("point %+v out of range", p)
+			}
+		}
+		break
+	}
+}

@@ -1,0 +1,214 @@
+// Package groundtruth replays the paper's §6.3 cross-validation against
+// operator-provided information: public deployment announcements (Tables 2
+// and 3), the MANRS operator survey, and crowdsourced lists — including the
+// staleness and error modes the paper encountered (operators who announced
+// ROV and later silently retracted it, and lists that were never updated).
+package groundtruth
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/netsec-lab/rovista/internal/baselines"
+	"github.com/netsec-lab/rovista/internal/core"
+	"github.com/netsec-lab/rovista/internal/inet"
+)
+
+// Claim is one operator's public statement about their ROV deployment.
+type Claim struct {
+	ASN       inet.ASN
+	ClaimsROV bool
+	// Source mimics the provenance buckets in the paper's Table 2.
+	Source string
+	// Stale marks claims the generator knows to be outdated (e.g. the AS
+	// rolled ROV back after announcing it — the BIT story).
+	Stale bool
+}
+
+// BuildAnnouncements samples public ROV announcements from the world's
+// ground truth as of the given day: nPos ASes claiming deployment (some of
+// which rolled back — those claims are stale) and nNeg claiming none.
+func BuildAnnouncements(w *core.World, day, nPos, nNeg int, seed int64) []Claim {
+	rng := rand.New(rand.NewSource(seed))
+	var deployers, rolledBack, nevers []inet.ASN
+	for _, asn := range sortedASNs(w) {
+		tr := w.Truth[asn]
+		switch {
+		case tr.DeployDay >= 0 && tr.RollbackDay > 0 && day >= tr.RollbackDay:
+			rolledBack = append(rolledBack, asn)
+		case tr.DeployedAt(day) && tr.Kind == "full":
+			// Public announcements come from operators running the real
+			// thing; partial modes rarely get announced (and the paper's
+			// Table 2 claimants are full deployments).
+			deployers = append(deployers, asn)
+		case tr.DeployDay < 0:
+			nevers = append(nevers, asn)
+		}
+	}
+	rng.Shuffle(len(deployers), func(i, j int) { deployers[i], deployers[j] = deployers[j], deployers[i] })
+	rng.Shuffle(len(nevers), func(i, j int) { nevers[i], nevers[j] = nevers[j], nevers[i] })
+	// Negative claims come from operators who demonstrably have no
+	// protection at all (the paper's two non-deployers measured 0%);
+	// never-deployers shielded by filtering providers would make the claim
+	// unverifiable rather than wrong.
+	var unprotected []inet.ASN
+	for _, asn := range nevers {
+		all := true
+		for _, inv := range w.Invalids {
+			if inv.Shared || !inv.ActiveAt(day) {
+				continue
+			}
+			if !w.Graph.Reachable(asn, inet.NthAddr(inv.Prefix, 20)) {
+				all = false
+				break
+			}
+		}
+		if all {
+			unprotected = append(unprotected, asn)
+		}
+	}
+	if len(unprotected) >= nNeg {
+		nevers = unprotected
+	}
+
+	var claims []Claim
+	// Stale positive claims first: every rolled-back AS once announced ROV.
+	for _, asn := range rolledBack {
+		if len(claims) >= nPos {
+			break
+		}
+		claims = append(claims, Claim{ASN: asn, ClaimsROV: true, Source: "announcement", Stale: true})
+	}
+	for _, asn := range deployers {
+		if len(claims) >= nPos {
+			break
+		}
+		claims = append(claims, Claim{ASN: asn, ClaimsROV: true, Source: "announcement"})
+	}
+	for i := 0; i < nNeg && i < len(nevers); i++ {
+		claims = append(claims, Claim{ASN: nevers[i], ClaimsROV: false, Source: "announcement"})
+	}
+	return claims
+}
+
+// Comparison joins a claim with a RoVista score.
+type Comparison struct {
+	Claim
+	Score      float64
+	HasScore   bool
+	Consistent bool
+}
+
+// Compare checks claims against measured scores using the paper's reading:
+// a deployment claim is consistent with a score ≥ 90%, a non-deployment
+// claim with a score of 0%.
+func Compare(claims []Claim, scores map[inet.ASN]float64) []Comparison {
+	out := make([]Comparison, 0, len(claims))
+	for _, c := range claims {
+		cmp := Comparison{Claim: c}
+		if s, ok := scores[c.ASN]; ok {
+			cmp.Score, cmp.HasScore = s, true
+			if c.ClaimsROV {
+				cmp.Consistent = s >= 90
+			} else {
+				cmp.Consistent = s == 0
+			}
+		}
+		out = append(out, cmp)
+	}
+	return out
+}
+
+// SurveyAnswer is a MANRS-style survey response.
+type SurveyAnswer string
+
+// Survey answers.
+const (
+	AnswerDeployed    SurveyAnswer = "deployed"
+	AnswerNotDeployed SurveyAnswer = "not-deployed"
+	AnswerUncertain   SurveyAnswer = "uncertain"
+)
+
+// SurveyResponse is one operator's reply.
+type SurveyResponse struct {
+	ASN    inet.ASN
+	Answer SurveyAnswer
+}
+
+// SimulateSurvey samples n operators; most answer truthfully, a fraction is
+// uncertain about their own deployment (as in §6.3.2, where 4 of 31
+// respondents did not know).
+func SimulateSurvey(w *core.World, day, n int, uncertainFrac float64, seed int64) []SurveyResponse {
+	rng := rand.New(rand.NewSource(seed))
+	asns := sortedASNs(w)
+	rng.Shuffle(len(asns), func(i, j int) { asns[i], asns[j] = asns[j], asns[i] })
+	var out []SurveyResponse
+	for _, asn := range asns {
+		if len(out) >= n {
+			break
+		}
+		r := SurveyResponse{ASN: asn}
+		switch {
+		case rng.Float64() < uncertainFrac:
+			r.Answer = AnswerUncertain
+		case w.Truth[asn].DeployedAt(day):
+			r.Answer = AnswerDeployed
+		default:
+			r.Answer = AnswerNotDeployed
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// BuildCrowdsourcedList generates a Cloudflare-style community list as of
+// `day`, compiled with a reporting lag and a label-error rate: entries
+// reflect each AS's policy `lagDays` ago, and errFrac of labels are wrong —
+// the two failure modes (§8) behind the list's disagreement with RoVista.
+func BuildCrowdsourcedList(w *core.World, day, lagDays int, errFrac float64, n int, seed int64) []baselines.CrowdEntry {
+	rng := rand.New(rand.NewSource(seed))
+	asns := sortedASNs(w)
+	rng.Shuffle(len(asns), func(i, j int) { asns[i], asns[j] = asns[j], asns[i] })
+	asOf := day - lagDays
+	if asOf < 0 {
+		asOf = 0
+	}
+	var out []baselines.CrowdEntry
+	for _, asn := range asns {
+		if len(out) >= n {
+			break
+		}
+		tr := w.Truth[asn]
+		var label baselines.CrowdLabel
+		switch {
+		case tr.DeployedAt(asOf) && tr.Kind == "full":
+			label = baselines.LabelSafe
+		case tr.DeployedAt(asOf):
+			label = baselines.LabelPartiallySafe
+		default:
+			label = baselines.LabelUnsafe
+		}
+		if rng.Float64() < errFrac {
+			label = wrongLabel(label, rng)
+		}
+		out = append(out, baselines.CrowdEntry{ASN: asn, Label: label})
+	}
+	baselines.SortEntries(out)
+	return out
+}
+
+func wrongLabel(l baselines.CrowdLabel, rng *rand.Rand) baselines.CrowdLabel {
+	options := []baselines.CrowdLabel{baselines.LabelSafe, baselines.LabelPartiallySafe, baselines.LabelUnsafe}
+	for {
+		o := options[rng.Intn(len(options))]
+		if o != l {
+			return o
+		}
+	}
+}
+
+func sortedASNs(w *core.World) []inet.ASN {
+	out := append([]inet.ASN(nil), w.Topo.ASNs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

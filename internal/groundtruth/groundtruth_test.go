@@ -1,0 +1,164 @@
+package groundtruth
+
+import (
+	"testing"
+
+	"github.com/netsec-lab/rovista/internal/baselines"
+	"github.com/netsec-lab/rovista/internal/core"
+	"github.com/netsec-lab/rovista/internal/inet"
+)
+
+func smallWorld(t *testing.T, seed int64) *core.World {
+	t.Helper()
+	cfg := core.SmallWorldConfig(seed)
+	cfg.RollbackFrac = 0.3 // ensure stale claims exist
+	w, err := core.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AdvanceTo(cfg.Days); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestBuildAnnouncements(t *testing.T) {
+	w := smallWorld(t, 1)
+	claims := BuildAnnouncements(w, w.Cfg.Days, 10, 2, 1)
+	pos, neg, stale := 0, 0, 0
+	for _, c := range claims {
+		if c.ClaimsROV {
+			pos++
+			if c.Stale {
+				stale++
+				// Stale positive claims must belong to rolled-back ASes.
+				tr := w.Truth[c.ASN]
+				if tr.RollbackDay == 0 || tr.DeployDay < 0 {
+					t.Fatalf("stale claim for non-rolled-back %v", c.ASN)
+				}
+			} else if !w.Truth[c.ASN].DeployedAt(w.Cfg.Days) {
+				t.Fatalf("fresh claim for non-deployer %v", c.ASN)
+			}
+		} else {
+			neg++
+			if w.Truth[c.ASN].DeployDay >= 0 {
+				t.Fatalf("negative claim for deployer %v", c.ASN)
+			}
+		}
+	}
+	if pos == 0 || neg != 2 {
+		t.Fatalf("pos=%d neg=%d", pos, neg)
+	}
+	if stale == 0 {
+		t.Fatal("expected at least one stale claim with RollbackFrac=0.3")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	claims := []Claim{
+		{ASN: 1, ClaimsROV: true},
+		{ASN: 2, ClaimsROV: true, Stale: true},
+		{ASN: 3, ClaimsROV: false},
+		{ASN: 4, ClaimsROV: true}, // unscored
+	}
+	scores := map[inet.ASN]float64{1: 100, 2: 0, 3: 0}
+	out := Compare(claims, scores)
+	if !out[0].Consistent {
+		t.Fatal("100% scorer claiming ROV should be consistent")
+	}
+	if out[1].Consistent {
+		t.Fatal("stale claim with 0% score must be inconsistent")
+	}
+	if !out[2].Consistent {
+		t.Fatal("non-claimer at 0% should be consistent")
+	}
+	if out[3].HasScore || out[3].Consistent {
+		t.Fatal("unscored claim must not be marked consistent")
+	}
+}
+
+func TestSimulateSurvey(t *testing.T) {
+	w := smallWorld(t, 2)
+	resp := SimulateSurvey(w, w.Cfg.Days, 30, 0.15, 2)
+	if len(resp) != 30 {
+		t.Fatalf("responses = %d", len(resp))
+	}
+	uncertain := 0
+	for _, r := range resp {
+		switch r.Answer {
+		case AnswerUncertain:
+			uncertain++
+		case AnswerDeployed:
+			if !w.Truth[r.ASN].DeployedAt(w.Cfg.Days) {
+				t.Fatalf("%v lied about deploying", r.ASN)
+			}
+		case AnswerNotDeployed:
+			if w.Truth[r.ASN].DeployedAt(w.Cfg.Days) {
+				t.Fatalf("%v lied about not deploying", r.ASN)
+			}
+		}
+	}
+	if uncertain == 0 || uncertain == 30 {
+		t.Fatalf("uncertain = %d, want some but not all", uncertain)
+	}
+}
+
+func TestBuildCrowdsourcedList(t *testing.T) {
+	w := smallWorld(t, 3)
+	list := BuildCrowdsourcedList(w, w.Cfg.Days, 0, 0, 40, 3)
+	if len(list) != 40 {
+		t.Fatalf("entries = %d", len(list))
+	}
+	for _, e := range list {
+		tr := w.Truth[e.ASN]
+		switch e.Label {
+		case baselines.LabelSafe:
+			if !(tr.DeployedAt(w.Cfg.Days) && tr.Kind == "full") {
+				t.Fatalf("%v mislabelled safe (%+v)", e.ASN, tr)
+			}
+		case baselines.LabelUnsafe:
+			if tr.DeployedAt(w.Cfg.Days) {
+				t.Fatalf("%v mislabelled unsafe", e.ASN)
+			}
+		}
+	}
+	// Sorted by ASN.
+	for i := 1; i < len(list); i++ {
+		if list[i].ASN < list[i-1].ASN {
+			t.Fatal("list not sorted")
+		}
+	}
+}
+
+func TestBuildCrowdsourcedListLag(t *testing.T) {
+	w := smallWorld(t, 4)
+	// With a lag covering the whole timeline, labels reflect day 0.
+	lagged := BuildCrowdsourcedList(w, w.Cfg.Days, w.Cfg.Days, 0, 60, 4)
+	mismatches := 0
+	for _, e := range lagged {
+		tr := w.Truth[e.ASN]
+		nowDeployed := tr.DeployedAt(w.Cfg.Days)
+		labelSaysDeployed := e.Label != baselines.LabelUnsafe
+		if nowDeployed != labelSaysDeployed {
+			mismatches++
+		}
+	}
+	if mismatches == 0 {
+		t.Fatal("a maximally lagged list should disagree with current truth somewhere")
+	}
+}
+
+func TestBuildCrowdsourcedListErrors(t *testing.T) {
+	w := smallWorld(t, 5)
+	clean := BuildCrowdsourcedList(w, w.Cfg.Days, 0, 0, 50, 5)
+	noisy := BuildCrowdsourcedList(w, w.Cfg.Days, 0, 0.5, 50, 5)
+	diff := 0
+	for i := range clean {
+		if clean[i].ASN == noisy[i].ASN && clean[i].Label != noisy[i].Label {
+			diff++
+		}
+	}
+	if diff < 10 {
+		t.Fatalf("error injection changed only %d labels", diff)
+	}
+}

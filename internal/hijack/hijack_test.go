@@ -1,0 +1,160 @@
+package hijack
+
+import (
+	"testing"
+
+	"github.com/netsec-lab/rovista/internal/core"
+	"github.com/netsec-lab/rovista/internal/inet"
+)
+
+func world(t *testing.T, seed int64) *core.World {
+	t.Helper()
+	w, err := core.BuildWorld(core.SmallWorldConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AdvanceTo(0); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestGenerate(t *testing.T) {
+	w := world(t, 1)
+	evs := Generate(w, 50, 1)
+	if len(evs) < 40 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	subs := 0
+	for _, e := range evs {
+		if e.Victim == e.Attacker {
+			t.Fatal("self-hijack generated")
+		}
+		if e.SubPrefix {
+			subs++
+			if e.Prefix.Bits() != 24 {
+				t.Fatalf("sub-prefix hijack bits = %d", e.Prefix.Bits())
+			}
+			vp := w.Topo.Info[e.Victim].Prefixes[0]
+			if !vp.Contains(e.Prefix.Addr()) {
+				t.Fatalf("sub-prefix %v outside victim space %v", e.Prefix, vp)
+			}
+		} else if e.Prefix != w.Topo.Info[e.Victim].Prefixes[0] {
+			t.Fatalf("exact hijack prefix mismatch")
+		}
+	}
+	if subs == 0 || subs == len(evs) {
+		t.Fatalf("sub-prefix mix = %d/%d", subs, len(evs))
+	}
+}
+
+func TestAnalyzeRestoresRouting(t *testing.T) {
+	w := world(t, 2)
+	evs := Generate(w, 10, 2)
+
+	before := map[inet.ASN]int{}
+	for _, asn := range w.Topo.ASNs {
+		before[asn] = len(w.Graph.AS(asn).Routes())
+	}
+	Analyze(w, map[inet.ASN]float64{}, evs)
+	for _, asn := range w.Topo.ASNs {
+		if got := len(w.Graph.AS(asn).Routes()); got != before[asn] {
+			t.Fatalf("AS %v route count changed %d -> %d", asn, before[asn], got)
+		}
+	}
+	// Attackers must not keep originating hijacked prefixes.
+	for _, ev := range evs {
+		for _, p := range w.Graph.AS(ev.Attacker).Originated {
+			if p == ev.Prefix && !ownsPrefix(w, ev.Attacker, ev.Prefix) {
+				t.Fatalf("hijack origination leaked: %v still announces %v", ev.Attacker, ev.Prefix)
+			}
+		}
+	}
+}
+
+func ownsPrefix(w *core.World, asn inet.ASN, p interface{ String() string }) bool {
+	for _, own := range w.Topo.Info[asn].Prefixes {
+		if own.String() == p.String() {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAnalyzeCoverageAndSpread(t *testing.T) {
+	w := world(t, 3)
+	evs := Generate(w, 40, 3)
+	reports := Analyze(w, map[inet.ASN]float64{}, evs)
+	if len(reports) != len(evs) {
+		t.Fatalf("reports = %d, want %d", len(reports), len(evs))
+	}
+	covered, spread := 0, 0
+	for _, r := range reports {
+		if r.RPKICovered {
+			covered++
+		}
+		if r.SpreadASes > 0 {
+			spread++
+		}
+	}
+	if covered == 0 || covered == len(reports) {
+		t.Fatalf("coverage mix = %d/%d", covered, len(reports))
+	}
+	if spread == 0 {
+		t.Fatal("no hijack spread at all")
+	}
+}
+
+func TestROVContainsCoveredHijacks(t *testing.T) {
+	w := world(t, 4)
+	evs := Generate(w, 60, 4)
+	reports := Analyze(w, map[inet.ASN]float64{}, evs)
+	var covSpread, uncovSpread, nCov, nUncov float64
+	for _, r := range reports {
+		if r.SpreadASes == 0 {
+			continue
+		}
+		if r.RPKICovered {
+			covSpread += float64(r.SpreadASes)
+			nCov++
+		} else {
+			uncovSpread += float64(r.SpreadASes)
+			nUncov++
+		}
+	}
+	if nCov == 0 || nUncov == 0 {
+		t.Skip("seed lacks both covered and uncovered spreading hijacks")
+	}
+	// ROV-covered hijacks must spread less on average: the filtering core
+	// contains them.
+	if covSpread/nCov >= uncovSpread/nUncov {
+		t.Fatalf("covered hijacks spread %.1f vs uncovered %.1f; ROV has no effect?",
+			covSpread/nCov, uncovSpread/nUncov)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	reports := []Report{
+		{RPKICovered: true, SpreadASes: 2, AllScored: true},
+		{RPKICovered: true, SpreadASes: 4, HighScoreOnPath: true},
+		{RPKICovered: false, SpreadASes: 10, HighScoreOnPath: true},
+		{RPKICovered: false, SpreadASes: 20},
+	}
+	s := Summarize(reports)
+	if s.Total != 4 || s.RPKICovered != 2 {
+		t.Fatalf("s = %+v", s)
+	}
+	if s.CoveredAllScored != 1 || s.CoveredHighScore != 1 || s.UncoveredHighScore != 1 {
+		t.Fatalf("s = %+v", s)
+	}
+	if s.MeanSpreadCovered != 3 || s.MeanSpreadUncovered != 15 {
+		t.Fatalf("spreads = %v %v", s.MeanSpreadCovered, s.MeanSpreadUncovered)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Total != 0 || s.MeanSpreadCovered != 0 {
+		t.Fatalf("s = %+v", s)
+	}
+}

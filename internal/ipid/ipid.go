@@ -1,0 +1,114 @@
+// Package ipid models how operating systems assign the 16-bit IPv4
+// Identification field. RoVista's side channel depends on hosts that use a
+// single *global* counter incremented once per transmitted packet (early
+// Windows, FreeBSD); this package also models the per-destination ("local"),
+// random and constant assignment policies so the vVP qualification scan has
+// realistic negatives to reject.
+package ipid
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+)
+
+// Policy enumerates IP-ID assignment behaviours.
+type Policy uint8
+
+const (
+	// Global increments one shared counter for every packet sent,
+	// regardless of destination — the side channel RoVista exploits.
+	Global Policy = iota
+	// PerDestination keeps an independent counter per destination address
+	// ("local" counter); indistinguishable from Global when probed from a
+	// single source, which is why the qualification scan uses spoofing.
+	PerDestination
+	// Random draws each IP-ID uniformly at random.
+	Random
+	// Constant always emits zero (common for DF-bit senders).
+	Constant
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Global:
+		return "global"
+	case PerDestination:
+		return "per-destination"
+	case Random:
+		return "random"
+	case Constant:
+		return "constant"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// Counter assigns IP-ID values under a given policy. Counters are not safe
+// for concurrent use; the simulator serializes packet emission per host.
+type Counter struct {
+	policy  Policy
+	global  uint16
+	perDest map[netip.Addr]uint16
+	rng     *rand.Rand
+}
+
+// NewCounter creates a Counter with the given policy. The seed feeds both
+// the initial counter offset and the Random policy's generator so whole
+// simulations stay reproducible.
+func NewCounter(policy Policy, seed int64) *Counter {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Counter{
+		policy: policy,
+		global: uint16(rng.Intn(1 << 16)),
+		rng:    rng,
+	}
+	if policy == PerDestination {
+		c.perDest = make(map[netip.Addr]uint16)
+	}
+	return c
+}
+
+// Policy returns the counter's assignment policy.
+func (c *Counter) Policy() Policy { return c.policy }
+
+// Next returns the IP-ID for the next packet sent to dst and advances the
+// internal state. Wraparound is the natural uint16 overflow.
+func (c *Counter) Next(dst netip.Addr) uint16 {
+	switch c.policy {
+	case Global:
+		c.global++
+		return c.global
+	case PerDestination:
+		v := c.perDest[dst] + 1
+		if _, ok := c.perDest[dst]; !ok {
+			v = uint16(c.rng.Intn(1 << 16))
+		}
+		c.perDest[dst] = v
+		return v
+	case Random:
+		return uint16(c.rng.Intn(1 << 16))
+	default: // Constant
+		return 0
+	}
+}
+
+// Peek returns the value the global counter currently holds without
+// advancing it. Only meaningful for the Global policy; other policies
+// return zero.
+func (c *Counter) Peek() uint16 {
+	if c.policy == Global {
+		return c.global
+	}
+	return 0
+}
+
+// Advance bumps the global counter by n packets' worth of background
+// traffic in one step (used by the simulator to account for traffic to
+// destinations outside the measurement).
+func (c *Counter) Advance(n int) {
+	if c.policy == Global {
+		c.global += uint16(n)
+	}
+}

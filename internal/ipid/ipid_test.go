@@ -1,0 +1,145 @@
+package ipid
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	dstA = netip.MustParseAddr("192.0.2.1")
+	dstB = netip.MustParseAddr("198.51.100.7")
+)
+
+func TestGlobalCounterMonotone(t *testing.T) {
+	c := NewCounter(Global, 1)
+	prev := c.Next(dstA)
+	for i := 0; i < 100; i++ {
+		dst := dstA
+		if i%2 == 1 {
+			dst = dstB
+		}
+		cur := c.Next(dst)
+		if cur-prev != 1 {
+			t.Fatalf("global counter step = %d, want 1", cur-prev)
+		}
+		prev = cur
+	}
+}
+
+func TestGlobalCounterWraparound(t *testing.T) {
+	c := NewCounter(Global, 1)
+	c.global = 0xFFFE
+	if v := c.Next(dstA); v != 0xFFFF {
+		t.Fatalf("got %#x, want 0xFFFF", v)
+	}
+	if v := c.Next(dstA); v != 0 {
+		t.Fatalf("got %#x after wrap, want 0", v)
+	}
+}
+
+func TestPerDestinationIndependence(t *testing.T) {
+	c := NewCounter(PerDestination, 2)
+	a1 := c.Next(dstA)
+	b1 := c.Next(dstB)
+	a2 := c.Next(dstA)
+	b2 := c.Next(dstB)
+	if a2-a1 != 1 {
+		t.Fatalf("per-dest A step = %d, want 1", a2-a1)
+	}
+	if b2-b1 != 1 {
+		t.Fatalf("per-dest B step = %d, want 1", b2-b1)
+	}
+	// Interleaved traffic to B must not advance A's counter: sending many
+	// packets to B then one to A still yields a single step on A.
+	for i := 0; i < 50; i++ {
+		c.Next(dstB)
+	}
+	a3 := c.Next(dstA)
+	if a3-a2 != 1 {
+		t.Fatalf("cross-destination leakage: step = %d", a3-a2)
+	}
+}
+
+func TestRandomPolicyNotSequential(t *testing.T) {
+	c := NewCounter(Random, 3)
+	sequential := 0
+	prev := c.Next(dstA)
+	for i := 0; i < 200; i++ {
+		cur := c.Next(dstA)
+		if cur-prev == 1 {
+			sequential++
+		}
+		prev = cur
+	}
+	if sequential > 5 {
+		t.Fatalf("random policy produced %d sequential steps", sequential)
+	}
+}
+
+func TestConstantPolicy(t *testing.T) {
+	c := NewCounter(Constant, 4)
+	for i := 0; i < 10; i++ {
+		if v := c.Next(dstA); v != 0 {
+			t.Fatalf("constant policy emitted %d", v)
+		}
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := NewCounter(Global, 5)
+	before := c.Peek()
+	c.Advance(37)
+	if c.Peek()-before != 37 {
+		t.Fatalf("Advance moved counter by %d, want 37", c.Peek()-before)
+	}
+	// Advance is a no-op for non-global counters.
+	r := NewCounter(Random, 5)
+	r.Advance(10)
+	if r.Peek() != 0 {
+		t.Fatal("Peek on non-global counter should be 0")
+	}
+}
+
+func TestDeterministicSeeding(t *testing.T) {
+	a := NewCounter(Global, 42)
+	b := NewCounter(Global, 42)
+	for i := 0; i < 20; i++ {
+		if a.Next(dstA) != b.Next(dstA) {
+			t.Fatal("same seed must produce identical sequences")
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	cases := map[Policy]string{
+		Global: "global", PerDestination: "per-destination",
+		Random: "random", Constant: "constant", Policy(9): "Policy(9)",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+// Property: under Global policy, after n sends the counter has advanced by
+// exactly n mod 2^16 regardless of destination mix.
+func TestGlobalAdvanceProperty(t *testing.T) {
+	f := func(seed int64, nSmall uint8) bool {
+		n := int(nSmall)
+		c := NewCounter(Global, seed)
+		start := c.Peek()
+		for i := 0; i < n; i++ {
+			if i%3 == 0 {
+				c.Next(dstB)
+			} else {
+				c.Next(dstA)
+			}
+		}
+		return c.Peek()-start == uint16(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

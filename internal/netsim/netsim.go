@@ -1,0 +1,260 @@
+// Package netsim is the packet-level substrate beneath RoVista's
+// measurements: a deterministic discrete-event simulator that forwards TCP
+// segments across the AS-level data plane computed by internal/bgp, applies
+// per-AS ingress/egress packet filters, models propagation delay and loss,
+// drives each host's TCP automaton (internal/tcpsim), and charges every
+// transmitted packet against the host's IP-ID counter (internal/ipid) —
+// including lazily-sampled Poisson background traffic, which is what the
+// side channel ultimately observes.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"github.com/netsec-lab/rovista/internal/bgp"
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/ipid"
+	"github.com/netsec-lab/rovista/internal/tcpsim"
+)
+
+// Packet is one TCP/IPv4 segment on the simulated wire.
+type Packet struct {
+	Src, Dst         netip.Addr
+	SrcPort, DstPort uint16
+	Kind             tcpsim.Kind
+	IPID             uint16
+}
+
+// String implements fmt.Stringer.
+func (p Packet) String() string {
+	return fmt.Sprintf("%v:%d > %v:%d %v id=%d", p.Src, p.SrcPort, p.Dst, p.DstPort, p.Kind, p.IPID)
+}
+
+// PacketHandler lets a host intercept inbound packets (measurement clients
+// record replies this way). Returning true consumes the packet; false hands
+// it to the default TCP automaton.
+type PacketHandler func(s *Sim, pkt Packet) bool
+
+// Host is one end host attached to an AS.
+type Host struct {
+	Addr netip.Addr
+	ASN  inet.ASN
+
+	// TCP is the host's endpoint automaton.
+	TCP *tcpsim.Endpoint
+	// IPID assigns the IP identification field of transmitted packets.
+	IPID *ipid.Counter
+
+	// BackgroundRate is the host's mean background transmission rate in
+	// packets/second; it advances a Global IP-ID counter between
+	// observations (sampled as a Poisson process).
+	BackgroundRate float64
+	// BackgroundFn, when set, makes the rate time-varying (used to exercise
+	// the nonstationary/ARIMA detection path). It overrides BackgroundRate.
+	BackgroundFn func(t float64) float64
+
+	// Handler optionally intercepts inbound packets.
+	Handler PacketHandler
+
+	lastBG float64
+	rng    *rand.Rand
+}
+
+// NewHost builds a host with a compliant TCP endpoint listening on ports.
+func NewHost(addr netip.Addr, asn inet.ASN, policy ipid.Policy, seed int64, ports ...uint16) *Host {
+	return &Host{
+		Addr: addr,
+		ASN:  asn,
+		TCP:  tcpsim.New(tcpsim.DefaultConfig(ports...)),
+		IPID: ipid.NewCounter(policy, seed),
+		rng:  rand.New(rand.NewSource(seed ^ 0x5eed)),
+	}
+}
+
+// advanceBackground charges background traffic accumulated since the last
+// transmission against the global counter.
+func (h *Host) advanceBackground(now float64) {
+	if now < h.lastBG {
+		// A fresh simulation restarted virtual time: begin a new background
+		// epoch rather than freezing until the old timestamp is passed.
+		h.lastBG = now
+		return
+	}
+	if now == h.lastBG {
+		return
+	}
+	rate := h.BackgroundRate
+	if h.BackgroundFn != nil {
+		// Midpoint rate over the interval approximates the time-varying
+		// intensity well at our sub-second sampling.
+		rate = h.BackgroundFn((h.lastBG + now) / 2)
+	}
+	if rate > 0 {
+		lambda := rate * (now - h.lastBG)
+		h.IPID.Advance(poisson(h.rng, lambda))
+	}
+	h.lastBG = now
+}
+
+// poisson samples a Poisson variate; for large λ it falls back to a normal
+// approximation (λ here is at most a few hundred).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 200 {
+		v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// FilterFunc drops a packet when it returns true.
+type FilterFunc func(pkt Packet) bool
+
+// Network is the static wiring: the routed AS graph, attached hosts, and
+// per-AS packet filters.
+type Network struct {
+	Graph *bgp.Graph
+	hosts map[netip.Addr]*Host
+
+	// EgressFilter drops packets as they leave their source AS (e.g. BCP38
+	// anti-spoofing, or the tNode-side egress filtering behind the paper's
+	// "inbound filtering" case).
+	EgressFilter map[inet.ASN]FilterFunc
+	// IngressFilter drops packets as they arrive at the destination AS.
+	IngressFilter map[inet.ASN]FilterFunc
+
+	// BaseDelay and PerHopDelay define propagation latency in seconds.
+	BaseDelay   float64
+	PerHopDelay float64
+	// Jitter adds U(0, Jitter) seconds to each packet's delay; packets sent
+	// close together can therefore arrive out of order — the §4.2 concern
+	// behind the scanner's one-second probe spacing.
+	Jitter float64
+	// LossRate is an independent per-packet drop probability.
+	LossRate float64
+}
+
+// NewNetwork wraps a converged BGP graph.
+func NewNetwork(g *bgp.Graph) *Network {
+	return &Network{
+		Graph:         g,
+		hosts:         make(map[netip.Addr]*Host),
+		EgressFilter:  make(map[inet.ASN]FilterFunc),
+		IngressFilter: make(map[inet.ASN]FilterFunc),
+		BaseDelay:     0.005,
+		PerHopDelay:   0.008,
+	}
+}
+
+// AddHost attaches a host. It panics on duplicate addresses — always a bug
+// in world construction.
+func (n *Network) AddHost(h *Host) {
+	if _, dup := n.hosts[h.Addr]; dup {
+		panic(fmt.Sprintf("netsim: duplicate host %v", h.Addr))
+	}
+	n.hosts[h.Addr] = h
+}
+
+// HostAt returns the host bound to addr, if any.
+func (n *Network) HostAt(addr netip.Addr) (*Host, bool) {
+	h, ok := n.hosts[addr]
+	return h, ok
+}
+
+// Hosts returns the number of attached hosts.
+func (n *Network) Hosts() int { return len(n.hosts) }
+
+// AllAddrs returns every attached host address in ascending order — the
+// scanner's stand-in for sweeping the IPv4 space with ZMap (unattached
+// addresses would never answer, so enumerating them adds nothing).
+func (n *Network) AllAddrs() []netip.Addr {
+	out := make([]netip.Addr, 0, len(n.hosts))
+	for a := range n.hosts {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// AddrsIn returns attached host addresses inside p, ascending.
+func (n *Network) AddrsIn(p netip.Prefix) []netip.Addr {
+	var out []netip.Addr
+	for a := range n.hosts {
+		if p.Contains(a) {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// DropReason explains why a packet did not arrive.
+type DropReason string
+
+// Drop reasons surfaced in traces.
+const (
+	DropNone    DropReason = ""
+	DropEgress  DropReason = "egress-filter"
+	DropNoRoute DropReason = "no-route"
+	DropWrongAS DropReason = "delivered-to-wrong-as"
+	DropNoHost  DropReason = "no-such-host"
+	DropIngress DropReason = "ingress-filter"
+	DropLoss    DropReason = "random-loss"
+	DropSrcGone DropReason = "source-as-missing"
+)
+
+// Trace routes pkt from srcASN and reports the traversed AS path, the
+// destination host when delivery succeeds, and the drop reason otherwise.
+// This is the primitive beneath both packet delivery and the traceroute
+// implementation in internal/trace.
+func (n *Network) Trace(srcASN inet.ASN, pkt Packet) (path []inet.ASN, dst *Host, reason DropReason) {
+	if n.Graph.AS(srcASN) == nil {
+		return nil, nil, DropSrcGone
+	}
+	if f := n.EgressFilter[srcASN]; f != nil && f(pkt) {
+		return nil, nil, DropEgress
+	}
+	path, delivered := n.Graph.DataPath(srcASN, pkt.Dst)
+	if !delivered {
+		return path, nil, DropNoRoute
+	}
+	h, ok := n.hosts[pkt.Dst]
+	if !ok {
+		return path, nil, DropNoHost
+	}
+	if path[len(path)-1] != h.ASN {
+		// The data plane delivered the packet into an AS that originates a
+		// covering prefix, but the host lives elsewhere (hijacked traffic).
+		return path, nil, DropWrongAS
+	}
+	if f := n.IngressFilter[h.ASN]; f != nil && f(pkt) {
+		return path, nil, DropIngress
+	}
+	return path, h, DropNone
+}
+
+// route decides the fate of a packet sent from srcASN toward pkt.Dst.
+func (n *Network) route(srcASN inet.ASN, pkt Packet) (delay float64, dst *Host, reason DropReason) {
+	path, h, reason := n.Trace(srcASN, pkt)
+	if reason != DropNone {
+		return 0, nil, reason
+	}
+	return n.BaseDelay + n.PerHopDelay*float64(len(path)), h, DropNone
+}

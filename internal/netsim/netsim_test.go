@@ -1,0 +1,392 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/netsec-lab/rovista/internal/bgp"
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/ipid"
+	"github.com/netsec-lab/rovista/internal/tcpsim"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func ip(s string) netip.Addr    { return netip.MustParseAddr(s) }
+
+// threeASWorld: AS 1 (client) — AS 2 (vVP) — AS 3 (tNode), all connected
+// through provider AS 10.
+func threeASWorld(t *testing.T) (*Network, *Host, *Host, *Host) {
+	t.Helper()
+	g := bgp.NewGraph()
+	g.Link(10, 1, bgp.Customer)
+	g.Link(10, 2, bgp.Customer)
+	g.Link(10, 3, bgp.Customer)
+	g.AS(1).Originated = []netip.Prefix{pfx("10.1.0.0/16")}
+	g.AS(2).Originated = []netip.Prefix{pfx("10.2.0.0/16")}
+	g.AS(3).Originated = []netip.Prefix{pfx("10.3.0.0/16")}
+	if _, err := g.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNetwork(g)
+	client := NewHost(ip("10.1.0.1"), 1, ipid.Global, 1)
+	vvp := NewHost(ip("10.2.0.1"), 2, ipid.Global, 2)
+	tnode := NewHost(ip("10.3.0.1"), 3, ipid.Global, 3, 443)
+	n.AddHost(client)
+	n.AddHost(vvp)
+	n.AddHost(tnode)
+	return n, client, vvp, tnode
+}
+
+func TestSynSynAckRstExchange(t *testing.T) {
+	n, client, _, tnode := threeASWorld(t)
+	s := NewSim(n, 7)
+
+	var got []Packet
+	client.Handler = func(_ *Sim, pkt Packet) bool {
+		got = append(got, pkt)
+		return false // fall through: default automaton RSTs the SYN-ACK
+	}
+	// Client sends a real (unspoofed) SYN to the tNode's open port.
+	s.At(0, func() { s.SendFrom(client, client.Addr, tnode.Addr, 40000, 443, tcpsim.SYN) })
+	s.Run(30)
+
+	if len(got) != 1 {
+		t.Fatalf("client received %d packets, want 1 SYN-ACK", len(got))
+	}
+	if got[0].Kind != tcpsim.SYNACK || got[0].Src != tnode.Addr {
+		t.Fatalf("got %+v", got[0])
+	}
+	// The client's automatic RST must have cancelled the tNode's RTO: no
+	// retransmissions pending.
+	if tnode.TCP.PendingCount() != 0 {
+		t.Fatal("tNode still has pending retransmission after RST")
+	}
+}
+
+func TestClosedPortRst(t *testing.T) {
+	n, client, _, tnode := threeASWorld(t)
+	s := NewSim(n, 7)
+	var got []Packet
+	client.Handler = func(_ *Sim, pkt Packet) bool { got = append(got, pkt); return true }
+	s.At(0, func() { s.SendFrom(client, client.Addr, tnode.Addr, 40000, 81, tcpsim.SYN) })
+	s.Run(5)
+	if len(got) != 1 || got[0].Kind != tcpsim.RST {
+		t.Fatalf("got %+v, want RST", got)
+	}
+}
+
+func TestSpoofedSynTriggersSynAckToVictim(t *testing.T) {
+	n, client, vvp, tnode := threeASWorld(t)
+	s := NewSim(n, 7)
+	var vvpGot []Packet
+	vvp.Handler = func(_ *Sim, pkt Packet) bool { vvpGot = append(vvpGot, pkt); return false }
+	// Client spoofs the vVP's address toward the tNode.
+	s.At(0, func() { s.SendFrom(client, vvp.Addr, tnode.Addr, 55555, 443, tcpsim.SYN) })
+	s.Run(30)
+	if len(vvpGot) == 0 || vvpGot[0].Kind != tcpsim.SYNACK || vvpGot[0].Src != tnode.Addr {
+		t.Fatalf("vVP got %+v, want SYN-ACK from tNode", vvpGot)
+	}
+	// vVP's automatic RST reaches the tNode and cancels the RTO.
+	if tnode.TCP.PendingCount() != 0 {
+		t.Fatal("RST should have cancelled tNode retransmission")
+	}
+}
+
+func TestRTORetransmissionWhenRSTBlocked(t *testing.T) {
+	n, client, vvp, tnode := threeASWorld(t)
+	// Outbound filtering: the vVP's AS cannot reach the tNode's prefix
+	// (e.g. its route was ROV-filtered). Model by dropping at egress.
+	n.EgressFilter[2] = func(pkt Packet) bool { return pkt.Dst == tnode.Addr }
+
+	s := NewSim(n, 7)
+	var vvpGot []Packet
+	vvp.Handler = func(_ *Sim, pkt Packet) bool { vvpGot = append(vvpGot, pkt); return false }
+	s.At(0, func() { s.SendFrom(client, vvp.Addr, tnode.Addr, 55555, 443, tcpsim.SYN) })
+	s.Run(30)
+
+	// The tNode retransmits (MaxRetries=2): the vVP sees the original
+	// SYN-ACK plus two retransmissions.
+	if len(vvpGot) != 3 {
+		t.Fatalf("vVP saw %d SYN-ACKs, want 3 (1 + 2 RTO retransmissions)", len(vvpGot))
+	}
+}
+
+func TestIngressFilterBlocksSynAck(t *testing.T) {
+	n, client, vvp, tnode := threeASWorld(t)
+	// Inbound filtering at the vVP's AS.
+	n.IngressFilter[2] = func(pkt Packet) bool { return pkt.Src == tnode.Addr }
+	s := NewSim(n, 7)
+	count := 0
+	vvp.Handler = func(_ *Sim, pkt Packet) bool { count++; return true }
+	s.At(0, func() { s.SendFrom(client, vvp.Addr, tnode.Addr, 55555, 443, tcpsim.SYN) })
+	s.Run(30)
+	if count != 0 {
+		t.Fatalf("vVP saw %d packets despite ingress filter", count)
+	}
+}
+
+func TestIPIDGlobalCounterObservable(t *testing.T) {
+	n, client, vvp, _ := threeASWorld(t)
+	s := NewSim(n, 7)
+	var ids []uint16
+	client.Handler = func(_ *Sim, pkt Packet) bool {
+		if pkt.Kind == tcpsim.RST && pkt.Src == vvp.Addr {
+			ids = append(ids, pkt.IPID)
+		}
+		return true
+	}
+	// Probe the vVP with SYN-ACKs; each RST reply exposes the counter.
+	for i := 0; i < 5; i++ {
+		tt := float64(i) * 0.5
+		s.At(tt, func() { s.SendFrom(client, client.Addr, vvp.Addr, uint16(41000+i), 443, tcpsim.SYNACK) })
+	}
+	s.Run(10)
+	if len(ids) != 5 {
+		t.Fatalf("got %d RSTs, want 5", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i]-ids[i-1] != 1 {
+			t.Fatalf("idle host counter step = %d, want 1 (ids=%v)", ids[i]-ids[i-1], ids)
+		}
+	}
+}
+
+func TestIPIDBackgroundTraffic(t *testing.T) {
+	n, client, vvp, _ := threeASWorld(t)
+	vvp.BackgroundRate = 100 // pkt/s
+	s := NewSim(n, 7)
+	var ids []uint16
+	var times []float64
+	client.Handler = func(sim *Sim, pkt Packet) bool {
+		if pkt.Kind == tcpsim.RST {
+			ids = append(ids, pkt.IPID)
+			times = append(times, sim.Now())
+		}
+		return true
+	}
+	for i := 0; i < 11; i++ {
+		tt := float64(i) * 1.0
+		s.At(tt, func() { s.SendFrom(client, client.Addr, vvp.Addr, uint16(42000+i), 443, tcpsim.SYNACK) })
+	}
+	s.Run(20)
+	if len(ids) != 11 {
+		t.Fatalf("got %d RSTs", len(ids))
+	}
+	// Mean growth per second should be ~100 (+1 for the RST itself).
+	total := float64(ids[len(ids)-1] - ids[0])
+	perSec := total / (times[len(times)-1] - times[0])
+	if perSec < 60 || perSec > 140 {
+		t.Fatalf("background growth %.1f pkt/s, want ~100", perSec)
+	}
+}
+
+func TestTimeVaryingBackground(t *testing.T) {
+	n, client, vvp, _ := threeASWorld(t)
+	vvp.BackgroundFn = func(t float64) float64 { return 10 * t } // ramp
+	s := NewSim(n, 7)
+	var ids []uint16
+	client.Handler = func(_ *Sim, pkt Packet) bool {
+		if pkt.Kind == tcpsim.RST {
+			ids = append(ids, pkt.IPID)
+		}
+		return true
+	}
+	for i := 0; i < 10; i++ {
+		tt := float64(i)
+		s.At(tt, func() { s.SendFrom(client, client.Addr, vvp.Addr, uint16(43000+i), 443, tcpsim.SYNACK) })
+	}
+	s.Run(20)
+	// Increments should grow over time (ramping rate).
+	first := ids[1] - ids[0]
+	last := ids[len(ids)-1] - ids[len(ids)-2]
+	if last <= first {
+		t.Fatalf("ramping background not reflected: first=%d last=%d", first, last)
+	}
+}
+
+func TestPacketLoss(t *testing.T) {
+	n, client, vvp, _ := threeASWorld(t)
+	n.LossRate = 1.0 // drop everything
+	s := NewSim(n, 7)
+	count := 0
+	vvp.Handler = func(_ *Sim, pkt Packet) bool { count++; return true }
+	s.At(0, func() { s.SendFrom(client, client.Addr, vvp.Addr, 40000, 443, tcpsim.SYNACK) })
+	s.Run(5)
+	if count != 0 {
+		t.Fatal("fully lossy network delivered a packet")
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	n, client, vvp, _ := threeASWorld(t)
+	s := NewSim(n, 7)
+	var evs []TraceEvent
+	s.Trace = func(ev TraceEvent) { evs = append(evs, ev) }
+	s.At(0, func() { s.SendFrom(client, client.Addr, vvp.Addr, 40000, 443, tcpsim.SYNACK) })
+	s.Run(5)
+	// Two transmissions: probe out, RST back.
+	if len(evs) != 2 {
+		t.Fatalf("trace captured %d events, want 2", len(evs))
+	}
+	if evs[0].Dropped != DropNone || evs[1].Dropped != DropNone {
+		t.Fatalf("unexpected drops: %+v", evs)
+	}
+}
+
+func TestUnroutableDestination(t *testing.T) {
+	n, client, _, _ := threeASWorld(t)
+	s := NewSim(n, 7)
+	var evs []TraceEvent
+	s.Trace = func(ev TraceEvent) { evs = append(evs, ev) }
+	s.At(0, func() { s.SendFrom(client, client.Addr, ip("99.9.9.9"), 1, 2, tcpsim.SYN) })
+	s.Run(5)
+	if len(evs) != 1 || evs[0].Dropped != DropNoRoute {
+		t.Fatalf("evs = %+v", evs)
+	}
+}
+
+func TestHijackedTrafficDropsAtWrongAS(t *testing.T) {
+	// Host lives in AS 3 but AS 4 hijacks the covering prefix with a more
+	// specific announcement: packets end up at AS 4 and never reach the
+	// host (DropWrongAS).
+	g := bgp.NewGraph()
+	g.Link(10, 1, bgp.Customer)
+	g.Link(10, 3, bgp.Customer)
+	g.Link(10, 4, bgp.Customer)
+	g.AS(1).Originated = []netip.Prefix{pfx("10.1.0.0/16")}
+	g.AS(3).Originated = []netip.Prefix{pfx("10.3.0.0/16")}
+	g.AS(4).Originated = []netip.Prefix{pfx("10.3.0.0/24")}
+	if _, err := g.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNetwork(g)
+	client := NewHost(ip("10.1.0.1"), 1, ipid.Global, 1)
+	victim := NewHost(ip("10.3.0.9"), 3, ipid.Global, 2, 443)
+	n.AddHost(client)
+	n.AddHost(victim)
+	s := NewSim(n, 7)
+	var evs []TraceEvent
+	s.Trace = func(ev TraceEvent) { evs = append(evs, ev) }
+	s.At(0, func() { s.SendFrom(client, client.Addr, victim.Addr, 4000, 443, tcpsim.SYN) })
+	s.Run(5)
+	if len(evs) != 1 || evs[0].Dropped != DropWrongAS {
+		t.Fatalf("evs = %+v, want DropWrongAS", evs)
+	}
+}
+
+func TestDuplicateHostPanics(t *testing.T) {
+	n, client, _, _ := threeASWorld(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.AddHost(client)
+}
+
+func TestEventOrderingDeterministic(t *testing.T) {
+	run := func() []uint16 {
+		n, client, vvp, _ := threeASWorld(t)
+		vvp.BackgroundRate = 50
+		s := NewSim(n, 99)
+		var ids []uint16
+		client.Handler = func(_ *Sim, pkt Packet) bool { ids = append(ids, pkt.IPID); return true }
+		for i := 0; i < 8; i++ {
+			tt := float64(i) * 0.5
+			s.At(tt, func() { s.SendFrom(client, client.Addr, vvp.Addr, uint16(5000+i), 443, tcpsim.SYNACK) })
+		}
+		s.Run(10)
+		return ids
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic run length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic IDs at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunReturnsEventCountAndAdvancesClock(t *testing.T) {
+	n, _, _, _ := threeASWorld(t)
+	s := NewSim(n, 1)
+	fired := 0
+	s.At(1, func() { fired++ })
+	s.At(2, func() { fired++ })
+	s.At(50, func() { fired++ })
+	processed := s.Run(10)
+	if processed != 2 || fired != 2 {
+		t.Fatalf("processed=%d fired=%d", processed, fired)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("Now = %v, want 10", s.Now())
+	}
+	// The future event still fires later.
+	s.Run(100)
+	if fired != 3 {
+		t.Fatalf("fired=%d, want 3", fired)
+	}
+}
+
+func TestHostASNValidation(t *testing.T) {
+	n, client, _, _ := threeASWorld(t)
+	s := NewSim(n, 1)
+	var evs []TraceEvent
+	s.Trace = func(ev TraceEvent) { evs = append(evs, ev) }
+	ghost := NewHost(ip("10.99.0.1"), inet.ASN(999), ipid.Global, 5)
+	s.At(0, func() { s.SendFrom(ghost, ghost.Addr, client.Addr, 1, 2, tcpsim.SYN) })
+	s.Run(1)
+	if len(evs) != 1 || evs[0].Dropped != DropSrcGone {
+		t.Fatalf("evs = %+v, want DropSrcGone", evs)
+	}
+}
+
+func TestJitterReordersTightBursts(t *testing.T) {
+	// With jitter larger than the send spacing, arrival order scrambles —
+	// this is why §4.2 paces direct probes one second apart.
+	n, client, vvp, _ := threeASWorld(t)
+	n.Jitter = 0.2
+	s := NewSim(n, 5)
+	var order []uint16
+	vvp.Handler = func(_ *Sim, pkt Packet) bool { order = append(order, pkt.SrcPort); return true }
+	for i := 0; i < 20; i++ {
+		tt := float64(i) * 0.001 // 1 ms spacing, far below the jitter
+		sp := uint16(50000 + i)
+		s.At(tt, func() { s.SendFrom(client, client.Addr, vvp.Addr, sp, 443, tcpsim.SYNACK) })
+	}
+	s.Run(5)
+	if len(order) != 20 {
+		t.Fatalf("delivered %d", len(order))
+	}
+	inversions := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("no reordering despite jitter >> spacing")
+	}
+}
+
+func TestWideSpacingSurvivesJitter(t *testing.T) {
+	// One-second spacing keeps ordering intact under the same jitter.
+	n, client, vvp, _ := threeASWorld(t)
+	n.Jitter = 0.2
+	s := NewSim(n, 5)
+	var order []uint16
+	vvp.Handler = func(_ *Sim, pkt Packet) bool { order = append(order, pkt.SrcPort); return true }
+	for i := 0; i < 10; i++ {
+		tt := float64(i)
+		sp := uint16(51000 + i)
+		s.At(tt, func() { s.SendFrom(client, client.Addr, vvp.Addr, sp, 443, tcpsim.SYNACK) })
+	}
+	s.Run(15)
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("reordering at 1 s spacing: %v", order)
+		}
+	}
+}

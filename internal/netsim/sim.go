@@ -1,0 +1,157 @@
+package netsim
+
+import (
+	"container/heap"
+	"math/rand"
+	"net/netip"
+
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/tcpsim"
+)
+
+// event is one scheduled action in virtual time; seq breaks ties so
+// execution order is fully deterministic.
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// TraceEvent records one packet transmission attempt for debugging and the
+// Figure-2 timeline rendering.
+type TraceEvent struct {
+	Time    float64
+	Pkt     Packet
+	Dropped DropReason
+}
+
+// Sim is the discrete-event engine. It is not safe for concurrent use.
+type Sim struct {
+	Net *Network
+	// Trace, when set, receives every transmission attempt.
+	Trace func(TraceEvent)
+
+	now    float64
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+}
+
+// NewSim creates a simulator over net with a deterministic seed.
+func NewSim(net *Network, seed int64) *Sim {
+	return &Sim{Net: net, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn delay seconds from now.
+func (s *Sim) After(delay float64, fn func()) { s.At(s.now+delay, fn) }
+
+// Run processes events until the queue drains or virtual time exceeds
+// until. It returns the number of events processed.
+func (s *Sim) Run(until float64) int {
+	n := 0
+	for len(s.events) > 0 {
+		if s.events[0].at > until {
+			break
+		}
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+		n++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// SendFrom transmits a packet from host h. src is the source address placed
+// in the header — pass h.Addr for honest traffic or any other address to
+// spoof. The IP-ID is drawn from h's counter after charging background
+// traffic, which is exactly what a remote observer of h's counter sees.
+func (s *Sim) SendFrom(h *Host, src, dst netip.Addr, srcPort, dstPort uint16, kind tcpsim.Kind) {
+	h.advanceBackground(s.now)
+	pkt := Packet{
+		Src: src, Dst: dst,
+		SrcPort: srcPort, DstPort: dstPort,
+		Kind: kind,
+		IPID: h.IPID.Next(dst),
+	}
+	s.transmit(h.ASN, pkt)
+}
+
+// transmit routes pkt from srcASN and schedules delivery.
+func (s *Sim) transmit(srcASN inet.ASN, pkt Packet) {
+	delay, dstHost, reason := s.Net.route(srcASN, pkt)
+	if reason == DropNone && s.Net.LossRate > 0 && s.rng.Float64() < s.Net.LossRate {
+		reason = DropLoss
+	}
+	if s.Trace != nil {
+		s.Trace(TraceEvent{Time: s.now, Pkt: pkt, Dropped: reason})
+	}
+	if reason != DropNone {
+		return
+	}
+	if s.Net.Jitter > 0 {
+		delay += s.rng.Float64() * s.Net.Jitter
+	}
+	s.After(delay, func() { s.deliver(dstHost, pkt) })
+}
+
+// deliver hands pkt to the destination host: the custom handler first, then
+// the TCP automaton; any response segments are transmitted in turn.
+func (s *Sim) deliver(h *Host, pkt Packet) {
+	if h.Handler != nil && h.Handler(s, pkt) {
+		return
+	}
+	seg := tcpsim.Segment{
+		Peer:      pkt.Src,
+		PeerPort:  pkt.SrcPort,
+		LocalPort: pkt.DstPort,
+		Kind:      pkt.Kind,
+	}
+	out := h.TCP.HandleSegment(s.now, seg)
+	for _, o := range out {
+		s.SendFrom(h, h.Addr, o.Peer, o.LocalPort, o.PeerPort, o.Kind)
+	}
+	s.armRetransmit(h)
+}
+
+// armRetransmit schedules a wakeup for the host's next TCP deadline.
+// Spurious wakeups are harmless: Tick only fires due flows.
+func (s *Sim) armRetransmit(h *Host) {
+	deadline, ok := h.TCP.NextDeadline()
+	if !ok {
+		return
+	}
+	s.At(deadline, func() {
+		for _, o := range h.TCP.Tick(s.now) {
+			s.SendFrom(h, h.Addr, o.Peer, o.LocalPort, o.PeerPort, o.Kind)
+		}
+		s.armRetransmit(h)
+	})
+}

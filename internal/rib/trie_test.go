@@ -1,0 +1,279 @@
+package rib
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func addr(s string) netip.Addr  { return netip.MustParseAddr(s) }
+
+func TestInsertGet(t *testing.T) {
+	tr := NewTrie[string]()
+	if err := tr.Insert(pfx("10.0.0.0/8"), "ten"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(pfx("10.1.0.0/16"), "ten-one"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tr.Get(pfx("10.0.0.0/8")); !ok || v != "ten" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	if _, ok := tr.Get(pfx("10.0.0.0/9")); ok {
+		t.Fatal("unexpected hit for absent prefix")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+}
+
+func TestInsertReplaces(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(pfx("192.0.2.0/24"), 1)
+	tr.Insert(pfx("192.0.2.0/24"), 2)
+	if v, _ := tr.Get(pfx("192.0.2.0/24")); v != 2 {
+		t.Fatalf("v = %d, want 2", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestInsertRejectsIPv6(t *testing.T) {
+	tr := NewTrie[int]()
+	if err := tr.Insert(netip.MustParsePrefix("2001:db8::/32"), 1); err == nil {
+		t.Fatal("expected error for IPv6 prefix")
+	}
+}
+
+func TestInsertMasksHostBits(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(netip.MustParsePrefix("10.9.8.7/8"), 5)
+	if v, ok := tr.Get(pfx("10.0.0.0/8")); !ok || v != 5 {
+		t.Fatalf("masked insert not found: %v %v", v, ok)
+	}
+}
+
+func TestLongestPrefixMatch(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Insert(pfx("0.0.0.0/0"), "default")
+	tr.Insert(pfx("10.0.0.0/8"), "eight")
+	tr.Insert(pfx("10.1.0.0/16"), "sixteen")
+	tr.Insert(pfx("10.1.2.0/24"), "twentyfour")
+
+	cases := []struct {
+		a    string
+		want string
+	}{
+		{"10.1.2.3", "twentyfour"},
+		{"10.1.9.1", "sixteen"},
+		{"10.200.0.1", "eight"},
+		{"8.8.8.8", "default"},
+	}
+	for _, c := range cases {
+		_, v, ok := tr.Lookup(addr(c.a))
+		if !ok || v != c.want {
+			t.Errorf("Lookup(%s) = %q,%v, want %q", c.a, v, ok, c.want)
+		}
+	}
+}
+
+func TestLookupNoMatch(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(pfx("10.0.0.0/8"), 1)
+	if _, _, ok := tr.Lookup(addr("11.0.0.1")); ok {
+		t.Fatal("unexpected match")
+	}
+	if _, _, ok := tr.Lookup(netip.MustParseAddr("::1")); ok {
+		t.Fatal("IPv6 lookup should miss")
+	}
+}
+
+func TestLookupHostRoute(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(pfx("192.0.2.55/32"), 7)
+	p, v, ok := tr.Lookup(addr("192.0.2.55"))
+	if !ok || v != 7 || p.Bits() != 32 {
+		t.Fatalf("host route lookup = %v %v %v", p, v, ok)
+	}
+	if _, _, ok := tr.Lookup(addr("192.0.2.56")); ok {
+		t.Fatal("neighbouring address must not match /32")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(pfx("10.0.0.0/8"), 1)
+	tr.Insert(pfx("10.1.0.0/16"), 2)
+	if !tr.Remove(pfx("10.1.0.0/16")) {
+		t.Fatal("Remove returned false for present prefix")
+	}
+	if tr.Remove(pfx("10.1.0.0/16")) {
+		t.Fatal("Remove returned true for absent prefix")
+	}
+	if _, v, ok := tr.Lookup(addr("10.1.2.3")); !ok || v != 1 {
+		t.Fatalf("after removal, Lookup = %v %v; want parent match", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestRemovePreservesDescendants(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(pfx("10.0.0.0/8"), 1)
+	tr.Insert(pfx("10.1.0.0/16"), 2)
+	tr.Remove(pfx("10.0.0.0/8"))
+	if v, ok := tr.Get(pfx("10.1.0.0/16")); !ok || v != 2 {
+		t.Fatalf("descendant lost after parent removal: %v %v", v, ok)
+	}
+}
+
+func TestCovering(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Insert(pfx("10.0.0.0/8"), "a")
+	tr.Insert(pfx("10.1.0.0/16"), "b")
+	tr.Insert(pfx("10.1.2.0/24"), "c")
+	tr.Insert(pfx("11.0.0.0/8"), "x")
+
+	got := tr.Covering(pfx("10.1.2.0/25"))
+	if len(got) != 3 {
+		t.Fatalf("Covering returned %d entries, want 3: %+v", len(got), got)
+	}
+	// Least specific first.
+	if got[0].Value != "a" || got[1].Value != "b" || got[2].Value != "c" {
+		t.Fatalf("order wrong: %+v", got)
+	}
+	// A prefix covers itself.
+	self := tr.Covering(pfx("10.1.0.0/16"))
+	if len(self) != 2 || self[1].Value != "b" {
+		t.Fatalf("self-covering wrong: %+v", self)
+	}
+}
+
+func TestCoveredBy(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Insert(pfx("10.0.0.0/8"), "a")
+	tr.Insert(pfx("10.1.0.0/16"), "b")
+	tr.Insert(pfx("10.1.2.0/24"), "c")
+	tr.Insert(pfx("11.0.0.0/8"), "x")
+
+	got := tr.CoveredBy(pfx("10.0.0.0/8"))
+	if len(got) != 3 {
+		t.Fatalf("CoveredBy returned %d entries, want 3", len(got))
+	}
+	got16 := tr.CoveredBy(pfx("10.1.0.0/16"))
+	if len(got16) != 2 {
+		t.Fatalf("CoveredBy /16 returned %d entries, want 2", len(got16))
+	}
+	if tr.CoveredBy(pfx("172.16.0.0/12")) != nil {
+		t.Fatal("CoveredBy of empty region should be nil")
+	}
+}
+
+func TestWalkAndEntries(t *testing.T) {
+	tr := NewTrie[int]()
+	prefixes := []string{"10.0.0.0/8", "10.1.0.0/16", "192.168.0.0/16", "0.0.0.0/0"}
+	for i, s := range prefixes {
+		tr.Insert(pfx(s), i)
+	}
+	entries := tr.Entries()
+	if len(entries) != len(prefixes) {
+		t.Fatalf("Entries len = %d, want %d", len(entries), len(prefixes))
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		seen[e.Prefix.String()] = true
+	}
+	for _, s := range prefixes {
+		if !seen[s] {
+			t.Errorf("missing %s in entries %v", s, seen)
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.Walk(func(netip.Prefix, int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early-stop walk visited %d, want 1", n)
+	}
+}
+
+// Property: Lookup result always covers the queried address, and no stored
+// prefix that also covers the address is more specific than the result.
+func TestLookupLPMProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTrie[int]()
+		var stored []netip.Prefix
+		for i := 0; i < 60; i++ {
+			a := netip.AddrFrom4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+			p, _ := a.Prefix(rng.Intn(33))
+			tr.Insert(p, i)
+			stored = append(stored, p.Masked())
+		}
+		for trial := 0; trial < 40; trial++ {
+			q := netip.AddrFrom4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+			got, _, ok := tr.Lookup(q)
+			best := -1
+			for _, p := range stored {
+				if p.Contains(q) && p.Bits() > best {
+					best = p.Bits()
+				}
+			}
+			if !ok {
+				if best != -1 {
+					return false
+				}
+				continue
+			}
+			if !got.Contains(q) || got.Bits() != best {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after inserting a set and removing half, Get reflects exactly
+// the surviving set.
+func TestInsertRemoveConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTrie[int]()
+		kept := map[netip.Prefix]int{}
+		removed := map[netip.Prefix]bool{}
+		for i := 0; i < 40; i++ {
+			a := netip.AddrFrom4([4]byte{byte(rng.Intn(4)), byte(rng.Intn(4)), 0, 0})
+			p, _ := a.Prefix(8 + rng.Intn(17))
+			p = p.Masked()
+			tr.Insert(p, i)
+			kept[p] = i
+		}
+		for p := range kept {
+			if rng.Intn(2) == 0 {
+				tr.Remove(p)
+				delete(kept, p)
+				removed[p] = true
+			}
+		}
+		for p, want := range kept {
+			if v, ok := tr.Get(p); !ok || v != want {
+				return false
+			}
+		}
+		for p := range removed {
+			if _, ok := tr.Get(p); ok {
+				return false
+			}
+		}
+		return tr.Len() == len(kept)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package rpki
+
+import (
+	"net/netip"
+
+	"github.com/netsec-lab/rovista/internal/inet"
+)
+
+// SLURM is a Simplified Local Internet Number Resource Management file
+// (RFC 8416): locally-scoped filters that remove VRPs and assertions that
+// add them. The paper observes operators using SLURM to keep accepting
+// specific RPKI-invalid routes (§7.1).
+type SLURM struct {
+	PrefixFilters    []PrefixFilter
+	PrefixAssertions []PrefixAssertion
+}
+
+// PrefixFilter removes matching VRPs from the validated set. A zero ASN
+// matches any origin; an invalid prefix matches any prefix.
+type PrefixFilter struct {
+	Prefix netip.Prefix // optional; zero value matches all prefixes
+	ASN    inet.ASN     // optional; 0 matches all ASNs
+}
+
+func (f PrefixFilter) matches(v VRP) bool {
+	if f.ASN != 0 && f.ASN != v.ASN {
+		return false
+	}
+	if f.Prefix.IsValid() {
+		// RFC 8416: the filter prefix must cover the VRP prefix.
+		if !(f.Prefix.Contains(v.Prefix.Addr()) && f.Prefix.Bits() <= v.Prefix.Bits()) {
+			return false
+		}
+	}
+	return true
+}
+
+// PrefixAssertion locally adds a VRP to the validated set.
+type PrefixAssertion struct {
+	Prefix    netip.Prefix
+	ASN       inet.ASN
+	MaxLength int // 0 means the prefix length
+}
+
+// Apply returns a new VRPSet with the SLURM filters and assertions applied.
+func (s *SLURM) Apply(in *VRPSet) *VRPSet {
+	if s == nil || (len(s.PrefixFilters) == 0 && len(s.PrefixAssertions) == 0) {
+		return in
+	}
+	var out []VRP
+outer:
+	for _, v := range in.All() {
+		for _, f := range s.PrefixFilters {
+			if f.matches(v) {
+				continue outer
+			}
+		}
+		out = append(out, v)
+	}
+	for _, a := range s.PrefixAssertions {
+		ml := a.MaxLength
+		if ml == 0 {
+			ml = a.Prefix.Bits()
+		}
+		out = append(out, VRP{ASN: a.ASN, Prefix: a.Prefix.Masked(), MaxLength: ml})
+	}
+	return NewVRPSet(out)
+}

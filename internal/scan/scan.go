@@ -1,0 +1,310 @@
+// Package scan implements RoVista's ZMap-style discovery and qualification
+// phases (§4.1–4.2 of the paper):
+//
+//   - vVP discovery: find hosts whose IP-ID comes from a single global
+//     counter, by interleaving direct probes with bursty spoofed probes and
+//     requiring the counter to reflect both;
+//   - tNode qualification: confirm that a host under an RPKI-invalid prefix
+//     (a) answers spoofed SYNs with SYN-ACKs, (b) retransmits on RTO, and
+//     (c) stops retransmitting on RST.
+//
+// Scans run inside the discrete-event simulator; the "ZMap sweep" enumerates
+// attached hosts, since unattached addresses can never respond.
+package scan
+
+import (
+	"net/netip"
+	"sort"
+
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/netsim"
+	"github.com/netsec-lab/rovista/internal/tcpsim"
+)
+
+// VVP is a qualified virtual vantage point: a host with an observable
+// global IP-ID counter.
+type VVP struct {
+	Addr netip.Addr
+	ASN  inet.ASN
+	// BackgroundRate is the estimated background traffic in packets/second,
+	// measured during qualification; RoVista discards vVPs above a cutoff
+	// (10 pkt/s in the paper).
+	BackgroundRate float64
+}
+
+// TNode is a qualified test node: a responsive host under an exclusively
+// RPKI-invalid prefix with compliant RTO behaviour.
+type TNode struct {
+	Addr   netip.Addr
+	ASN    inet.ASN
+	Port   uint16
+	Prefix netip.Prefix
+}
+
+// Scanner drives discovery. ClientA and ClientB must live in two different
+// ASes (the paper uses two measurement clients so each can receive the
+// responses the other's spoofed probes elicit).
+type Scanner struct {
+	Net              *netsim.Network
+	ClientA, ClientB *netsim.Host
+	// Ports are tried in order when locating listening services.
+	Ports []uint16
+	Seed  int64
+}
+
+// NewScanner wires a scanner over net using the two given client hosts.
+func NewScanner(net *netsim.Network, a, b *netsim.Host, ports ...uint16) *Scanner {
+	if len(ports) == 0 {
+		ports = []uint16{443, 80, 22}
+	}
+	return &Scanner{Net: net, ClientA: a, ClientB: b, Ports: ports}
+}
+
+// vvpProbes is the per-phase probe count from §4.2.
+const vvpProbes = 5
+
+// DiscoverVVPs qualifies each candidate address per §4.2: five paced direct
+// SYN-ACK probes, five bursty spoofed SYN-ACK probes, five more direct
+// probes. A candidate qualifies when every direct probe drew a RST and the
+// counter grew monotonically by at least the total number of packets the
+// host must have sent.
+func (sc *Scanner) DiscoverVVPs(candidates []netip.Addr) []VVP {
+	s := netsim.NewSim(sc.Net, sc.Seed)
+
+	type obs struct {
+		ids  []uint16
+		mark int // index of the first post-burst observation
+	}
+	results := make(map[netip.Addr]*obs, len(candidates))
+	for _, c := range candidates {
+		results[c] = &obs{}
+	}
+
+	sc.ClientA.Handler = func(_ *netsim.Sim, pkt netsim.Packet) bool {
+		if pkt.Kind != tcpsim.RST {
+			return true
+		}
+		if o, ok := results[pkt.Src]; ok {
+			o.ids = append(o.ids, pkt.IPID)
+		}
+		return true
+	}
+	defer func() { sc.ClientA.Handler = nil }()
+
+	// All candidates are probed concurrently in virtual time; flows are
+	// distinguished by source address, so they cannot interfere. Start
+	// times follow a keyed random permutation (§5): consecutive addresses
+	// are probed far apart, so no network sees a burst.
+	spread := 0.01 * float64(len(candidates))
+	offsets := ScheduleOffsets(len(candidates), spread, sc.Seed|1)
+	for i, c := range candidates {
+		cand := c
+		o := results[cand]
+		base := offsets[i]
+		port := sc.Ports[0]
+		sp := uint16(20000 + i%20000)
+		// Phase (a): five direct probes, one second apart (§4.2: spacing
+		// minimizes reordering).
+		for k := 0; k < vvpProbes; k++ {
+			kk := k
+			s.At(base+float64(kk), func() {
+				s.SendFrom(sc.ClientA, sc.ClientA.Addr, cand, sp+uint16(kk), port, tcpsim.SYNACK)
+			})
+		}
+		// Phase (b): five bursty spoofed probes from distinct sources; the
+		// RSTs they elicit go elsewhere, advancing only a *global* counter.
+		s.At(base+float64(vvpProbes), func() {
+			o.mark = len(o.ids)
+			for k := 0; k < vvpProbes; k++ {
+				spoof := spoofSource(sc.ClientB.Addr, k)
+				s.SendFrom(sc.ClientB, spoof, cand, uint16(30000+k), port, tcpsim.SYNACK)
+			}
+		})
+		// Phase (c): five more direct probes.
+		for k := 0; k < vvpProbes; k++ {
+			kk := k
+			s.At(base+float64(vvpProbes)+1+float64(kk), func() {
+				s.SendFrom(sc.ClientA, sc.ClientA.Addr, cand, sp+uint16(vvpProbes+kk), port, tcpsim.SYNACK)
+			})
+		}
+	}
+	s.Run(spread + 2*float64(vvpProbes) + 10)
+
+	var out []VVP
+	for _, c := range candidates {
+		o := results[c]
+		v, ok := sc.qualifyVVP(c, o.ids, o.mark)
+		if ok {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Less(out[j].Addr) })
+	return out
+}
+
+// qualifyVVP applies the §4.2 acceptance rule to the observed RST IP-IDs.
+func (sc *Scanner) qualifyVVP(addr netip.Addr, ids []uint16, mark int) (VVP, bool) {
+	if len(ids) != 2*vvpProbes || mark != vvpProbes {
+		return VVP{}, false // silent host, lossy path, or reordering
+	}
+	host, ok := sc.Net.HostAt(addr)
+	if !ok {
+		return VVP{}, false
+	}
+	// Estimate the background rate from phase (a): each 1 s gap contains
+	// one RST of ours plus background.
+	var phaseA float64
+	for i := 1; i < vvpProbes; i++ {
+		d := ids[i] - ids[i-1]
+		if d == 0 || d > 1<<14 {
+			return VVP{}, false // constant counter or random jumps
+		}
+		phaseA += float64(d - 1)
+	}
+	bg := phaseA / float64(vvpProbes-1) // packets/second
+
+	// Across the burst: the host sent 5 spoofed-elicited RSTs plus one to
+	// us, so a global counter must grow by at least 6; a per-destination
+	// counter grows by exactly 1 (+background).
+	burstGrowth := float64(ids[mark] - ids[mark-1])
+	// Allow generous background slack (gap is ~1 s long).
+	minGrowth := float64(vvpProbes + 1)
+	maxGrowth := minGrowth + 12*(bg+1)
+	if burstGrowth < minGrowth || burstGrowth > maxGrowth {
+		return VVP{}, false
+	}
+	// Phase (c) must stay monotone and counter-like too.
+	for i := mark + 1; i < len(ids); i++ {
+		d := ids[i] - ids[i-1]
+		if d == 0 || d > 1<<14 {
+			return VVP{}, false
+		}
+	}
+	return VVP{Addr: addr, ASN: host.ASN, BackgroundRate: bg}, true
+}
+
+// spoofSource derives the k-th spoofed source address near base.
+func spoofSource(base netip.Addr, k int) netip.Addr {
+	b := base.As4()
+	b[3] += byte(k + 1)
+	return netip.AddrFrom4(b)
+}
+
+// FindListeners sweeps the given prefixes for hosts answering a SYN on one
+// of the scanner's ports (the ZMap phase of tNode discovery). It returns
+// address/port pairs.
+func (sc *Scanner) FindListeners(prefixes []netip.Prefix) []TNode {
+	s := netsim.NewSim(sc.Net, sc.Seed+1)
+	type key struct {
+		addr netip.Addr
+		port uint16
+	}
+	answered := make(map[key]bool)
+	sc.ClientA.Handler = func(_ *netsim.Sim, pkt netsim.Packet) bool {
+		if pkt.Kind == tcpsim.SYNACK {
+			answered[key{pkt.Src, pkt.SrcPort}] = true
+		}
+		return true
+	}
+	defer func() { sc.ClientA.Handler = nil }()
+
+	var candidates []netip.Addr
+	prefixOf := make(map[netip.Addr]netip.Prefix)
+	for _, p := range prefixes {
+		for _, a := range sc.Net.AddrsIn(p) {
+			candidates = append(candidates, a)
+			prefixOf[a] = p
+		}
+	}
+	// Sweep in permuted (address, port) order, as ZMap does.
+	nPairs := len(candidates) * len(sc.Ports)
+	sweep := 0.002 * float64(nPairs)
+	offsets := ScheduleOffsets(nPairs, sweep, sc.Seed|1)
+	for i, a := range candidates {
+		addr := a
+		for j, port := range sc.Ports {
+			pt := port
+			at := offsets[i*len(sc.Ports)+j]
+			s.At(at, func() {
+				s.SendFrom(sc.ClientA, sc.ClientA.Addr, addr, uint16(25000+i%30000), pt, tcpsim.SYN)
+			})
+		}
+	}
+	s.Run(sweep + float64(len(sc.Ports)) + 20)
+
+	var out []TNode
+	seen := make(map[netip.Addr]bool)
+	for _, a := range candidates {
+		if seen[a] {
+			continue
+		}
+		for _, port := range sc.Ports {
+			if answered[key{a, port}] {
+				host, _ := sc.Net.HostAt(a)
+				out = append(out, TNode{Addr: a, ASN: host.ASN, Port: port, Prefix: prefixOf[a]})
+				seen[a] = true
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Less(out[j].Addr) })
+	return out
+}
+
+// QualifyTNode checks conditions (a)–(c) from §4.1 for one listener, using
+// the two clients: A sends SYNs spoofed as B, and B observes the SYN-ACKs.
+func (sc *Scanner) QualifyTNode(cand TNode) bool {
+	s := netsim.NewSim(sc.Net, sc.Seed+2)
+	// Earlier sweeps may have left half-open state with absolute deadlines
+	// from a previous virtual clock; start clean.
+	if h, ok := sc.Net.HostAt(cand.Addr); ok {
+		h.TCP.Reset()
+	}
+
+	const (
+		portNoRST   = 46001 // B stays silent: the tNode must retransmit
+		portWithRST = 46002 // B RSTs: the tNode must stop
+	)
+	synAcks := map[uint16]int{}
+	sc.ClientB.Handler = func(sim *netsim.Sim, pkt netsim.Packet) bool {
+		if pkt.Kind != tcpsim.SYNACK || pkt.Src != cand.Addr {
+			return true
+		}
+		synAcks[pkt.DstPort]++
+		if pkt.DstPort == portWithRST {
+			return false // fall through: default automaton sends the RST
+		}
+		return true // swallow: simulate an unreachable reply path
+	}
+	defer func() { sc.ClientB.Handler = nil }()
+
+	// Experiment 1: spoofed SYN; B never answers → expect RTO
+	// retransmissions within 1–3 s (condition b).
+	s.At(0, func() {
+		s.SendFrom(sc.ClientA, sc.ClientB.Addr, cand.Addr, portNoRST, cand.Port, tcpsim.SYN)
+	})
+	// Experiment 2: spoofed SYN; B RSTs the SYN-ACK → no retransmission
+	// (condition c). Run after experiment 1's retransmissions have played
+	// out so the counts cannot be confused.
+	s.At(30, func() {
+		s.SendFrom(sc.ClientA, sc.ClientB.Addr, cand.Addr, portWithRST, cand.Port, tcpsim.SYN)
+	})
+	s.Run(60)
+
+	// Condition (a): both spoofed SYNs were answered at all.
+	// Condition (b): the unanswered flow retransmitted at least once.
+	// Condition (c): the RST-answered flow did not retransmit.
+	return synAcks[portNoRST] >= 2 && synAcks[portWithRST] == 1
+}
+
+// DiscoverTNodes finds and qualifies tNodes under the given (exclusively
+// RPKI-invalid) prefixes.
+func (sc *Scanner) DiscoverTNodes(prefixes []netip.Prefix) []TNode {
+	var out []TNode
+	for _, cand := range sc.FindListeners(prefixes) {
+		if sc.QualifyTNode(cand) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+// Package tcpsim implements the minimal TCP endpoint behaviour RoVista's
+// side channel depends on, as a pure state machine driven by explicit
+// timestamps (the discrete-event simulator in internal/netsim supplies the
+// clock and the wire).
+//
+// The modelled behaviour, from §4.1 of the paper:
+//
+//   - a SYN to an open port elicits a SYN-ACK;
+//   - an unacknowledged SYN-ACK is retransmitted after the RTO (RFC 6298,
+//     typically 1–3 s initial, doubling per retry);
+//   - an inbound RST (or ACK) for the pending connection cancels the
+//     retransmissions;
+//   - a SYN to a closed port, or an unexpected SYN-ACK, elicits a RST.
+//
+// tNode qualification requires exactly these three properties, and the
+// package also models the broken variants the scan must reject: hosts that
+// never retransmit, and hosts that keep retransmitting after a RST.
+package tcpsim
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Kind is the TCP segment type (only the flag combinations the measurement
+// uses are modelled).
+type Kind uint8
+
+// Segment kinds.
+const (
+	SYN Kind = iota
+	SYNACK
+	ACK
+	RST
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case SYN:
+		return "SYN"
+	case SYNACK:
+		return "SYN-ACK"
+	case ACK:
+		return "ACK"
+	case RST:
+		return "RST"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Segment is one TCP segment as seen by an endpoint. Peer is the remote
+// address from the endpoint's point of view.
+type Segment struct {
+	Peer      netip.Addr
+	PeerPort  uint16
+	LocalPort uint16
+	Kind      Kind
+}
+
+// FlowKey identifies a half-open connection.
+type FlowKey struct {
+	Peer      netip.Addr
+	PeerPort  uint16
+	LocalPort uint16
+}
+
+func key(s Segment) FlowKey {
+	return FlowKey{Peer: s.Peer, PeerPort: s.PeerPort, LocalPort: s.LocalPort}
+}
+
+// RTOBehavior selects how the endpoint handles retransmission, covering the
+// qualification conditions (a)–(c) from §4.1.
+type RTOBehavior uint8
+
+// Behaviours.
+const (
+	// Compliant retransmits on timeout and stops on RST/ACK.
+	Compliant RTOBehavior = iota
+	// NoRetransmit never retransmits (fails qualification condition b).
+	NoRetransmit
+	// IgnoreRST keeps retransmitting even after a RST (fails condition c —
+	// it makes "no filtering" and "outbound filtering" indistinguishable).
+	IgnoreRST
+)
+
+// Config tunes an endpoint.
+type Config struct {
+	// OpenPorts lists listening ports.
+	OpenPorts []uint16
+	// InitialRTO is the first retransmission timeout in seconds; the paper
+	// observes 1–3 s with 3 s typical (RFC 6298 uses 1 s minimum).
+	InitialRTO float64
+	// MaxRetries bounds SYN-ACK retransmissions.
+	MaxRetries int
+	// Behavior selects the retransmission variant.
+	Behavior RTOBehavior
+	// SilentOnUnexpected suppresses the RST normally sent in response to an
+	// unexpected SYN-ACK (such hosts cannot serve as vVPs).
+	SilentOnUnexpected bool
+	// RespondOnClosed controls whether SYNs to closed ports get a RST.
+	RespondOnClosed bool
+}
+
+// DefaultConfig returns a compliant endpoint listening on the given ports.
+func DefaultConfig(ports ...uint16) Config {
+	return Config{
+		OpenPorts:       ports,
+		InitialRTO:      3.0,
+		MaxRetries:      2,
+		Behavior:        Compliant,
+		RespondOnClosed: true,
+	}
+}
+
+type pending struct {
+	flow     FlowKey
+	deadline float64
+	retries  int
+}
+
+// Endpoint is one TCP host side. It is not safe for concurrent use.
+type Endpoint struct {
+	cfg     Config
+	open    map[uint16]bool
+	pending map[FlowKey]*pending
+}
+
+// New creates an endpoint from cfg.
+func New(cfg Config) *Endpoint {
+	e := &Endpoint{cfg: cfg, open: make(map[uint16]bool), pending: make(map[FlowKey]*pending)}
+	for _, p := range cfg.OpenPorts {
+		e.open[p] = true
+	}
+	if e.cfg.InitialRTO <= 0 {
+		e.cfg.InitialRTO = 3.0
+	}
+	return e
+}
+
+// HandleSegment processes an inbound segment at the given time and returns
+// the segments to transmit in response.
+func (e *Endpoint) HandleSegment(now float64, seg Segment) []Segment {
+	switch seg.Kind {
+	case SYN:
+		if !e.open[seg.LocalPort] {
+			if e.cfg.RespondOnClosed {
+				return []Segment{reply(seg, RST)}
+			}
+			return nil
+		}
+		k := key(seg)
+		if e.cfg.Behavior != NoRetransmit {
+			e.pending[k] = &pending{flow: k, deadline: now + e.cfg.InitialRTO}
+		}
+		return []Segment{reply(seg, SYNACK)}
+	case SYNACK:
+		// No modelled endpoint initiates connections, so every SYN-ACK is
+		// unexpected: answer with RST unless configured silent.
+		if e.cfg.SilentOnUnexpected {
+			return nil
+		}
+		return []Segment{reply(seg, RST)}
+	case RST:
+		if e.cfg.Behavior != IgnoreRST {
+			delete(e.pending, key(seg))
+		}
+		return nil
+	case ACK:
+		delete(e.pending, key(seg))
+		return nil
+	}
+	return nil
+}
+
+// NextDeadline returns the earliest retransmission deadline, if any.
+func (e *Endpoint) NextDeadline() (float64, bool) {
+	best := 0.0
+	found := false
+	for _, p := range e.pending {
+		if !found || p.deadline < best {
+			best, found = p.deadline, true
+		}
+	}
+	return best, found
+}
+
+// Tick fires retransmissions due at or before now and returns the segments
+// to transmit. Exhausted flows are dropped.
+func (e *Endpoint) Tick(now float64) []Segment {
+	var out []Segment
+	for k, p := range e.pending {
+		if p.deadline > now {
+			continue
+		}
+		if p.retries >= e.cfg.MaxRetries {
+			delete(e.pending, k)
+			continue
+		}
+		p.retries++
+		// Exponential backoff per RFC 6298 §5.5.
+		p.deadline = now + e.cfg.InitialRTO*float64(uint(1)<<uint(p.retries))
+		out = append(out, Segment{Peer: k.Peer, PeerPort: k.PeerPort, LocalPort: k.LocalPort, Kind: SYNACK})
+	}
+	return out
+}
+
+// PendingCount reports how many half-open connections are awaiting ACK.
+func (e *Endpoint) PendingCount() int { return len(e.pending) }
+
+// Reset drops all half-open connection state. Measurement harnesses call it
+// between rounds that restart virtual time, since deadlines are absolute.
+func (e *Endpoint) Reset() { e.pending = make(map[FlowKey]*pending) }
+
+// Listening reports whether the port is open.
+func (e *Endpoint) Listening(port uint16) bool { return e.open[port] }
+
+// reply builds the response segment mirroring the flow.
+func reply(seg Segment, kind Kind) Segment {
+	return Segment{Peer: seg.Peer, PeerPort: seg.PeerPort, LocalPort: seg.LocalPort, Kind: kind}
+}

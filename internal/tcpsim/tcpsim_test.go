@@ -1,0 +1,194 @@
+package tcpsim
+
+import (
+	"net/netip"
+	"testing"
+)
+
+var peer = netip.MustParseAddr("198.51.100.9")
+
+func seg(kind Kind, localPort uint16) Segment {
+	return Segment{Peer: peer, PeerPort: 40000, LocalPort: localPort, Kind: kind}
+}
+
+func TestSynToOpenPortGetsSynAck(t *testing.T) {
+	e := New(DefaultConfig(80))
+	out := e.HandleSegment(0, seg(SYN, 80))
+	if len(out) != 1 || out[0].Kind != SYNACK {
+		t.Fatalf("out = %+v", out)
+	}
+	if out[0].Peer != peer || out[0].PeerPort != 40000 || out[0].LocalPort != 80 {
+		t.Fatalf("reply flow wrong: %+v", out[0])
+	}
+	if e.PendingCount() != 1 {
+		t.Fatalf("pending = %d", e.PendingCount())
+	}
+}
+
+func TestSynToClosedPortGetsRst(t *testing.T) {
+	e := New(DefaultConfig(80))
+	out := e.HandleSegment(0, seg(SYN, 81))
+	if len(out) != 1 || out[0].Kind != RST {
+		t.Fatalf("out = %+v", out)
+	}
+	if e.PendingCount() != 0 {
+		t.Fatal("closed-port SYN must not create state")
+	}
+}
+
+func TestSynToClosedPortSilent(t *testing.T) {
+	cfg := DefaultConfig(80)
+	cfg.RespondOnClosed = false
+	e := New(cfg)
+	if out := e.HandleSegment(0, seg(SYN, 81)); out != nil {
+		t.Fatalf("out = %+v, want silence", out)
+	}
+}
+
+func TestUnexpectedSynAckGetsRst(t *testing.T) {
+	e := New(DefaultConfig())
+	out := e.HandleSegment(0, seg(SYNACK, 12345))
+	if len(out) != 1 || out[0].Kind != RST {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestSilentOnUnexpected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SilentOnUnexpected = true
+	e := New(cfg)
+	if out := e.HandleSegment(0, seg(SYNACK, 12345)); out != nil {
+		t.Fatalf("out = %+v, want silence", out)
+	}
+}
+
+func TestRetransmissionSchedule(t *testing.T) {
+	cfg := DefaultConfig(443)
+	cfg.InitialRTO = 3
+	cfg.MaxRetries = 2
+	e := New(cfg)
+	e.HandleSegment(0, seg(SYN, 443))
+
+	d, ok := e.NextDeadline()
+	if !ok || d != 3 {
+		t.Fatalf("deadline = %v %v, want 3", d, ok)
+	}
+	// Nothing fires early.
+	if out := e.Tick(2.9); out != nil {
+		t.Fatalf("early tick fired: %+v", out)
+	}
+	// First retransmission at t=3.
+	out := e.Tick(3)
+	if len(out) != 1 || out[0].Kind != SYNACK {
+		t.Fatalf("first retransmit = %+v", out)
+	}
+	// Backoff: next deadline at 3 + 3*2^1 = 9.
+	d, _ = e.NextDeadline()
+	if d != 9 {
+		t.Fatalf("backoff deadline = %v, want 9", d)
+	}
+	out = e.Tick(9)
+	if len(out) != 1 {
+		t.Fatalf("second retransmit = %+v", out)
+	}
+	// Retries exhausted: next tick drops the flow silently.
+	out = e.Tick(100)
+	if out != nil {
+		t.Fatalf("exhausted flow fired: %+v", out)
+	}
+	if e.PendingCount() != 0 {
+		t.Fatal("flow should be dropped after max retries")
+	}
+}
+
+func TestRstCancelsRetransmission(t *testing.T) {
+	e := New(DefaultConfig(443))
+	e.HandleSegment(0, seg(SYN, 443))
+	e.HandleSegment(1, seg(RST, 443))
+	if e.PendingCount() != 0 {
+		t.Fatal("RST should cancel the pending flow")
+	}
+	if out := e.Tick(10); out != nil {
+		t.Fatalf("cancelled flow fired: %+v", out)
+	}
+}
+
+func TestAckCancelsRetransmission(t *testing.T) {
+	e := New(DefaultConfig(443))
+	e.HandleSegment(0, seg(SYN, 443))
+	e.HandleSegment(1, seg(ACK, 443))
+	if e.PendingCount() != 0 {
+		t.Fatal("ACK should cancel the pending flow")
+	}
+}
+
+func TestIgnoreRSTBehavior(t *testing.T) {
+	cfg := DefaultConfig(443)
+	cfg.Behavior = IgnoreRST
+	e := New(cfg)
+	e.HandleSegment(0, seg(SYN, 443))
+	e.HandleSegment(1, seg(RST, 443))
+	if e.PendingCount() != 1 {
+		t.Fatal("IgnoreRST endpoint must keep retransmitting after RST")
+	}
+	if out := e.Tick(3); len(out) != 1 {
+		t.Fatalf("expected retransmission, got %+v", out)
+	}
+}
+
+func TestNoRetransmitBehavior(t *testing.T) {
+	cfg := DefaultConfig(443)
+	cfg.Behavior = NoRetransmit
+	e := New(cfg)
+	out := e.HandleSegment(0, seg(SYN, 443))
+	if len(out) != 1 || out[0].Kind != SYNACK {
+		t.Fatalf("SYN-ACK still expected, got %+v", out)
+	}
+	if e.PendingCount() != 0 {
+		t.Fatal("NoRetransmit must not track state")
+	}
+	if _, ok := e.NextDeadline(); ok {
+		t.Fatal("no deadline expected")
+	}
+}
+
+func TestIndependentFlows(t *testing.T) {
+	e := New(DefaultConfig(80, 443))
+	other := netip.MustParseAddr("203.0.113.7")
+	e.HandleSegment(0, Segment{Peer: peer, PeerPort: 1000, LocalPort: 80, Kind: SYN})
+	e.HandleSegment(0, Segment{Peer: other, PeerPort: 1000, LocalPort: 443, Kind: SYN})
+	if e.PendingCount() != 2 {
+		t.Fatalf("pending = %d, want 2", e.PendingCount())
+	}
+	// RST for one flow leaves the other.
+	e.HandleSegment(1, Segment{Peer: peer, PeerPort: 1000, LocalPort: 80, Kind: RST})
+	if e.PendingCount() != 1 {
+		t.Fatalf("pending = %d, want 1", e.PendingCount())
+	}
+	out := e.Tick(3)
+	if len(out) != 1 || out[0].Peer != other {
+		t.Fatalf("surviving retransmission = %+v", out)
+	}
+}
+
+func TestListening(t *testing.T) {
+	e := New(DefaultConfig(22, 80))
+	if !e.Listening(22) || !e.Listening(80) || e.Listening(443) {
+		t.Fatal("Listening wrong")
+	}
+}
+
+func TestZeroRTODefaults(t *testing.T) {
+	e := New(Config{OpenPorts: []uint16{80}})
+	e.HandleSegment(0, seg(SYN, 80))
+	// Zero InitialRTO in config must default, not hot-loop.
+	if d, ok := e.NextDeadline(); !ok || d <= 0 {
+		t.Fatalf("deadline = %v %v", d, ok)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if SYN.String() != "SYN" || SYNACK.String() != "SYN-ACK" || RST.String() != "RST" || ACK.String() != "ACK" {
+		t.Fatal("kind strings wrong")
+	}
+}

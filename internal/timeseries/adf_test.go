@@ -1,0 +1,103 @@
+package timeseries
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestADFStationarySeries(t *testing.T) {
+	x := genAR1(500, 1, 0.3, 1, 17)
+	r := ADF(x, -1)
+	if r.Degenerate {
+		t.Fatal("unexpected degenerate result")
+	}
+	if !r.StationaryAt(0.05) {
+		t.Fatalf("AR(1) with phi=0.3 should be detected stationary; stat=%v crit5=%v", r.Stat, r.Crit5)
+	}
+}
+
+func TestADFRandomWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x := make([]float64, 500)
+	for i := 1; i < len(x); i++ {
+		x[i] = x[i-1] + rng.NormFloat64()
+	}
+	r := ADF(x, -1)
+	if r.Degenerate {
+		t.Fatal("unexpected degenerate result")
+	}
+	if r.StationaryAt(0.05) {
+		t.Fatalf("random walk should not be stationary; stat=%v crit5=%v", r.Stat, r.Crit5)
+	}
+}
+
+func TestADFTrendingSeriesNonstationary(t *testing.T) {
+	// A strong linear trend plus noise is nonstationary for the
+	// constant-only specification; the paper switches to ARIMA here.
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, 400)
+	for i := range x {
+		x[i] = float64(i)*2 + rng.NormFloat64()
+	}
+	r := ADF(x, -1)
+	if r.Degenerate {
+		t.Fatal("unexpected degenerate result")
+	}
+	if r.StationaryAt(0.05) {
+		t.Fatalf("trending series should not be stationary; stat=%v", r.Stat)
+	}
+}
+
+func TestADFConstantSeriesDegenerate(t *testing.T) {
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = 7
+	}
+	r := ADF(x, -1)
+	if !r.Degenerate {
+		t.Fatal("constant series should be degenerate")
+	}
+	if !r.StationaryAt(0.05) {
+		t.Fatal("constant series should count as stationary")
+	}
+}
+
+func TestADFShortSeriesDegenerate(t *testing.T) {
+	r := ADF([]float64{1, 2, 3}, -1)
+	if !r.Degenerate {
+		t.Fatal("short series should be degenerate")
+	}
+}
+
+func TestADFCriticalValuesOrdering(t *testing.T) {
+	c1, c5, c10 := adfCritical(100)
+	if !(c1 < c5 && c5 < c10) {
+		t.Fatalf("critical values out of order: %v %v %v", c1, c5, c10)
+	}
+	// Must approach the asymptotic values as n grows.
+	a1, a5, a10 := adfCritical(1_000_000)
+	if a1 > -3.42 || a5 > -2.85 || a10 > -2.56 {
+		t.Fatalf("asymptotic criticals wrong: %v %v %v", a1, a5, a10)
+	}
+}
+
+func TestADFPowerAcrossSeeds(t *testing.T) {
+	// The 5% test should reject the (true) unit-root null at most ~5% of
+	// the time over many random walks; allow generous slack for a small
+	// number of trials.
+	rejected := 0
+	const trials = 60
+	for s := int64(0); s < trials; s++ {
+		rng := rand.New(rand.NewSource(100 + s))
+		x := make([]float64, 300)
+		for i := 1; i < len(x); i++ {
+			x[i] = x[i-1] + rng.NormFloat64()
+		}
+		if r := ADF(x, -1); !r.Degenerate && r.StationaryAt(0.05) {
+			rejected++
+		}
+	}
+	if rejected > trials/5 {
+		t.Fatalf("ADF rejected unit root %d/%d times, size badly off", rejected, trials)
+	}
+}

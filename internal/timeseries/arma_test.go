@@ -1,0 +1,139 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func genAR1(n int, c, phi, sigma float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	x[0] = c / (1 - phi)
+	for i := 1; i < n; i++ {
+		x[i] = c + phi*x[i-1] + rng.NormFloat64()*sigma
+	}
+	return x
+}
+
+func TestFitARMARecoverAR1(t *testing.T) {
+	x := genAR1(2000, 2, 0.6, 1, 42)
+	m, err := FitARMA(x, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Phi[0]-0.6) > 0.06 {
+		t.Fatalf("phi = %v, want ~0.6", m.Phi[0])
+	}
+	if math.Abs(m.C-2) > 0.35 {
+		t.Fatalf("c = %v, want ~2", m.C)
+	}
+	if math.Abs(m.Sigma2-1) > 0.15 {
+		t.Fatalf("sigma2 = %v, want ~1", m.Sigma2)
+	}
+}
+
+func TestFitARMARecoverARMA11(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 6000
+	x := make([]float64, n)
+	wPrev := 0.0
+	for i := 1; i < n; i++ {
+		w := rng.NormFloat64()
+		x[i] = 1 + 0.5*x[i-1] + w + 0.4*wPrev
+		wPrev = w
+	}
+	m, err := FitARMA(x, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Phi[0]-0.5) > 0.1 {
+		t.Fatalf("phi = %v, want ~0.5", m.Phi[0])
+	}
+	if math.Abs(m.Theta[0]-0.4) > 0.12 {
+		t.Fatalf("theta = %v, want ~0.4", m.Theta[0])
+	}
+}
+
+func TestFitARMATooShort(t *testing.T) {
+	if _, err := FitARMA([]float64{1, 2, 3}, 2, 2); err == nil {
+		t.Fatal("expected ErrTooShort")
+	}
+}
+
+func TestFitARMANegativeOrder(t *testing.T) {
+	if _, err := FitARMA(make([]float64, 100), -1, 0); err == nil {
+		t.Fatal("expected error for negative order")
+	}
+}
+
+func TestARMAForecastConvergesToMean(t *testing.T) {
+	x := genAR1(3000, 5, 0.5, 0.5, 3)
+	m, err := FitARMA(x, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, sd := m.Forecast(50)
+	// Stationary AR(1) forecast converges to c/(1−φ) = 10.
+	longRun := m.C / (1 - m.Phi[0])
+	if math.Abs(mean[49]-longRun) > 0.5 {
+		t.Fatalf("long forecast = %v, want ~%v", mean[49], longRun)
+	}
+	// Prediction sd must be nondecreasing and start near sigma.
+	for i := 1; i < len(sd); i++ {
+		if sd[i]+1e-12 < sd[i-1] {
+			t.Fatalf("sd not nondecreasing at %d: %v < %v", i, sd[i], sd[i-1])
+		}
+	}
+	if math.Abs(sd[0]-math.Sqrt(m.Sigma2)) > 1e-9 {
+		t.Fatalf("sd[0] = %v, want sqrt(sigma2) = %v", sd[0], math.Sqrt(m.Sigma2))
+	}
+}
+
+func TestPsiWeightsAR1(t *testing.T) {
+	m := &ARMA{Phi: []float64{0.5}, Sigma2: 1}
+	psi := m.PsiWeights(5)
+	want := []float64{1, 0.5, 0.25, 0.125, 0.0625}
+	for i := range want {
+		if math.Abs(psi[i]-want[i]) > 1e-12 {
+			t.Errorf("psi[%d] = %v, want %v", i, psi[i], want[i])
+		}
+	}
+}
+
+func TestPsiWeightsMA1(t *testing.T) {
+	m := &ARMA{Theta: []float64{0.7}, Sigma2: 1}
+	psi := m.PsiWeights(4)
+	want := []float64{1, 0.7, 0, 0}
+	for i := range want {
+		if math.Abs(psi[i]-want[i]) > 1e-12 {
+			t.Errorf("psi[%d] = %v, want %v", i, psi[i], want[i])
+		}
+	}
+}
+
+func TestARMAForecastZeroHorizon(t *testing.T) {
+	m := &ARMA{Phi: []float64{0.5}, Sigma2: 1}
+	mean, sd := m.Forecast(0)
+	if mean != nil || sd != nil {
+		t.Fatal("zero horizon should return nils")
+	}
+}
+
+func TestAICPrefersTrueOrder(t *testing.T) {
+	x := genAR1(3000, 0, 0.7, 1, 21)
+	m1, err := FitARMA(x, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := FitARMA(x, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The richer model may fit marginally better in-sample, but AIC's
+	// penalty should keep the parsimonious model competitive (within the
+	// 2-per-parameter penalty budget).
+	if m3.AIC() < m1.AIC()-8 {
+		t.Fatalf("AIC(ARMA(2,1)) = %v substantially beats AIC(AR(1)) = %v on AR(1) data", m3.AIC(), m1.AIC())
+	}
+}

@@ -1,0 +1,71 @@
+package timeseries
+
+import (
+	"math"
+
+	"github.com/netsec-lab/rovista/internal/stats"
+)
+
+// LjungBoxResult is a portmanteau test for residual autocorrelation: a
+// well-fitted ARMA/ARIMA model leaves white-noise residuals, so Q should be
+// small relative to the χ² threshold.
+type LjungBoxResult struct {
+	Q       float64 // the Ljung-Box statistic
+	Lags    int
+	DF      int     // degrees of freedom (lags − fitted parameters)
+	Crit    float64 // χ²(DF) critical value at the tested level
+	Passing bool    // residuals look like white noise
+}
+
+// LjungBox computes the Ljung-Box Q statistic over the first `lags`
+// autocorrelations of residuals, with `fitted` parameters subtracted from
+// the degrees of freedom, testing at significance alpha.
+func LjungBox(residuals []float64, lags, fitted int, alpha float64) LjungBoxResult {
+	n := len(residuals)
+	if lags <= 0 || n <= lags+1 {
+		// Too short to test: treat as passing.
+		df := lags - fitted
+		if df < 1 {
+			df = 1
+		}
+		return LjungBoxResult{Lags: lags, DF: df, Crit: ChiSquareQuantile(1-alpha, df), Passing: true}
+	}
+	q := 0.0
+	for k := 1; k <= lags; k++ {
+		r := stats.Autocorrelation(residuals, k)
+		if math.IsNaN(r) {
+			continue
+		}
+		q += r * r / float64(n-k)
+	}
+	q *= float64(n) * (float64(n) + 2)
+
+	df := lags - fitted
+	if df < 1 {
+		df = 1
+	}
+	crit := ChiSquareQuantile(1-alpha, df)
+	return LjungBoxResult{Q: q, Lags: lags, DF: df, Crit: crit, Passing: q <= crit}
+}
+
+// ChiSquareQuantile returns the p-quantile of the χ² distribution with df
+// degrees of freedom via the Wilson–Hilferty cube approximation (accurate to
+// a few parts in a thousand for df ≥ 1, plenty for diagnostics).
+func ChiSquareQuantile(p float64, df int) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	switch df {
+	case 1:
+		// χ²(1) is the square of a standard normal: exact.
+		z := stats.NormalQuantile((1 + p) / 2)
+		return z * z
+	case 2:
+		// χ²(2) is exponential with mean 2: exact.
+		return -2 * math.Log(1-p)
+	}
+	z := stats.NormalQuantile(p)
+	k := float64(df)
+	t := 1 - 2/(9*k) + z*math.Sqrt(2/(9*k))
+	return k * t * t * t
+}

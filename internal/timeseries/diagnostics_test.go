@@ -1,0 +1,101 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestChiSquareQuantileKnownValues(t *testing.T) {
+	// Reference values (df, p, quantile) from standard tables.
+	cases := []struct {
+		df   int
+		p    float64
+		want float64
+	}{
+		{1, 0.95, 3.841},
+		{5, 0.95, 11.070},
+		{10, 0.95, 18.307},
+		{10, 0.99, 23.209},
+		{30, 0.95, 43.773},
+	}
+	for _, c := range cases {
+		got := ChiSquareQuantile(c.p, c.df)
+		if math.Abs(got-c.want)/c.want > 0.01 {
+			t.Errorf("ChiSq(%v, %d) = %.3f, want %.3f", c.p, c.df, got, c.want)
+		}
+	}
+	if !math.IsNaN(ChiSquareQuantile(0.95, 0)) {
+		t.Fatal("df=0 should be NaN")
+	}
+}
+
+func TestLjungBoxWhiteNoisePasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	passes := 0
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		res := make([]float64, 200)
+		for j := range res {
+			res[j] = rng.NormFloat64()
+		}
+		if LjungBox(res, 10, 0, 0.05).Passing {
+			passes++
+		}
+	}
+	// Should pass ~95% of the time under the null.
+	if passes < trials*8/10 {
+		t.Fatalf("white noise passed only %d/%d", passes, trials)
+	}
+}
+
+func TestLjungBoxCorrelatedFails(t *testing.T) {
+	// Strongly autocorrelated residuals must fail.
+	rng := rand.New(rand.NewSource(9))
+	res := make([]float64, 300)
+	for j := 1; j < len(res); j++ {
+		res[j] = 0.8*res[j-1] + rng.NormFloat64()*0.3
+	}
+	if LjungBox(res, 10, 0, 0.05).Passing {
+		t.Fatal("AR(1) residuals passed the whiteness test")
+	}
+}
+
+func TestLjungBoxOnFittedModelResiduals(t *testing.T) {
+	// Fit the true model: residuals should be white. Fit a too-small model:
+	// residuals stay correlated.
+	rng := rand.New(rand.NewSource(13))
+	n := 2000
+	x := make([]float64, n)
+	for i := 2; i < n; i++ {
+		x[i] = 0.6*x[i-1] - 0.3*x[i-2] + rng.NormFloat64()
+	}
+	good, err := FitARMA(x, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodRes := residualsOf(good, x)
+	if !LjungBox(goodRes, 10, 2, 0.01).Passing {
+		t.Fatal("true-order fit left correlated residuals")
+	}
+}
+
+// residualsOf recomputes one-step-ahead residuals of a fitted AR model.
+func residualsOf(m *ARMA, x []float64) []float64 {
+	p := len(m.Phi)
+	var out []float64
+	for t := p; t < len(x); t++ {
+		pred := m.C
+		for i := 1; i <= p; i++ {
+			pred += m.Phi[i-1] * x[t-i]
+		}
+		out = append(out, x[t]-pred)
+	}
+	return out
+}
+
+func TestLjungBoxShortSeriesPasses(t *testing.T) {
+	if !LjungBox([]float64{1, 2}, 10, 0, 0.05).Passing {
+		t.Fatal("untestably short series should pass by default")
+	}
+}

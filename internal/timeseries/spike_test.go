@@ -1,0 +1,228 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIPIDDeltaWraparound(t *testing.T) {
+	cases := []struct {
+		a, b uint16
+		want uint16
+	}{
+		{0, 5, 5},
+		{100, 100, 0},
+		{0xFFFE, 3, 5},
+		{0xFFFF, 0, 1},
+		{5, 3, 0xFFFE}, // backwards reads as a huge forward jump
+	}
+	for _, c := range cases {
+		if got := IPIDDelta(c.a, c.b); got != c.want {
+			t.Errorf("IPIDDelta(%#x, %#x) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIPIDDeltaAdditiveProperty(t *testing.T) {
+	// delta(a, a+k) == k for all a, k (mod 2^16).
+	f := func(a, k uint16) bool {
+		return IPIDDelta(a, a+k) == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowthSeries(t *testing.T) {
+	gs := GrowthSeries([]uint16{10, 12, 15, 0xFFFF, 4})
+	want := []float64{2, 3, float64(uint16(0xFFFF - 15)), 5}
+	if len(gs) != len(want) {
+		t.Fatalf("len = %d, want %d", len(gs), len(want))
+	}
+	for i := range want {
+		if gs[i] != want[i] {
+			t.Errorf("gs[%d] = %v, want %v", i, gs[i], want[i])
+		}
+	}
+	if GrowthSeries([]uint16{1}) != nil {
+		t.Fatal("single sample should produce nil series")
+	}
+}
+
+func TestDetectorFindsObviousSpike(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pre := make([]float64, 10)
+	for i := range pre {
+		pre[i] = 3 + rng.Float64() // background ~3 pkt/interval
+	}
+	post := []float64{3.2, 14.1, 3.4, 3.1} // +10 spike at index 1
+	res := NewDetector().Detect(pre, post)
+	if len(res.Spikes) != 1 {
+		t.Fatalf("spikes = %+v, want exactly one", res.Spikes)
+	}
+	if res.Spikes[0].Index != 1 {
+		t.Fatalf("spike index = %d, want 1", res.Spikes[0].Index)
+	}
+	if !res.Usable {
+		t.Fatalf("low-noise vVP should be usable (FN=%v)", res.FNRate)
+	}
+}
+
+func TestDetectorNoSpikeInFlatTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	pre := make([]float64, 10)
+	post := make([]float64, 6)
+	for i := range pre {
+		pre[i] = 5 + rng.NormFloat64()*0.3
+	}
+	for i := range post {
+		post[i] = 5 + rng.NormFloat64()*0.3
+	}
+	res := NewDetector().Detect(pre, post)
+	if len(res.Spikes) != 0 {
+		t.Fatalf("false spikes detected: %+v", res.Spikes)
+	}
+}
+
+func TestDetectorUnusableWhenNoisy(t *testing.T) {
+	// Background noise so large that a 10-packet spike is undetectable.
+	rng := rand.New(rand.NewSource(77))
+	pre := make([]float64, 12)
+	for i := range pre {
+		pre[i] = 200 + rng.NormFloat64()*80
+	}
+	res := NewDetector().Detect(pre, []float64{230})
+	if res.Usable {
+		t.Fatalf("high-noise vVP should be excluded (FN=%v)", res.FNRate)
+	}
+}
+
+func TestDetectorEmptyPost(t *testing.T) {
+	res := NewDetector().Detect([]float64{1, 2, 3}, nil)
+	if res.Usable || len(res.Spikes) != 0 {
+		t.Fatal("empty post window must be unusable with no spikes")
+	}
+}
+
+func TestDetectorFalsePositiveRate(t *testing.T) {
+	// Under the null (no spike) the per-point rejection rate should be
+	// near alpha. Aggregate over many trials.
+	det := NewDetector()
+	trials, points, fp := 200, 5, 0
+	for s := 0; s < trials; s++ {
+		rng := rand.New(rand.NewSource(int64(1000 + s)))
+		pre := make([]float64, 10)
+		post := make([]float64, points)
+		for i := range pre {
+			pre[i] = 4 + rng.NormFloat64()
+		}
+		for i := range post {
+			post[i] = 4 + rng.NormFloat64()
+		}
+		fp += len(det.Detect(pre, post).Spikes)
+	}
+	rate := float64(fp) / float64(trials*points)
+	// Small-sample fits inflate the rate somewhat; it must stay well below
+	// a naive threshold detector's but need not be exactly 5%.
+	if rate > 0.15 {
+		t.Fatalf("false positive rate %v too high", rate)
+	}
+}
+
+func TestDetectorTrendingBackground(t *testing.T) {
+	// A vVP whose background rate ramps up (nonstationary) must not fire
+	// just because of the trend — this is why the paper uses ARIMA.
+	pre := make([]float64, 12)
+	for i := range pre {
+		pre[i] = float64(2 + i) // deterministic ramp: 2,3,...,13
+	}
+	post := []float64{14, 15, 16} // ramp continues, no spike
+	res := NewDetector().Detect(pre, post)
+	for _, s := range res.Spikes {
+		if s.Excess > 5 {
+			t.Fatalf("trend misread as spike: %+v", s)
+		}
+	}
+}
+
+func TestMeanModelFallback(t *testing.T) {
+	m := NewMeanModel([]float64{4, 4, 4, 4})
+	mean, sd := m.Forecast(3)
+	for i := range mean {
+		if mean[i] != 4 {
+			t.Fatalf("mean[%d] = %v, want 4", i, mean[i])
+		}
+		if sd[i] <= 0 {
+			t.Fatalf("sd[%d] = %v, want > 0 floor", i, sd[i])
+		}
+	}
+}
+
+func TestMeanModelEmptySeries(t *testing.T) {
+	m := NewMeanModel(nil)
+	mean, sd := m.Forecast(1)
+	if math.IsNaN(mean[0]) || math.IsNaN(sd[0]) {
+		t.Fatal("empty-series fallback must not produce NaN")
+	}
+}
+
+func TestFitAutoStationaryPicksARMA(t *testing.T) {
+	x := genAR1(400, 1, 0.4, 1, 55)
+	f := FitAuto(x, 0.05)
+	if _, ok := f.(*ARMA); !ok {
+		t.Fatalf("FitAuto on stationary series returned %T, want *ARMA", f)
+	}
+}
+
+func TestFitAutoRandomWalkPicksARIMA(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	x := make([]float64, 400)
+	for i := 1; i < len(x); i++ {
+		x[i] = x[i-1] + rng.NormFloat64()
+	}
+	f := FitAuto(x, 0.05)
+	if _, ok := f.(*ARIMA); !ok {
+		t.Fatalf("FitAuto on random walk returned %T, want *ARIMA", f)
+	}
+}
+
+func TestFitAutoTinySeriesFallsBack(t *testing.T) {
+	f := FitAuto([]float64{1, 2}, 0.05)
+	if _, ok := f.(*MeanModel); !ok {
+		t.Fatalf("FitAuto on tiny series returned %T, want *MeanModel", f)
+	}
+}
+
+func TestARIMAForecastRandomWalkWithDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x := make([]float64, 2000)
+	for i := 1; i < len(x); i++ {
+		x[i] = x[i-1] + 2 + rng.NormFloat64()*0.5
+	}
+	m, err := FitARIMA(x, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, sd := m.Forecast(5)
+	last := x[len(x)-1]
+	// Forecast should continue the drift: ~last + 2k.
+	for k := 0; k < 5; k++ {
+		want := last + 2*float64(k+1)
+		if math.Abs(mean[k]-want) > 3 {
+			t.Fatalf("forecast[%d] = %v, want ~%v", k, mean[k], want)
+		}
+	}
+	for i := 1; i < len(sd); i++ {
+		if sd[i] < sd[i-1] {
+			t.Fatalf("integrated sd must grow: %v", sd)
+		}
+	}
+}
+
+func TestFitARIMANegativeD(t *testing.T) {
+	if _, err := FitARIMA(make([]float64, 50), 1, -1, 0); err == nil {
+		t.Fatal("expected error for negative d")
+	}
+}

@@ -1,0 +1,34 @@
+package topology
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func BenchmarkConvergeDefault(b *testing.B) {
+	topo := Generate(DefaultConfig(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := topo.Graph.Converge(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvergeIncremental(b *testing.B) {
+	topo := Generate(DefaultConfig(1))
+	if _, err := topo.Graph.Converge(); err != nil {
+		b.Fatal(err)
+	}
+	// Re-converge 20 prefixes (a typical per-snapshot dirty set).
+	var ps []netip.Prefix
+	for _, asn := range topo.ASNs[:20] {
+		ps = append(ps, topo.Info[asn].Prefixes[0])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := topo.Graph.ConvergePrefixes(ps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

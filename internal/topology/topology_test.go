@@ -1,0 +1,257 @@
+package topology
+
+import (
+	"testing"
+
+	"github.com/netsec-lab/rovista/internal/bgp"
+	"github.com/netsec-lab/rovista/internal/inet"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		NumTier1:      4,
+		NumTier2:      10,
+		NumTier3:      30,
+		NumStub:       80,
+		PrefixesPerAS: 1.2,
+		Tier2PeerProb: 0.3,
+		Tier3PeerProb: 0.05,
+		MultihomeProb: 0.4,
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	topo := Generate(smallConfig(1))
+	if len(topo.ASNs) != 4+10+30+80 {
+		t.Fatalf("AS count = %d", len(topo.ASNs))
+	}
+	counts := map[Tier]int{}
+	for _, info := range topo.Info {
+		counts[info.Tier]++
+	}
+	if counts[Tier1] != 4 || counts[Tier2] != 10 || counts[Tier3] != 30 || counts[Stub] != 80 {
+		t.Fatalf("tier counts = %v", counts)
+	}
+}
+
+func TestTier1Clique(t *testing.T) {
+	topo := Generate(smallConfig(2))
+	for i, a := range topo.Tier1 {
+		asA := topo.Graph.AS(a)
+		for j, b := range topo.Tier1 {
+			if i == j {
+				continue
+			}
+			if rel, ok := asA.Neighbors[b]; !ok || rel != bgp.Peer {
+				t.Fatalf("tier1 %v-%v not peering (rel=%v ok=%v)", a, b, rel, ok)
+			}
+		}
+		// Transit-free: no providers.
+		for nbr, rel := range asA.Neighbors {
+			if rel == bgp.Provider {
+				t.Fatalf("tier1 %v has provider %v", a, nbr)
+			}
+		}
+	}
+}
+
+func TestEveryNonTier1HasProvider(t *testing.T) {
+	topo := Generate(smallConfig(3))
+	for _, asn := range topo.ASNs {
+		if topo.Info[asn].Tier == Tier1 {
+			continue
+		}
+		if len(topo.Providers(asn)) == 0 {
+			t.Fatalf("%v (%v) has no provider", asn, topo.Info[asn].Tier)
+		}
+	}
+}
+
+func TestPrefixesUniqueAndOwned(t *testing.T) {
+	topo := Generate(smallConfig(4))
+	seen := map[string]inet.ASN{}
+	for _, asn := range topo.ASNs {
+		info := topo.Info[asn]
+		if len(info.Prefixes) == 0 {
+			t.Fatalf("%v has no prefixes", asn)
+		}
+		for _, p := range info.Prefixes {
+			if owner, dup := seen[p.String()]; dup {
+				t.Fatalf("prefix %v allocated to both %v and %v", p, owner, asn)
+			}
+			seen[p.String()] = asn
+			if p.Bits() != 16 {
+				t.Fatalf("prefix %v not a /16", p)
+			}
+		}
+		// Graph originations must match the metadata.
+		got := topo.Graph.AS(asn).Originated
+		if len(got) != len(info.Prefixes) {
+			t.Fatalf("origination mismatch for %v", asn)
+		}
+	}
+}
+
+func TestConesAndRanks(t *testing.T) {
+	topo := Generate(smallConfig(5))
+	// Every AS's cone includes itself.
+	for _, asn := range topo.ASNs {
+		if topo.Info[asn].ConeSize < 1 {
+			t.Fatalf("%v cone = %d", asn, topo.Info[asn].ConeSize)
+		}
+	}
+	// A provider's cone strictly contains each customer's cone size-wise.
+	for _, asn := range topo.ASNs {
+		for _, c := range topo.Customers(asn) {
+			if topo.Info[asn].ConeSize <= topo.Info[c].ConeSize {
+				t.Fatalf("provider %v cone %d <= customer %v cone %d",
+					asn, topo.Info[asn].ConeSize, c, topo.Info[c].ConeSize)
+			}
+		}
+	}
+	// Ranks are a permutation of 1..N ordered by cone size.
+	byRank := topo.ByRank()
+	if len(byRank) != len(topo.ASNs) {
+		t.Fatal("ByRank length mismatch")
+	}
+	for i := 1; i < len(byRank); i++ {
+		prev, cur := topo.Info[byRank[i-1]], topo.Info[byRank[i]]
+		if prev.ConeSize < cur.ConeSize {
+			t.Fatalf("rank order violates cone order at %d", i)
+		}
+	}
+	// Tier-1s should dominate the top ranks.
+	topTier1 := 0
+	for _, asn := range byRank[:4] {
+		if topo.Info[asn].Tier == Tier1 {
+			topTier1++
+		}
+	}
+	if topTier1 < 3 {
+		t.Fatalf("only %d tier-1s in top 4 ranks", topTier1)
+	}
+}
+
+func TestStubsAreLowRanked(t *testing.T) {
+	topo := Generate(smallConfig(6))
+	byRank := topo.ByRank()
+	// The bottom half of the ranking should be overwhelmingly stubs.
+	stubs := 0
+	half := byRank[len(byRank)/2:]
+	for _, asn := range half {
+		if topo.Info[asn].Tier == Stub {
+			stubs++
+		}
+	}
+	if float64(stubs)/float64(len(half)) < 0.7 {
+		t.Fatalf("bottom half only %d/%d stubs", stubs, len(half))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(smallConfig(7))
+	b := Generate(smallConfig(7))
+	if len(a.ASNs) != len(b.ASNs) {
+		t.Fatal("AS count differs across runs")
+	}
+	for _, asn := range a.ASNs {
+		ia, ib := a.Info[asn], b.Info[asn]
+		if ia.Tier != ib.Tier || ia.RIR != ib.RIR || ia.ConeSize != ib.ConeSize || ia.Rank != ib.Rank {
+			t.Fatalf("metadata differs for %v: %+v vs %+v", asn, ia, ib)
+		}
+		na, nb := a.Graph.AS(asn).Neighbors, b.Graph.AS(asn).Neighbors
+		if len(na) != len(nb) {
+			t.Fatalf("neighbor count differs for %v", asn)
+		}
+		for n, rel := range na {
+			if nb[n] != rel {
+				t.Fatalf("relationship differs for %v-%v", asn, n)
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := Generate(smallConfig(8))
+	b := Generate(smallConfig(9))
+	same := true
+	for _, asn := range a.ASNs {
+		na, nb := a.Graph.AS(asn).Neighbors, b.Graph.AS(asn).Neighbors
+		if len(na) != len(nb) {
+			same = false
+			break
+		}
+		for n, rel := range na {
+			if nb[n] != rel {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestFullConvergenceAndReachability(t *testing.T) {
+	topo := Generate(smallConfig(10))
+	rounds, err := topo.Graph.Converge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds == 0 {
+		t.Fatal("expected at least one convergence round")
+	}
+	// Every AS should be able to reach every originated prefix (no ROV,
+	// fully connected hierarchy).
+	asns := topo.ASNs
+	missed := 0
+	total := 0
+	for _, src := range asns[:20] { // sample sources
+		for _, dst := range asns[len(asns)-20:] { // sample destinations
+			if src == dst {
+				continue
+			}
+			total++
+			addr := inet.NthAddr(topo.Info[dst].Prefixes[0], 1)
+			if !topo.Graph.Reachable(src, addr) {
+				missed++
+			}
+		}
+	}
+	if missed > 0 {
+		t.Fatalf("%d/%d sampled paths unreachable in a clean world", missed, total)
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if Tier1.String() != "tier1" || Stub.String() != "stub" {
+		t.Fatal("tier strings wrong")
+	}
+}
+
+func TestIsStubWithSingleProvider(t *testing.T) {
+	topo := Generate(smallConfig(11))
+	found := false
+	for _, asn := range topo.ASNs {
+		if topo.IsStubWithSingleProvider(asn) {
+			found = true
+			if topo.Info[asn].Tier != Stub || len(topo.Providers(asn)) != 1 {
+				t.Fatalf("misclassified %v", asn)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("expected at least one single-homed stub")
+	}
+}
+
+func TestDefaultConfigGenerates(t *testing.T) {
+	topo := Generate(DefaultConfig(1))
+	if len(topo.ASNs) != 8+60+250+900 {
+		t.Fatalf("default world size = %d", len(topo.ASNs))
+	}
+	if _, err := topo.Graph.Converge(); err != nil {
+		t.Fatal(err)
+	}
+}
