@@ -1,0 +1,31 @@
+# Developer entry points. `make check` is the tier-1 gate: everything a
+# change must pass before it lands.
+
+GO ?= go
+
+.PHONY: check vet build test race bench clean
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race run focuses on the packages with real concurrency: the parallel
+# pair-measurement executor (core, pipeline) and the host/network state it
+# clones and overlays (netsim).
+race:
+	$(GO) test -race ./internal/core/ ./internal/netsim/ ./internal/pipeline/
+
+# Round benchmarks: serial vs parallel executor on one full measurement
+# round. Identical results either way; only wall-clock differs.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMeasureRound' -benchtime 5x .
+
+clean:
+	$(GO) clean ./...

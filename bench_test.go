@@ -13,6 +13,37 @@ import (
 	"github.com/netsec-lab/rovista/internal/experiments"
 )
 
+// benchmarkMeasureRound times one full measurement round (all five pipeline
+// stages) against a prebuilt small world; the world build and convergence
+// sit outside the timer, and a warm-up round outside the timer fills the
+// vVP cache so iterations compare the measurement itself.
+func benchmarkMeasureRound(b *testing.B, workers int) {
+	w, err := BuildWorld(SmallWorldConfig(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.AdvanceTo(0); err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultRunnerConfig(7)
+	cfg.Workers = workers
+	r := NewRunner(w, cfg)
+	if snap := r.Measure(); len(snap.Reports) == 0 {
+		b.Fatal("no reports")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Measure()
+	}
+}
+
+// BenchmarkMeasureRoundSerial and BenchmarkMeasureRoundParallel compare the
+// pair-measurement executor at 1 worker vs one per CPU. Results are
+// bit-for-bit identical either way (TestMeasureParallelDeterminism); only
+// wall-clock differs, proportional to available cores.
+func BenchmarkMeasureRoundSerial(b *testing.B)   { benchmarkMeasureRound(b, 1) }
+func BenchmarkMeasureRoundParallel(b *testing.B) { benchmarkMeasureRound(b, 0) }
+
 func BenchmarkFig1ROACoverage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.Fig1(1, io.Discard)

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	rovista [-seed N] [-day D] [-size small|medium|large] [-top K] [-v]
+//	        [-workers N] [-progress] [-timings]
 package main
 
 import (
@@ -26,6 +27,9 @@ func main() {
 	top := flag.Int("top", 25, "print the top K scored ASes (0 = all)")
 	verbose := flag.Bool("v", false, "print per-AS details")
 	format := flag.String("format", "table", "output format: table, json or csv")
+	workers := flag.Int("workers", 0, "pair-measurement workers (0 = all CPUs, 1 = serial; results are identical for any value)")
+	progress := flag.Bool("progress", false, "print per-stage progress to stderr")
+	timings := flag.Bool("timings", false, "print per-stage wall-clock timings and pair counters to stderr")
 	flag.Parse()
 
 	cfg, err := worldConfig(*size, *seed)
@@ -51,8 +55,21 @@ func main() {
 		os.Exit(1)
 	}
 
-	runner := core.NewRunner(w, core.DefaultRunnerConfig(*seed))
+	rcfg := core.DefaultRunnerConfig(*seed)
+	rcfg.Workers = *workers
+	if *progress {
+		rcfg.Progress = func(stage string, done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%-16s %d/%d", stage, done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	runner := core.NewRunner(w, rcfg)
 	snap := runner.Measure()
+	if *timings {
+		fmt.Fprint(os.Stderr, snap.Metrics.String())
+	}
 
 	switch *format {
 	case "json":

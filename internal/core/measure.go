@@ -1,0 +1,238 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+
+	"github.com/netsec-lab/rovista/internal/detect"
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/pipeline"
+	"github.com/netsec-lab/rovista/internal/scan"
+	"github.com/netsec-lab/rovista/internal/seedmix"
+)
+
+// Stage names, as they appear in Metrics and Progress callbacks.
+const (
+	StageTestPrefixes  = "test-prefixes"
+	StageQualifyTNodes = "qualify-tnodes"
+	StageDiscoverVVPs  = "discover-vvps"
+	StageMeasurePairs  = "measure-pairs"
+	StageScore         = "score"
+)
+
+// World-backed default stage implementations. Each wraps the Runner so the
+// staged Measure below and any experiment that swaps a single stage share
+// the same code paths.
+
+// worldPrefixSource selects exclusively-invalid prefixes from the
+// collector's partial view (§3.2).
+type worldPrefixSource struct{ r *Runner }
+
+func (s worldPrefixSource) TestPrefixes() []netip.Prefix {
+	w := s.r.W
+	return w.Collector.Snapshot(w.Graph).ExclusivelyInvalid(w.VRPs)
+}
+
+// worldTNodeQualifier discovers and qualifies tNodes (§4.1) and applies the
+// false-tNode mitigation.
+type worldTNodeQualifier struct{ r *Runner }
+
+func (q worldTNodeQualifier) QualifyTNodes(prefixes []netip.Prefix) []scan.TNode {
+	return q.r.filterFalseTNodes(q.r.scanner().DiscoverTNodes(prefixes))
+}
+
+// worldVVPProvider runs (or serves the cached) §4.2 vVP discovery.
+type worldVVPProvider struct{ r *Runner }
+
+func (p worldVVPProvider) DiscoverVVPs() []scan.VVP { return p.r.DiscoverVVPs() }
+
+// isolatedPairMeasurer measures one pair inside an isolated context (cloned
+// hosts on a network overlay), with the pair's seed derived from
+// (round seed, AS, tNode index, vVP index) through the splitmix64 mixer —
+// collision-free where the old shift-xor packing aliased (ti, vi)
+// combinations. Isolation is what lets the executor run pairs on any number
+// of workers with bit-for-bit identical results.
+type isolatedPairMeasurer struct{ r *Runner }
+
+func (m isolatedPairMeasurer) MeasurePair(p pipeline.Pair) detect.PairResult {
+	seed := seedmix.Mix(m.r.Cfg.Seed, int64(uint32(p.ASN)), int64(p.TNodeIdx), int64(p.VVPIdx))
+	return detect.MeasurePairIsolated(m.r.W.Net, m.r.W.ClientA, p.VVP.Addr, p.TNode, seed, m.r.Cfg.Detect)
+}
+
+// Stage accessors: the override field when set, the world-backed default
+// otherwise.
+
+func (r *Runner) prefixSource() pipeline.TestPrefixSource {
+	if r.Prefixes != nil {
+		return r.Prefixes
+	}
+	return worldPrefixSource{r}
+}
+
+func (r *Runner) tnodeQualifier() pipeline.TNodeQualifier {
+	if r.TNodes != nil {
+		return r.TNodes
+	}
+	return worldTNodeQualifier{r}
+}
+
+func (r *Runner) vvpProvider() pipeline.VVPProvider {
+	if r.VVPs != nil {
+		return r.VVPs
+	}
+	return worldVVPProvider{r}
+}
+
+func (r *Runner) pairMeasurer() pipeline.PairMeasurer {
+	if r.Measurer != nil {
+		return r.Measurer
+	}
+	return isolatedPairMeasurer{r}
+}
+
+func (r *Runner) scorer() pipeline.Scorer {
+	if r.Scorer != nil {
+		return r.Scorer
+	}
+	return pipeline.UnanimityScorer{}
+}
+
+// progress forwards to the configured callback, if any.
+func (r *Runner) progress(stage string, done, total int) {
+	if r.Cfg.Progress != nil {
+		r.Cfg.Progress(stage, done, total)
+	}
+}
+
+// asUnit is one AS's slice of the round's flat pair grid.
+type asUnit struct {
+	asn    inet.ASN
+	vvps   []scan.VVP // capped at MaxVVPsPerAS
+	offset int        // index of the AS's first pair in the flat layout
+}
+
+// Measure runs one complete RoVista round at the world's current day as a
+// composition of five pipeline stages:
+//
+//	TestPrefixSource → TNodeQualifier → VVPProvider → PairMeasurer → Scorer
+//
+// The pair-measurement stage runs on Cfg.Workers goroutines. Every pair is
+// measured in an isolated context whose state derives only from the pair's
+// identity and the round seed, so the flat result grid — and therefore the
+// whole Snapshot — is identical for every worker count.
+func (r *Runner) Measure() *Snapshot {
+	w := r.W
+	ex := &pipeline.Executor{Workers: r.Cfg.Workers}
+	metrics := &pipeline.Metrics{Workers: ex.PoolSize()}
+	snap := &Snapshot{
+		Day:                w.Day,
+		VVPsByAS:           make(map[inet.ASN][]scan.VVP),
+		Reports:            make(map[inet.ASN]*ASReport),
+		VVPBackgroundRates: make(map[inet.ASN][]float64),
+		Metrics:            metrics,
+	}
+
+	// 1. Collector view → exclusively-invalid test prefixes (§3.2).
+	stop := metrics.StartStage(StageTestPrefixes)
+	testPrefixes := r.prefixSource().TestPrefixes()
+	stop()
+	snap.TestPrefixes = len(testPrefixes)
+	r.progress(StageTestPrefixes, 1, 1)
+
+	// 2. tNode discovery, qualification and false-tNode removal (§4.1).
+	stop = metrics.StartStage(StageQualifyTNodes)
+	snap.TNodes = r.tnodeQualifier().QualifyTNodes(testPrefixes)
+	stop()
+	r.progress(StageQualifyTNodes, 1, 1)
+	if len(snap.TNodes) < r.Cfg.MinTNodes {
+		return snap
+	}
+
+	// 3. vVP discovery (§4.2) and the background-traffic cutoff (§6.1).
+	stop = metrics.StartStage(StageDiscoverVVPs)
+	all := r.vvpProvider().DiscoverVVPs()
+	stop()
+	r.progress(StageDiscoverVVPs, 1, 1)
+	snap.AllVVPs = len(all)
+	for _, v := range all {
+		snap.VVPBackgroundRates[v.ASN] = append(snap.VVPBackgroundRates[v.ASN], v.BackgroundRate)
+		if v.BackgroundRate <= r.Cfg.BackgroundCutoff {
+			snap.VVPsByAS[v.ASN] = append(snap.VVPsByAS[v.ASN], v)
+		}
+	}
+
+	// 4. Per-pair measurement. The grid is laid out AS-by-AS in ascending
+	// ASN order, (tNode, vVP)-major within an AS; pair i always lands in
+	// results[i], so execution order (and worker count) cannot change the
+	// outcome — only isolation makes that true, see isolatedPairMeasurer.
+	asns := make([]inet.ASN, 0, len(snap.VVPsByAS))
+	for asn := range snap.VVPsByAS {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	var units []asUnit
+	var pairs []pipeline.Pair
+	for _, asn := range asns {
+		vvps := snap.VVPsByAS[asn]
+		if len(vvps) < r.Cfg.MinVVPsPerAS {
+			continue
+		}
+		if len(vvps) > r.Cfg.MaxVVPsPerAS {
+			vvps = vvps[:r.Cfg.MaxVVPsPerAS]
+		}
+		units = append(units, asUnit{asn: asn, vvps: vvps, offset: len(pairs)})
+		for ti, tn := range snap.TNodes {
+			for vi, v := range vvps {
+				pairs = append(pairs, pipeline.Pair{ASN: asn, TNodeIdx: ti, VVPIdx: vi, TNode: tn, VVP: v})
+			}
+		}
+	}
+	stop = metrics.StartStage(StageMeasurePairs)
+	measurer := r.pairMeasurer()
+	results := make([]detect.PairResult, len(pairs))
+	if r.Cfg.Progress != nil {
+		ex.Progress = func(done, total int) { r.progress(StageMeasurePairs, done, total) }
+	}
+	ex.ForEach(len(pairs), func(i int) { results[i] = measurer.MeasurePair(pairs[i]) })
+	stop()
+	metrics.PairsMeasured = len(results)
+	for _, res := range results {
+		if res.Usable {
+			metrics.PairsUsable++
+		} else {
+			metrics.PairsDiscarded++
+		}
+	}
+	if r.Cfg.RecordPairs {
+		snap.PairResults = append(snap.PairResults, results...)
+	}
+
+	// 5. Per-AS scoring with the §6.2 unanimity rule.
+	stop = metrics.StartStage(StageScore)
+	scorer := r.scorer()
+	consistent, totalCells := 0, 0
+	for _, u := range units {
+		n := len(snap.TNodes) * len(u.vvps)
+		out := scorer.ScoreAS(u.asn, snap.TNodes, len(u.vvps), results[u.offset:u.offset+n])
+		consistent += out.ConsistentCells
+		totalCells += out.TotalCells
+		if out.TNodesMeasured == 0 {
+			continue
+		}
+		snap.Reports[u.asn] = &ASReport{
+			ASN:            u.asn,
+			Score:          out.Score,
+			VVPs:           len(u.vvps),
+			TNodesMeasured: out.TNodesMeasured,
+			TNodesFiltered: out.TNodesFiltered,
+			Unanimous:      out.Unanimous,
+			Verdicts:       out.Verdicts,
+		}
+	}
+	stop()
+	r.progress(StageScore, 1, 1)
+	if totalCells > 0 {
+		snap.ConsistentPairFraction = float64(consistent) / float64(totalCells)
+	}
+	return snap
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"github.com/netsec-lab/rovista/internal/detect"
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/pipeline"
+	"github.com/netsec-lab/rovista/internal/scan"
+)
+
+// measureWith builds a fresh world for (wcfg, seed), advances it to day 0,
+// and runs one full round with the given worker count, recording raw pair
+// results. Fresh worlds per run isolate the comparison from the host-state
+// evolution the discovery scans cause.
+func measureWith(t *testing.T, wcfg WorldConfig, seed int64, workers int) *Snapshot {
+	t.Helper()
+	w, err := BuildWorld(wcfg)
+	if err != nil {
+		t.Fatalf("BuildWorld: %v", err)
+	}
+	if err := w.AdvanceTo(0); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+	cfg := DefaultRunnerConfig(seed)
+	cfg.Workers = workers
+	cfg.RecordPairs = true
+	snap := NewRunner(w, cfg).Measure()
+	// Timings legitimately differ between runs; null them for comparison.
+	snap.Metrics = nil
+	return snap
+}
+
+// TestMeasureParallelDeterminism is the pipeline's core contract: because
+// every pair measures inside an isolated context whose state derives only
+// from (seed, AS, tNode index, vVP index), the full snapshot — reports,
+// consistency fraction, and every raw pair sample — must be bit-for-bit
+// identical for any worker count.
+func TestMeasureParallelDeterminism(t *testing.T) {
+	tiny := SmallWorldConfig(0) // second world size: ~half the ASes
+	tiny.Topology.NumTier3 = 15
+	tiny.Topology.NumStub = 40
+
+	cases := []struct {
+		name string
+		cfg  func(seed int64) WorldConfig
+		seed int64
+	}{
+		{"small/seed5", SmallWorldConfig, 5},
+		{"small/seed11", SmallWorldConfig, 11},
+		{"tiny/seed5", func(seed int64) WorldConfig {
+			c := tiny
+			c.Seed = seed
+			c.Topology.Seed = seed
+			return c
+		}, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := measureWith(t, tc.cfg(tc.seed), tc.seed, 1)
+			if len(want.PairResults) == 0 {
+				t.Fatal("round measured no pairs; determinism check is vacuous")
+			}
+			for _, workers := range []int{2, 8} {
+				got := measureWith(t, tc.cfg(tc.seed), tc.seed, workers)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("workers=%d produced a different snapshot than serial", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestVVPCacheAutoInvalidation covers the generation-keyed cache: adding
+// hosts used to require an explicit InvalidateVVPCache call, and forgetting
+// it served stale discoveries.
+func TestVVPCacheAutoInvalidation(t *testing.T) {
+	w, err := BuildWorld(SmallWorldConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AdvanceTo(0); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(w, DefaultRunnerConfig(9))
+	before := len(r.DiscoverVVPs())
+	w.AddCandidateHosts(w.Topo.ASNs[0], 4)
+	after := len(r.DiscoverVVPs())
+	if after <= before {
+		t.Fatalf("cache not refreshed after host additions: %d then %d vVPs", before, after)
+	}
+}
+
+// Fake stages for exercising Measure's composition without a simulation.
+
+type fakePrefixes struct{ prefixes []netip.Prefix }
+
+func (f fakePrefixes) TestPrefixes() []netip.Prefix { return f.prefixes }
+
+type fakeTNodes struct{ tns []scan.TNode }
+
+func (f fakeTNodes) QualifyTNodes([]netip.Prefix) []scan.TNode { return f.tns }
+
+type fakeVVPs struct{ vvps []scan.VVP }
+
+func (f fakeVVPs) DiscoverVVPs() []scan.VVP { return f.vvps }
+
+// fakeMeasurer judges every pair usable: outbound-filtered for one AS,
+// reachable for the rest.
+type fakeMeasurer struct{ filtered inet.ASN }
+
+func (f fakeMeasurer) MeasurePair(p pipeline.Pair) detect.PairResult {
+	out := detect.NoFiltering
+	if p.ASN == f.filtered {
+		out = detect.OutboundFiltering
+	}
+	return detect.PairResult{VVP: p.VVP.Addr, TNode: p.TNode, Usable: true, Outcome: out}
+}
+
+// TestMeasureStageOverrides drives a full round through injected stages —
+// no world simulation at all — verifying Measure is a pure composition of
+// the five pipeline stages plus the §6.1 cutoff and §6.2 aggregation.
+func TestMeasureStageOverrides(t *testing.T) {
+	a := func(last byte) netip.Addr { return netip.AddrFrom4([4]byte{192, 0, 2, last}) }
+	tns := []scan.TNode{
+		{Addr: a(1), Port: 443},
+		{Addr: a(2), Port: 443},
+		{Addr: a(3), Port: 443},
+	}
+	vvps := []scan.VVP{
+		{Addr: a(10), ASN: 100, BackgroundRate: 1},
+		{Addr: a(11), ASN: 100, BackgroundRate: 2},
+		{Addr: a(20), ASN: 200, BackgroundRate: 1},
+		{Addr: a(21), ASN: 200, BackgroundRate: 2},
+		{Addr: a(30), ASN: 300, BackgroundRate: 50}, // above the §6.1 cutoff
+		{Addr: a(31), ASN: 300, BackgroundRate: 60},
+	}
+	r := NewRunner(&World{}, DefaultRunnerConfig(1))
+	r.Prefixes = fakePrefixes{prefixes: []netip.Prefix{netip.MustParsePrefix("198.51.100.0/24")}}
+	r.TNodes = fakeTNodes{tns: tns}
+	r.VVPs = fakeVVPs{vvps: vvps}
+	r.Measurer = fakeMeasurer{filtered: 100}
+
+	snap := r.Measure()
+	if snap.TestPrefixes != 1 || len(snap.TNodes) != 3 || snap.AllVVPs != 6 {
+		t.Fatalf("stage outputs not threaded: %+v", snap)
+	}
+	if len(snap.Reports) != 2 {
+		t.Fatalf("expected 2 scored ASes (AS300 cut off), got %d", len(snap.Reports))
+	}
+	if rep := snap.Reports[100]; rep == nil || rep.Score != 100 || rep.TNodesFiltered != 3 {
+		t.Fatalf("AS100 report: %+v", snap.Reports[100])
+	}
+	if rep := snap.Reports[200]; rep == nil || rep.Score != 0 || rep.TNodesMeasured != 3 {
+		t.Fatalf("AS200 report: %+v", snap.Reports[200])
+	}
+	if snap.ConsistentPairFraction != 1 {
+		t.Fatalf("unanimous fakes must be fully consistent, got %v", snap.ConsistentPairFraction)
+	}
+
+	m := snap.Metrics
+	if m == nil {
+		t.Fatal("Metrics missing from snapshot")
+	}
+	// 2 scorable ASes × 3 tNodes × 2 vVPs; AS300 never reaches measurement.
+	if m.PairsMeasured != 12 || m.PairsUsable != 12 || m.PairsDiscarded != 0 {
+		t.Fatalf("pair counters: %+v", m)
+	}
+	for _, stage := range []string{StageTestPrefixes, StageQualifyTNodes, StageDiscoverVVPs, StageMeasurePairs, StageScore} {
+		if _, ok := m.StageDuration(stage); !ok {
+			t.Fatalf("stage %q not timed", stage)
+		}
+	}
+}
+
+// TestMeasureProgressCallback checks the observability hook fires for every
+// stage and counts every pair.
+func TestMeasureProgressCallback(t *testing.T) {
+	r := NewRunner(&World{}, DefaultRunnerConfig(1))
+	a := func(last byte) netip.Addr { return netip.AddrFrom4([4]byte{192, 0, 2, last}) }
+	r.Prefixes = fakePrefixes{}
+	r.TNodes = fakeTNodes{tns: []scan.TNode{{Addr: a(1)}, {Addr: a(2)}, {Addr: a(3)}}}
+	r.VVPs = fakeVVPs{vvps: []scan.VVP{{Addr: a(10), ASN: 100}, {Addr: a(11), ASN: 100}}}
+	r.Measurer = fakeMeasurer{}
+
+	seen := make(map[string]int)
+	lastDone := make(map[string]int)
+	r.Cfg.Progress = func(stage string, done, total int) {
+		seen[stage]++
+		lastDone[stage] = done
+		if stage == StageMeasurePairs && total != 6 {
+			t.Fatalf("measure-pairs total = %d, want 6", total)
+		}
+	}
+	r.Measure()
+	for _, stage := range []string{StageTestPrefixes, StageQualifyTNodes, StageDiscoverVVPs, StageMeasurePairs, StageScore} {
+		if seen[stage] == 0 {
+			t.Fatalf("no progress reported for %q", stage)
+		}
+	}
+	if lastDone[StageMeasurePairs] != 6 {
+		t.Fatalf("measure-pairs never reported completion: %d", lastDone[StageMeasurePairs])
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/netsec-lab/rovista/internal/detect"
 	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/pipeline"
 	"github.com/netsec-lab/rovista/internal/scan"
 )
 
@@ -29,6 +30,15 @@ type RunnerConfig struct {
 	// RecordPairs keeps every raw per-(vVP, tNode) result in the snapshot
 	// for diagnostics (memory-heavy; off by default).
 	RecordPairs bool
+	// Workers is the pair-measurement pool size: 0 uses every CPU, 1 runs
+	// serially. Results are bit-for-bit identical for every value — each
+	// pair measures inside an isolated context whose state derives only
+	// from (seed, AS, tNode index, vVP index).
+	Workers int
+	// Progress, when set, receives per-stage completion callbacks. The
+	// single-shot stages report (1, 1) on completion; the pair-measurement
+	// stage reports each finished pair.
+	Progress func(stage string, done, total int)
 }
 
 // DefaultRunnerConfig returns the standard pipeline settings.
@@ -91,6 +101,10 @@ type Snapshot struct {
 	// PairResults holds raw per-pair results when RunnerConfig.RecordPairs
 	// is set.
 	PairResults []detect.PairResult
+
+	// Metrics holds the round's observability data: stage timings and
+	// pair counters.
+	Metrics *pipeline.Metrics
 }
 
 // Scores returns the per-AS protection scores.
@@ -114,14 +128,27 @@ func (s *Snapshot) FullyProtected() []inet.ASN {
 	return out
 }
 
-// Runner executes measurement rounds against a world.
+// Runner executes measurement rounds against a world. A zero-value stage
+// field selects the world-backed default (measure.go); experiments override
+// individual stages to ablate or replace parts of the round without
+// reimplementing Measure.
 type Runner struct {
 	W   *World
 	Cfg RunnerConfig
 
-	// cached vVP discovery (refreshed when the host population changes;
-	// static within a world, like the paper's daily vVP scans).
-	vvps []scan.VVP
+	// Stage overrides. Leave nil for the paper-faithful defaults.
+	Prefixes pipeline.TestPrefixSource
+	TNodes   pipeline.TNodeQualifier
+	VVPs     pipeline.VVPProvider
+	Measurer pipeline.PairMeasurer
+	Scorer   pipeline.Scorer
+
+	// cached vVP discovery, keyed on the network's host-population
+	// generation so additions (World.AddCandidateHosts) invalidate it
+	// automatically; static within a generation, like the paper's daily
+	// vVP scans.
+	vvps    []scan.VVP
+	vvpsGen uint64
 }
 
 // NewRunner creates a Runner.
@@ -137,12 +164,13 @@ func (r *Runner) scanner() *scan.Scanner {
 }
 
 // DiscoverVVPs runs (or returns the cached) §4.2 vVP discovery over every
-// attached host.
+// attached host. The cache self-invalidates when the host population
+// changes.
 func (r *Runner) DiscoverVVPs() []scan.VVP {
-	if r.vvps != nil {
+	if gen := r.W.Net.Generation(); r.vvps != nil && gen == r.vvpsGen {
 		return r.vvps
 	}
-	var candidates = r.W.Net.AllAddrs()
+	candidates := r.W.Net.AllAddrs()
 	// The clients themselves are not candidates.
 	filtered := candidates[:0]
 	for _, a := range candidates {
@@ -151,117 +179,16 @@ func (r *Runner) DiscoverVVPs() []scan.VVP {
 		}
 		filtered = append(filtered, a)
 	}
+	r.vvpsGen = r.W.Net.Generation()
 	r.vvps = r.scanner().DiscoverVVPs(filtered)
 	return r.vvps
 }
 
-// InvalidateVVPCache forces rediscovery on the next round.
+// InvalidateVVPCache forces rediscovery on the next round. Host-population
+// changes are detected automatically (the cache keys on the network's
+// generation counter); this remains for callers that mutate host *state*
+// in ways discovery should re-observe.
 func (r *Runner) InvalidateVVPCache() { r.vvps = nil }
-
-// Measure runs one complete RoVista round at the world's current day.
-func (r *Runner) Measure() *Snapshot {
-	w := r.W
-	snap := &Snapshot{
-		Day:                w.Day,
-		VVPsByAS:           make(map[inet.ASN][]scan.VVP),
-		Reports:            make(map[inet.ASN]*ASReport),
-		VVPBackgroundRates: make(map[inet.ASN][]float64),
-	}
-
-	// 1. Collector view → exclusively-invalid test prefixes (§3.2).
-	view := w.Collector.Snapshot(w.Graph)
-	testPrefixes := view.ExclusivelyInvalid(w.VRPs)
-	snap.TestPrefixes = len(testPrefixes)
-
-	// 2. tNode discovery and qualification (§4.1), followed by the false-
-	// tNode removal step: reference probes in confirmed-ROV and confirmed
-	// non-ROV ASes must disagree about each tNode's reachability, or the
-	// tNode is rejected (it is reachable through routes the collector never
-	// saw — e.g. the legitimate origin announcing the same prefix).
-	snap.TNodes = r.filterFalseTNodes(r.scanner().DiscoverTNodes(testPrefixes))
-	if len(snap.TNodes) < r.Cfg.MinTNodes {
-		return snap
-	}
-
-	// 3. vVP discovery (§4.2) and the background-traffic cutoff (§6.1).
-	all := r.DiscoverVVPs()
-	snap.AllVVPs = len(all)
-	for _, v := range all {
-		snap.VVPBackgroundRates[v.ASN] = append(snap.VVPBackgroundRates[v.ASN], v.BackgroundRate)
-		if v.BackgroundRate <= r.Cfg.BackgroundCutoff {
-			snap.VVPsByAS[v.ASN] = append(snap.VVPsByAS[v.ASN], v)
-		}
-	}
-
-	// 4. Per-pair measurement with the per-AS unanimity rule (§6.2).
-	// Iterate ASes in sorted order: pair measurements evolve shared host
-	// state (counters, background RNG), so a stable order is what makes
-	// whole rounds reproducible bit-for-bit.
-	asns := make([]inet.ASN, 0, len(snap.VVPsByAS))
-	for asn := range snap.VVPsByAS {
-		asns = append(asns, asn)
-	}
-	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
-	consistent, totalCells := 0, 0
-	for _, asn := range asns {
-		vvps := snap.VVPsByAS[asn]
-		if len(vvps) < r.Cfg.MinVVPsPerAS {
-			continue
-		}
-		if len(vvps) > r.Cfg.MaxVVPsPerAS {
-			vvps = vvps[:r.Cfg.MaxVVPsPerAS]
-		}
-		report := &ASReport{ASN: asn, VVPs: len(vvps), Unanimous: true, Verdicts: make(map[netip.Addr]bool)}
-		for ti, tn := range snap.TNodes {
-			filteredVotes, reachableVotes := 0, 0
-			for vi, v := range vvps {
-				seed := r.Cfg.Seed ^ int64(uint32(asn))<<20 ^ int64(ti)<<8 ^ int64(vi)
-				res := detect.MeasurePair(w.Net, w.ClientA, v.Addr, tn, seed, r.Cfg.Detect)
-				if r.Cfg.RecordPairs {
-					snap.PairResults = append(snap.PairResults, res)
-				}
-				if !res.Usable {
-					continue
-				}
-				switch res.Outcome {
-				case detect.OutboundFiltering:
-					filteredVotes++
-				case detect.NoFiltering:
-					reachableVotes++
-				}
-				// Inbound filtering and inconclusive outcomes carry no
-				// information about the vVP's AS (§3.3 case b).
-			}
-			if filteredVotes+reachableVotes == 0 {
-				continue // nothing usable for this tNode
-			}
-			totalCells++
-			switch {
-			case filteredVotes > 0 && reachableVotes == 0:
-				consistent++
-				report.TNodesMeasured++
-				report.TNodesFiltered++
-				report.Verdicts[tn.Addr] = true
-			case reachableVotes > 0 && filteredVotes == 0:
-				consistent++
-				report.TNodesMeasured++
-				report.Verdicts[tn.Addr] = false
-			default:
-				// Disagreement: discard the tNode for this AS.
-				report.Unanimous = false
-			}
-		}
-		if report.TNodesMeasured == 0 {
-			continue
-		}
-		report.Score = 100 * float64(report.TNodesFiltered) / float64(report.TNodesMeasured)
-		snap.Reports[asn] = report
-	}
-	if totalCells > 0 {
-		snap.ConsistentPairFraction = float64(consistent) / float64(totalCells)
-	}
-	return snap
-}
 
 // filterFalseTNodes implements the §4.1 mitigation: the paper used RIPE
 // Atlas probes in ten ASes whose ROV status it had confirmed out-of-band.

@@ -6,10 +6,8 @@
 package core
 
 import (
-	"fmt"
 	"math/rand"
 	"net/netip"
-	"sort"
 
 	"github.com/netsec-lab/rovista/internal/bgp"
 	"github.com/netsec-lab/rovista/internal/collectors"
@@ -18,7 +16,6 @@ import (
 	"github.com/netsec-lab/rovista/internal/netsim"
 	"github.com/netsec-lab/rovista/internal/rov"
 	"github.com/netsec-lab/rovista/internal/rpki"
-	"github.com/netsec-lab/rovista/internal/tcpsim"
 	"github.com/netsec-lab/rovista/internal/topology"
 )
 
@@ -184,6 +181,9 @@ type InvalidAnn struct {
 	Covered bool
 }
 
+// ActiveAt reports whether the announcement is active at the given day.
+func (a InvalidAnn) ActiveAt(day int) bool { return day >= a.StartDay && day < a.EndDay }
+
 // World is a fully built simulated Internet plus its evolution schedule.
 type World struct {
 	Cfg   WorldConfig
@@ -220,649 +220,31 @@ type World struct {
 	hostSeq        int64
 }
 
-// BuildWorld constructs a world from cfg. The world starts un-advanced;
-// call AdvanceTo to reach a day and converge routing.
+// BuildWorld constructs a world from cfg by running every builder stage in
+// canonical order (see WorldBuilder in worldbuild.go). The world starts
+// un-advanced; call AdvanceTo to reach a day and converge routing.
 func BuildWorld(cfg WorldConfig) (*World, error) {
-	if cfg.Days <= 0 {
-		return nil, fmt.Errorf("core: non-positive timeline %d", cfg.Days)
+	b, err := NewWorldBuilder(cfg)
+	if err != nil {
+		return nil, err
 	}
-	w := &World{
-		Cfg:            cfg,
-		Topo:           topology.Generate(cfg.Topology),
-		Authorities:    make(map[rpki.RIR]*rpki.Authority),
-		Truth:          make(map[inet.ASN]*Truth),
-		dirty:          make(map[netip.Prefix]bool),
-		roaDayByPrefix: make(map[netip.Prefix]int),
-		rng:            rand.New(rand.NewSource(cfg.Seed ^ 0x90b1)),
-	}
-	w.Graph = w.Topo.Graph
-	w.Net = netsim.NewNetwork(w.Graph)
-
-	w.buildRPKI()
-	w.buildROVSchedule()
-	clean := w.cleanUpSet()
-	w.Clean = clean
-	w.buildInvalids(clean)
-	w.applyDefaultLeaks()
-	w.applySLURMExceptions()
-	w.buildHosts()
-	w.buildClients(clean)
-	w.buildCollector()
-	return w, nil
+	return b.Build(), nil
 }
 
-// cleanUpSet returns the ASes that (a) never filter and (b) have a provider
-// chain to a never-filtering tier-1 consisting entirely of never-filtering
-// ASes. Invalid announcements originated inside this set propagate to the
-// core and to every other member — the survivor bias behind the invalid
-// prefixes RouteViews actually observes: misconfigurations behind filtering
-// transit simply never become visible (or measurable).
-func (w *World) cleanUpSet() map[inet.ASN]bool {
-	neverFilters := func(asn inet.ASN) bool { return w.Truth[asn].DeployDay < 0 }
-
-	// Guarantee at least one never-filtering tier-1 (the paper's Table 1
-	// has exactly one: Deutsche Telekom) so the clean set is never empty.
-	hasCleanT1 := false
-	for _, t1 := range w.Topo.Tier1 {
-		if neverFilters(t1) {
-			hasCleanT1 = true
-			break
-		}
-	}
-	if !hasCleanT1 {
-		flip := w.Topo.Tier1[len(w.Topo.Tier1)-1]
-		w.Truth[flip] = &Truth{ASN: flip, DeployDay: -1, Kind: "none"}
-	}
-
-	propagate := func() map[inet.ASN]bool {
-		clean := make(map[inet.ASN]bool)
-		for _, t1 := range w.Topo.Tier1 {
-			if neverFilters(t1) {
-				clean[t1] = true
-			}
-		}
-		// An AS is clean when it never filters and at least one of its
-		// providers is clean.
-		for changed := true; changed; {
-			changed = false
-			for _, asn := range w.Topo.ASNs {
-				if clean[asn] || !neverFilters(asn) {
-					continue
-				}
-				for _, p := range w.Topo.Providers(asn) {
-					if clean[p] {
-						clean[asn] = true
-						changed = true
-						break
-					}
-				}
-			}
-		}
-		return clean
-	}
-
-	clean := propagate()
-	// Guarantee a minimum never-filtering region: seeds where the adoption
-	// draw isolates the non-filtering tier-1 would otherwise produce worlds
-	// where invalid routes cannot propagate at all — unlike any real
-	// Internet epoch. Flip filtering ASes adjacent to the clean region to
-	// never-filter (deterministically, core-first) until it is big enough.
-	minClean := len(w.Topo.ASNs) / 20
-	if minClean < 6 {
-		minClean = 6
-	}
-	for len(clean) < minClean {
-		flipped := false
-		byRank := w.Topo.ByRank()
-		// Edge-first: growing the region downward preserves the filtered
-		// core (Table 1's 16/17) while restoring propagation.
-		for i := len(byRank) - 1; i >= 0; i-- {
-			asn := byRank[i]
-			if neverFilters(asn) {
-				continue
-			}
-			adjacent := false
-			for _, p := range w.Topo.Providers(asn) {
-				if clean[p] {
-					adjacent = true
-					break
-				}
-			}
-			if !adjacent {
-				continue
-			}
-			w.Truth[asn] = &Truth{ASN: asn, DeployDay: -1, Kind: "none"}
-			flipped = true
-			break
-		}
-		_ = byRank
-		if !flipped {
-			break
-		}
-		clean = propagate()
-	}
-	return clean
-}
-
-// buildRPKI creates the five RIR authorities, one CA per AS, and the ROA
-// schedule (encoded in the objects' NotBefore days).
-func (w *World) buildRPKI() {
-	horizon := w.Cfg.Days + 1
-	for _, r := range rpki.AllRIRs {
-		var res rpki.ResourceSet
-		// Each RIR holds its forty /8 blocks; grant a generous ASN range.
-		for i := 0; i < 40; i++ {
-			base := 8 + int(r)*40 + i
-			res.Prefixes = append(res.Prefixes, netip.PrefixFrom(inet.V4(uint32(base)<<24), 8))
-		}
-		res.ASNs = []rpki.ASNRange{{Lo: 1, Hi: 1 << 30}}
-		w.Authorities[r] = rpki.NewAuthority(r, w.Cfg.Seed+int64(r), res, 0, horizon)
-	}
-	// One CA per AS holding its allocated prefixes.
-	for _, asn := range w.Topo.ASNs {
-		info := w.Topo.Info[asn]
-		auth := w.Authorities[info.RIR]
-		subject := fmt.Sprintf("as%d", asn)
-		_, err := auth.IssueCA(subject, "", rpki.ResourceSet{Prefixes: info.Prefixes}, 0, horizon)
-		if err != nil {
-			panic(fmt.Sprintf("core: issuing CA for %v: %v", asn, err))
-		}
-	}
-	// ROA schedule: a random subset of prefixes is covered from day 0, the
-	// rest of the target set phases in linearly.
-	type slot struct {
-		asn inet.ASN
-		p   netip.Prefix
-	}
-	var all []slot
-	for _, asn := range w.Topo.ASNs {
-		for _, p := range w.Topo.Info[asn].Prefixes {
-			all = append(all, slot{asn, p})
-		}
-	}
-	w.rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
-	nStart := int(w.Cfg.ROACoverStart * float64(len(all)))
-	nEnd := int(w.Cfg.ROACoverEnd * float64(len(all)))
-	if nEnd > len(all) {
-		nEnd = len(all)
-	}
-	for i := 0; i < nEnd; i++ {
-		day := 0
-		if i >= nStart {
-			day = 1 + w.rng.Intn(w.Cfg.Days-1)
-		}
-		s := all[i]
-		info := w.Topo.Info[s.asn]
-		auth := w.Authorities[info.RIR]
-		_, err := auth.IssueROA(fmt.Sprintf("as%d", s.asn), s.asn,
-			[]rpki.ROAPrefix{{Prefix: s.p, MaxLength: s.p.Bits()}}, day, horizon)
-		if err != nil {
-			panic(fmt.Sprintf("core: issuing ROA for %v: %v", s.asn, err))
-		}
-		w.roaDayByPrefix[s.p] = day
-	}
-}
-
-// buildROVSchedule decides which ASes deploy ROV, when, and in what mode.
-// Adoption is strongly tier-weighted, matching the paper's observation that
-// the core filters far more than the edge (Table 1: 16 of 17 tier-1s have a
-// 100% score). A well-filtered core also contains invalid more-specifics,
-// which is what keeps collateral damage (§7.4) the exception rather than
-// the rule.
-func (w *World) buildROVSchedule() {
-	byRank := w.Topo.ByRank()
-	n := len(byRank)
-	nEnd := int(w.Cfg.ROVEnd * float64(n))
-	nStart := int(w.Cfg.ROVStart * float64(n))
-
-	// Calibrated against the paper's aggregate shape: a near-universally
-	// filtering clique (Table 1), but a transit layer whose spotty adoption
-	// lets invalid routes propagate widely — without that, collateral
-	// benefit over-protects the edge and "fully protected" swells far past
-	// the paper's 12.3%.
-	tierProb := map[topology.Tier]float64{
-		topology.Tier2: 0.40,
-		topology.Tier3: 0.22,
-		topology.Stub:  0.10,
-	}
-	// Scale edge probabilities so the expected adopter count matches the
-	// configured end-of-timeline fraction; tier-1/2 rates stay put (the
-	// clique's near-universal deployment is structural, not a dial).
-	fixed, scalable := float64(len(w.Topo.Tier1)-1), 0.0
-	for _, asn := range byRank {
-		tier := w.Topo.Info[asn].Tier
-		if tier == topology.Tier2 {
-			fixed += tierProb[tier]
-		} else if tier != topology.Tier1 {
-			scalable += tierProb[tier]
-		}
-	}
-	scale := 1.0
-	if scalable > 0 {
-		scale = (float64(nEnd) - fixed) / scalable
-		if scale < 0 {
-			scale = 0
-		}
-	}
-	// The clique adopts deterministically with exactly one holdout — the
-	// paper's Table 1 shape (16 of 17 protected; Deutsche Telekom at 0%).
-	holdout := w.Topo.Tier1[w.rng.Intn(len(w.Topo.Tier1))]
-	var adopters []inet.ASN
-	for _, asn := range byRank {
-		tier := w.Topo.Info[asn].Tier
-		if tier == topology.Tier1 {
-			if asn != holdout {
-				adopters = append(adopters, asn)
-				w.Truth[asn] = &Truth{ASN: asn, DeployDay: 0}
-			}
-			continue
-		}
-		p := tierProb[tier]
-		if tier == topology.Tier3 || tier == topology.Stub {
-			p *= scale
-		}
-		if w.rng.Float64() < p {
-			adopters = append(adopters, asn)
-			w.Truth[asn] = &Truth{ASN: asn, DeployDay: 0}
-		}
-	}
-	// Assign deployment days: the first nStart filter from day 0.
-	w.rng.Shuffle(len(adopters), func(i, j int) { adopters[i], adopters[j] = adopters[j], adopters[i] })
-	for i, asn := range adopters {
-		tr := w.Truth[asn]
-		if i >= nStart {
-			tr.DeployDay = 1 + w.rng.Intn(w.Cfg.Days-1)
-		}
-		roll := w.rng.Float64()
-		switch {
-		case w.Topo.Info[asn].Tier == topology.Tier1:
-			// In a compressed topology every tier-1's customer cone contains
-			// some invalid origin, so an exempting tier-1 would leak most
-			// test prefixes — unlike the real clique, where the paper's
-			// exempting tier-1s still measured 100% because the observed
-			// invalid origins were not on their customer paths. Keep the
-			// clique's adopters full-filtering; exemptions live in the
-			// transit tiers (and scenario casts set them explicitly).
-			tr.Policy, tr.Kind = rov.Full(), "full"
-		case roll < w.Cfg.CustomerExemptFrac:
-			tr.Policy, tr.Kind = rov.CustomerExempt(), "customer-exempt"
-		case roll < w.Cfg.CustomerExemptFrac+w.Cfg.PreferValidFrac:
-			tr.Policy, tr.Kind = rov.PreferValid(), "prefer-valid"
-		case roll < w.Cfg.CustomerExemptFrac+w.Cfg.PreferValidFrac+w.Cfg.EquipmentIssueFrac:
-			// A full deployment minus one router: the session toward one
-			// random neighbor bypasses validation entirely.
-			nbrs := sortedNeighbors(w.Graph.AS(asn))
-			if len(nbrs) > 0 {
-				bad := nbrs[w.rng.Intn(len(nbrs))]
-				tr.Policy = &rov.Policy{Default: rov.ModeDrop, ByASN: map[inet.ASN]rov.Mode{bad: rov.ModeAccept}}
-				tr.Kind = "equipment-partial"
-				tr.PartialNeighbor = bad
-			} else {
-				tr.Policy, tr.Kind = rov.Full(), "full"
-			}
-		default:
-			tr.Policy, tr.Kind = rov.Full(), "full"
-		}
-		if w.Topo.Info[asn].Tier != topology.Tier1 && w.rng.Float64() < w.Cfg.RollbackFrac {
-			// Equipment-driven rollbacks (the BIT story) happen at the edge;
-			// a clique member retracting would dominate a compressed world.
-			tr.RollbackDay = tr.DeployDay + 1 + w.rng.Intn(w.Cfg.Days-tr.DeployDay)
-		}
-		if w.rng.Float64() < w.Cfg.DefaultRouteLeakFrac {
-			tr.DefaultLeak = true // wired up after invalids exist
-		} else if w.rng.Float64() < w.Cfg.SLURMExceptionFrac {
-			// Marked now, bound to a concrete invalid prefix once the
-			// invalid schedule exists (applySLURMExceptions).
-			tr.SLURMException = netip.PrefixFrom(inet.V4(0), 0)
-		}
-	}
-	// Fill in non-adopters.
-	for _, asn := range w.Topo.ASNs {
-		if w.Truth[asn] == nil {
-			w.Truth[asn] = &Truth{ASN: asn, DeployDay: -1, Kind: "none"}
-		}
-	}
-}
-
-// buildInvalids schedules the misconfigured announcements that create test
-// prefixes, in three real-world shapes:
-//
-//   - unannounced-space invalids (the majority): the victim holds a ROA for
-//     reserved space it does not announce; filtering ASes have no route at
-//     all to these prefixes;
-//   - covered invalids: the wrong origin announces a more-specific inside a
-//     /16 the victim legitimately announces (collateral-damage fuel, §7.4);
-//   - shared invalids: the victim announces the very same prefix validly,
-//     so the prefix is reachable from ROV ASes and must be excluded from
-//     the test set (§3.2).
-func (w *World) buildInvalids(clean map[inet.ASN]bool) {
-	// Victim candidates for covered/shared shapes: prefixes with a ROA
-	// from day 0, so announcements are invalid for the whole timeline.
-	type victim struct {
-		asn inet.ASN
-		p   netip.Prefix
-	}
-	var victims []victim
-	for p, day := range w.roaDayByPrefix {
-		if day != 0 {
-			continue
-		}
-		if owner := w.ownerOf(p); owner != 0 {
-			victims = append(victims, victim{owner, p})
-		}
-	}
-	sort.Slice(victims, func(i, j int) bool { return victims[i].p.String() < victims[j].p.String() })
-	w.rng.Shuffle(len(victims), func(i, j int) { victims[i], victims[j] = victims[j], victims[i] })
-
-	asns := w.Topo.ASNs
-	horizon := w.Cfg.Days + 1
-	pickWrongOrigin := func(not inet.ASN) inet.ASN {
-		for tries := 0; tries < 400; tries++ {
-			cand := asns[w.rng.Intn(len(asns))]
-			if cand != not && clean[cand] {
-				return cand
-			}
-		}
-		return 0
-	}
-
-	// Shape 1: unannounced reserved space. Block 39 of each RIR region is
-	// never touched by the topology allocator.
-	reservedIdx := make(map[rpki.RIR]int)
-	for i := 0; i < w.Cfg.InvalidAnnouncements && i < len(victims); i++ {
-		v := victims[i]
-		origin := pickWrongOrigin(v.asn)
-		if origin == 0 {
-			continue
-		}
-		info := w.Topo.Info[v.asn]
-		auth := w.Authorities[info.RIR]
-		res16 := inet.SubnetAt(topology.RIRBlock(info.RIR, 39), 16, uint32(reservedIdx[info.RIR]))
-		reservedIdx[info.RIR]++
-		caSubject := fmt.Sprintf("as%d-reserved-%d", v.asn, i)
-		if _, err := auth.IssueCA(caSubject, "", rpki.ResourceSet{Prefixes: []netip.Prefix{res16}}, 0, horizon); err != nil {
-			panic(fmt.Sprintf("core: reserved CA: %v", err))
-		}
-		if _, err := auth.IssueROA(caSubject, v.asn,
-			[]rpki.ROAPrefix{{Prefix: res16, MaxLength: 16}}, 0, horizon); err != nil {
-			panic(fmt.Sprintf("core: reserved ROA: %v", err))
-		}
-		w.Invalids = append(w.Invalids, InvalidAnn{
-			Prefix:   inet.SubnetAt(res16, 20, 0),
-			Origin:   origin,
-			Victim:   v.asn,
-			StartDay: 0,
-			EndDay:   horizon, // persistent: active through the final day
-		})
-	}
-
-	// Shapes 2 and 3: carved from announced victim prefixes. The victim
-	// must sit behind providers that filter from day 0: then its covering
-	// route keeps traffic safe along the filtered core, and diversion only
-	// hits ASes whose own paths cross a non-filtering transit carrying the
-	// more-specific — the Figure-9 shape, rare as in the paper, instead of
-	// universal.
-	wellGuarded := func(asn inet.ASN) bool {
-		provs := w.Topo.Providers(asn)
-		if len(provs) == 0 {
-			return false
-		}
-		for _, p := range provs {
-			tr := w.Truth[p]
-			if !(tr.DeployDay == 0 && tr.RollbackDay == 0 && tr.Kind == "full") {
-				return false
-			}
-		}
-		return true
-	}
-	var guarded []victim
-	for _, v := range victims[w.Cfg.InvalidAnnouncements:] {
-		if wellGuarded(v.asn) {
-			guarded = append(guarded, v)
-		}
-	}
-	nCov := w.Cfg.CoveredInvalidAnnouncements
-	for j := 0; j < nCov+w.Cfg.SharedInvalidAnnouncements && j < len(guarded); j++ {
-		v := guarded[j]
-		origin := pickWrongOrigin(v.asn)
-		if origin == 0 {
-			continue
-		}
-		// Carve the LAST /20 of the victim's /16: hosts and measurement
-		// clients are addressed from the bottom of the block and must not
-		// fall inside the misconfigured sub-prefix.
-		sub := inet.SubnetAt(v.p, 20, 15)
-		shared := j >= nCov
-		if shared {
-			// The victim also announces the /20 itself; loosen its ROA so
-			// that announcement is Valid while the wrong origin stays
-			// Invalid.
-			info := w.Topo.Info[v.asn]
-			auth := w.Authorities[info.RIR]
-			if _, err := auth.IssueROA(fmt.Sprintf("as%d", v.asn), v.asn,
-				[]rpki.ROAPrefix{{Prefix: v.p, MaxLength: 24}}, 0, horizon); err != nil {
-				panic(fmt.Sprintf("core: shared-victim ROA: %v", err))
-			}
-		}
-		w.Invalids = append(w.Invalids, InvalidAnn{
-			Prefix:   sub,
-			Origin:   origin,
-			Victim:   v.asn,
-			StartDay: 0,
-			EndDay:   horizon, // persistent
-			Shared:   shared,
-			Covered:  true,
-		})
-	}
-}
-
-// ownerOf returns the AS allocated prefix p, or 0.
-func (w *World) ownerOf(p netip.Prefix) inet.ASN {
-	for _, asn := range w.Topo.ASNs {
-		for _, own := range w.Topo.Info[asn].Prefixes {
-			if own == p {
-				return asn
-			}
-		}
-	}
-	return 0
-}
-
+// nextHostSeed derives per-host seeds. The derivation is part of a world's
+// identity: every calibrated expectation downstream depends on host state,
+// so it must never change for a given (seed, construction order).
 func (w *World) nextHostSeed() int64 {
 	w.hostSeq++
 	return w.Cfg.Seed*31 + w.hostSeq
 }
 
-// buildHosts attaches candidate end hosts to every AS and tNode hosts under
-// each invalid prefix.
-func (w *World) buildHosts() {
-	for _, asn := range w.Topo.ASNs {
-		info := w.Topo.Info[asn]
-		base := info.Prefixes[0]
-		for i := 0; i < w.Cfg.HostsPerAS; i++ {
-			addr := inet.NthAddr(base, uint32(10+i))
-			pol := w.samplePolicy()
-			h := netsim.NewHost(addr, asn, pol, w.nextHostSeed())
-			h.BackgroundRate = w.sampleBackground()
-			w.Net.AddHost(h)
-		}
-	}
-	// tNode hosts live inside the wrong-origin AS, addressed from the
-	// invalid prefix. Covered invalids carry a single tNode: their traffic
-	// can be diverted by non-filtering transit (§7.4), and in the wild such
-	// prefixes are a small minority of the tNode population (TDC reached 3
-	// of its ~38 tNodes) — weighting them like ordinary invalids would
-	// drown every filtering AS's score in collateral damage.
-	for idx, inv := range w.Invalids {
-		perInv := max(1, w.Cfg.TNodesPerInvalid)
-		if inv.Covered {
-			perInv = 1
-		}
-		for i := 0; i < perInv; i++ {
-			addr := inet.NthAddr(inv.Prefix, uint32(20+i))
-			h := netsim.NewHost(addr, inv.Origin, ipid.Global, w.nextHostSeed(), 443, 80)
-			h.BackgroundRate = w.rng.Float64() * 3
-			if w.rng.Float64() < w.Cfg.TNodeBrokenFrac {
-				w.breakTNode(h)
-			}
-			w.Net.AddHost(h)
-		}
-		if w.rng.Float64() < w.Cfg.InboundFilterFrac {
-			// The wrong-origin AS egress-filters responses from the
-			// invalid prefix (the paper's inbound-filtering confound).
-			p := inv.Prefix
-			prev := w.Net.EgressFilter[inv.Origin]
-			w.Net.EgressFilter[inv.Origin] = func(pkt netsim.Packet) bool {
-				if prev != nil && prev(pkt) {
-					return true
-				}
-				return p.Contains(pkt.Src)
-			}
-		}
-		_ = idx
-	}
-}
-
-// breakTNode gives a tNode host one of the §4.1-violating behaviours.
-func (w *World) breakTNode(h *netsim.Host) {
-	cfg := tcpsim.DefaultConfig(443, 80)
-	switch w.rng.Intn(3) {
-	case 0: // never retransmits (fails qualification condition b)
-		cfg.Behavior = tcpsim.NoRetransmit
-		h.TCP = tcpsim.New(cfg)
-	case 1: // keeps retransmitting after RST (fails condition c)
-		cfg.Behavior = tcpsim.IgnoreRST
-		h.TCP = tcpsim.New(cfg)
-	default: // entirely silent (fails condition a)
-		h.Handler = func(*netsim.Sim, netsim.Packet) bool { return true }
-	}
-}
-
-// samplePolicy draws an IP-ID policy from the configured mix.
-func (w *World) samplePolicy() ipid.Policy {
-	r := w.rng.Float64()
-	switch {
-	case r < w.Cfg.GlobalCounterFrac:
-		return ipid.Global
-	case r < w.Cfg.GlobalCounterFrac+0.25:
-		return ipid.PerDestination
-	case r < w.Cfg.GlobalCounterFrac+0.40:
-		return ipid.Random
-	default:
-		return ipid.Constant
-	}
-}
-
-// sampleBackground draws a background rate from the low/med/high mix.
-func (w *World) sampleBackground() float64 {
-	r := w.rng.Float64()
-	switch {
-	case r < w.Cfg.BGLowFrac:
-		return w.rng.Float64() * 9
-	case r < w.Cfg.BGLowFrac+w.Cfg.BGMedFrac:
-		return 10 + w.rng.Float64()*20
-	default:
-		return 30 + w.rng.Float64()*70
-	}
-}
-
-// buildClients places the two measurement clients in clean (never-filtering,
-// cleanly-uplinked) stub ASes far apart in the numbering: like the paper's
-// clients, they must be able to reach the RPKI-invalid test prefixes.
-func (w *World) buildClients(clean map[inet.ASN]bool) {
-	var stubASes []inet.ASN
-	for _, asn := range w.Topo.ASNs {
-		if w.Topo.Info[asn].Tier == topology.Stub && clean[asn] {
-			stubASes = append(stubASes, asn)
-		}
-	}
-	if len(stubASes) < 2 {
-		// Fall back to any clean AS, then to any never-filtering AS: the
-		// paper's clients just need reachability to the test prefixes and
-		// the ability to spoof.
-		for _, asn := range w.Topo.ASNs {
-			if clean[asn] {
-				stubASes = append(stubASes, asn)
-			}
-		}
-	}
-	if len(stubASes) < 2 {
-		for _, asn := range w.Topo.ASNs {
-			if w.Truth[asn].DeployDay < 0 {
-				stubASes = append(stubASes, asn)
-			}
-		}
-	}
-	if len(stubASes) < 2 {
-		panic("core: no never-filtering ASes available for measurement clients")
-	}
-	a, b := stubASes[0], stubASes[len(stubASes)-1]
-	w.ClientA = netsim.NewHost(inet.NthAddr(w.Topo.Info[a].Prefixes[0], 250), a, ipid.Global, w.nextHostSeed())
-	w.ClientB = netsim.NewHost(inet.NthAddr(w.Topo.Info[b].Prefixes[0], 250), b, ipid.Global, w.nextHostSeed())
-	w.Net.AddHost(w.ClientA)
-	w.Net.AddHost(w.ClientB)
-}
-
-// buildCollector wires a RouteViews-style collector fed by the tier-1
-// clique plus a sample of tier-2s: realistic partial visibility.
-func (w *World) buildCollector() {
-	feeders := append([]inet.ASN(nil), w.Topo.Tier1...)
-	for _, asn := range w.Topo.ASNs {
-		if w.Topo.Info[asn].Tier == topology.Tier2 && w.rng.Float64() < 0.6 {
-			feeders = append(feeders, asn)
-		}
-	}
-	w.Collector = &collectors.Collector{Name: "routeviews", Feeders: feeders}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// applyDefaultLeaks wires up the §7.6 partial default-route leaks: each
-// marked adopter defaults traffic for ONE invalid /20 toward a provider
-// that never filters (the Swisscom on-ramp-tunnel shape), capping its score
-// just below 100%.
-func (w *World) applyDefaultLeaks() {
-	if len(w.Invalids) == 0 {
-		return
-	}
-	i := 0
-	for _, asn := range w.Topo.ASNs {
-		tr := w.Truth[asn]
-		if tr == nil || !tr.DefaultLeak {
-			continue
-		}
-		var leakVia inet.ASN
-		for _, prov := range w.Topo.Providers(asn) {
-			if w.Truth[prov].DeployDay < 0 {
-				leakVia = prov
-				break
-			}
-		}
-		if leakVia == 0 {
-			tr.DefaultLeak = false
-			continue
-		}
-		inv := w.Invalids[i%len(w.Invalids)]
-		i++
-		a := w.Graph.AS(asn)
-		a.DefaultRoute, a.HasDefault = leakVia, true
-		// Scope the leak to a single host route inside the invalid prefix:
-		// the Swisscom case re-exposed only the tunnelled destinations, and
-		// a leak covering a whole tNode-rich /20 would sink the AS's score
-		// out of the >90% band §7.6 analyses.
-		a.DefaultScope = netip.PrefixFrom(inet.NthAddr(inv.Prefix, 20), 32)
-	}
-}
-
 // AddCandidateHosts attaches n additional measurement-friendly hosts
 // (global IP-ID counter, low background traffic) to an AS, guaranteeing it
 // is observable by the vVP pipeline. Experiment casts use this the way the
-// paper relies on ASes having enough qualifying hosts.
+// paper relies on ASes having enough qualifying hosts. The network's
+// generation counter advances, so cached vVP discoveries refresh on the
+// next round.
 func (w *World) AddCandidateHosts(asn inet.ASN, n int) {
 	info, ok := w.Topo.Info[asn]
 	if !ok || len(info.Prefixes) == 0 {
@@ -878,34 +260,4 @@ func (w *World) AddCandidateHosts(asn inet.ASN, n int) {
 		h.BackgroundRate = 1 + float64(i%3)
 		w.Net.AddHost(h)
 	}
-}
-
-// ActiveAt reports whether the announcement is active at the given day.
-func (a InvalidAnn) ActiveAt(day int) bool { return day >= a.StartDay && day < a.EndDay }
-
-// applySLURMExceptions binds each marked adopter's SLURM whitelist to a
-// concrete invalid prefix from the schedule.
-func (w *World) applySLURMExceptions() {
-	if len(w.Invalids) == 0 {
-		return
-	}
-	i := 0
-	for _, asn := range w.Topo.ASNs {
-		tr := w.Truth[asn]
-		if tr == nil || !tr.SLURMException.IsValid() {
-			continue
-		}
-		tr.SLURMException = w.Invalids[i%len(w.Invalids)].Prefix
-		i++
-	}
-}
-
-// sortedNeighbors returns an AS's neighbors in ascending order.
-func sortedNeighbors(a *bgp.AS) []inet.ASN {
-	out := make([]inet.ASN, 0, len(a.Neighbors))
-	for n := range a.Neighbors {
-		out = append(out, n)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/rpki"
+	"github.com/netsec-lab/rovista/internal/topology"
+)
+
+// buildInvalids schedules the misconfigured announcements that create test
+// prefixes, in three real-world shapes:
+//
+//   - unannounced-space invalids (the majority): the victim holds a ROA for
+//     reserved space it does not announce; filtering ASes have no route at
+//     all to these prefixes;
+//   - covered invalids: the wrong origin announces a more-specific inside a
+//     /16 the victim legitimately announces (collateral-damage fuel, §7.4);
+//   - shared invalids: the victim announces the very same prefix validly,
+//     so the prefix is reachable from ROV ASes and must be excluded from
+//     the test set (§3.2).
+func (w *World) buildInvalids(clean map[inet.ASN]bool) {
+	// Victim candidates for covered/shared shapes: prefixes with a ROA
+	// from day 0, so announcements are invalid for the whole timeline.
+	type victim struct {
+		asn inet.ASN
+		p   netip.Prefix
+	}
+	var victims []victim
+	for p, day := range w.roaDayByPrefix {
+		if day != 0 {
+			continue
+		}
+		if owner := w.ownerOf(p); owner != 0 {
+			victims = append(victims, victim{owner, p})
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].p.String() < victims[j].p.String() })
+	w.rng.Shuffle(len(victims), func(i, j int) { victims[i], victims[j] = victims[j], victims[i] })
+
+	asns := w.Topo.ASNs
+	horizon := w.Cfg.Days + 1
+	pickWrongOrigin := func(not inet.ASN) inet.ASN {
+		for tries := 0; tries < 400; tries++ {
+			cand := asns[w.rng.Intn(len(asns))]
+			if cand != not && clean[cand] {
+				return cand
+			}
+		}
+		return 0
+	}
+
+	// Shape 1: unannounced reserved space. Block 39 of each RIR region is
+	// never touched by the topology allocator.
+	reservedIdx := make(map[rpki.RIR]int)
+	for i := 0; i < w.Cfg.InvalidAnnouncements && i < len(victims); i++ {
+		v := victims[i]
+		origin := pickWrongOrigin(v.asn)
+		if origin == 0 {
+			continue
+		}
+		info := w.Topo.Info[v.asn]
+		auth := w.Authorities[info.RIR]
+		res16 := inet.SubnetAt(topology.RIRBlock(info.RIR, 39), 16, uint32(reservedIdx[info.RIR]))
+		reservedIdx[info.RIR]++
+		caSubject := fmt.Sprintf("as%d-reserved-%d", v.asn, i)
+		if _, err := auth.IssueCA(caSubject, "", rpki.ResourceSet{Prefixes: []netip.Prefix{res16}}, 0, horizon); err != nil {
+			panic(fmt.Sprintf("core: reserved CA: %v", err))
+		}
+		if _, err := auth.IssueROA(caSubject, v.asn,
+			[]rpki.ROAPrefix{{Prefix: res16, MaxLength: 16}}, 0, horizon); err != nil {
+			panic(fmt.Sprintf("core: reserved ROA: %v", err))
+		}
+		w.Invalids = append(w.Invalids, InvalidAnn{
+			Prefix:   inet.SubnetAt(res16, 20, 0),
+			Origin:   origin,
+			Victim:   v.asn,
+			StartDay: 0,
+			EndDay:   horizon, // persistent: active through the final day
+		})
+	}
+
+	// Shapes 2 and 3: carved from announced victim prefixes. The victim
+	// must sit behind providers that filter from day 0: then its covering
+	// route keeps traffic safe along the filtered core, and diversion only
+	// hits ASes whose own paths cross a non-filtering transit carrying the
+	// more-specific — the Figure-9 shape, rare as in the paper, instead of
+	// universal.
+	wellGuarded := func(asn inet.ASN) bool {
+		provs := w.Topo.Providers(asn)
+		if len(provs) == 0 {
+			return false
+		}
+		for _, p := range provs {
+			tr := w.Truth[p]
+			if !(tr.DeployDay == 0 && tr.RollbackDay == 0 && tr.Kind == "full") {
+				return false
+			}
+		}
+		return true
+	}
+	var guarded []victim
+	for _, v := range victims[w.Cfg.InvalidAnnouncements:] {
+		if wellGuarded(v.asn) {
+			guarded = append(guarded, v)
+		}
+	}
+	nCov := w.Cfg.CoveredInvalidAnnouncements
+	for j := 0; j < nCov+w.Cfg.SharedInvalidAnnouncements && j < len(guarded); j++ {
+		v := guarded[j]
+		origin := pickWrongOrigin(v.asn)
+		if origin == 0 {
+			continue
+		}
+		// Carve the LAST /20 of the victim's /16: hosts and measurement
+		// clients are addressed from the bottom of the block and must not
+		// fall inside the misconfigured sub-prefix.
+		sub := inet.SubnetAt(v.p, 20, 15)
+		shared := j >= nCov
+		if shared {
+			// The victim also announces the /20 itself; loosen its ROA so
+			// that announcement is Valid while the wrong origin stays
+			// Invalid.
+			info := w.Topo.Info[v.asn]
+			auth := w.Authorities[info.RIR]
+			if _, err := auth.IssueROA(fmt.Sprintf("as%d", v.asn), v.asn,
+				[]rpki.ROAPrefix{{Prefix: v.p, MaxLength: 24}}, 0, horizon); err != nil {
+				panic(fmt.Sprintf("core: shared-victim ROA: %v", err))
+			}
+		}
+		w.Invalids = append(w.Invalids, InvalidAnn{
+			Prefix:   sub,
+			Origin:   origin,
+			Victim:   v.asn,
+			StartDay: 0,
+			EndDay:   horizon, // persistent
+			Shared:   shared,
+			Covered:  true,
+		})
+	}
+}
+
+// ownerOf returns the AS allocated prefix p, or 0.
+func (w *World) ownerOf(p netip.Prefix) inet.ASN {
+	for _, asn := range w.Topo.ASNs {
+		for _, own := range w.Topo.Info[asn].Prefixes {
+			if own == p {
+				return asn
+			}
+		}
+	}
+	return 0
+}
+
+// applyDefaultLeaks wires up the §7.6 partial default-route leaks: each
+// marked adopter defaults traffic for ONE invalid /20 toward a provider
+// that never filters (the Swisscom on-ramp-tunnel shape), capping its score
+// just below 100%.
+func (w *World) applyDefaultLeaks() {
+	if len(w.Invalids) == 0 {
+		return
+	}
+	i := 0
+	for _, asn := range w.Topo.ASNs {
+		tr := w.Truth[asn]
+		if tr == nil || !tr.DefaultLeak {
+			continue
+		}
+		var leakVia inet.ASN
+		for _, prov := range w.Topo.Providers(asn) {
+			if w.Truth[prov].DeployDay < 0 {
+				leakVia = prov
+				break
+			}
+		}
+		if leakVia == 0 {
+			tr.DefaultLeak = false
+			continue
+		}
+		inv := w.Invalids[i%len(w.Invalids)]
+		i++
+		a := w.Graph.AS(asn)
+		a.DefaultRoute, a.HasDefault = leakVia, true
+		// Scope the leak to a single host route inside the invalid prefix:
+		// the Swisscom case re-exposed only the tunnelled destinations, and
+		// a leak covering a whole tNode-rich /20 would sink the AS's score
+		// out of the >90% band §7.6 analyses.
+		a.DefaultScope = netip.PrefixFrom(inet.NthAddr(inv.Prefix, 20), 32)
+	}
+}
+
+// applySLURMExceptions binds each marked adopter's SLURM whitelist to a
+// concrete invalid prefix from the schedule.
+func (w *World) applySLURMExceptions() {
+	if len(w.Invalids) == 0 {
+		return
+	}
+	i := 0
+	for _, asn := range w.Topo.ASNs {
+		tr := w.Truth[asn]
+		if tr == nil || !tr.SLURMException.IsValid() {
+			continue
+		}
+		tr.SLURMException = w.Invalids[i%len(w.Invalids)].Prefix
+		i++
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"github.com/netsec-lab/rovista/internal/netsim"
 	"github.com/netsec-lab/rovista/internal/scan"
+	"github.com/netsec-lab/rovista/internal/seedmix"
 	"github.com/netsec-lab/rovista/internal/tcpsim"
 	"github.com/netsec-lab/rovista/internal/timeseries"
 )
@@ -146,6 +147,27 @@ func MeasurePair(net *netsim.Network, client *netsim.Host, vvpAddr netip.Addr, t
 
 	res.classify(cfg)
 	return res
+}
+
+// MeasurePairIsolated runs one Figure-3 round inside an isolated measurement
+// context: the client, vVP and tNode hosts are replaced by fresh clones (via
+// a network overlay) whose state derives only from seed, and the shared
+// network is consulted read-only. The result is therefore a pure function of
+// (network wiring, pair, seed) — independent of any earlier rounds and of
+// the order or concurrency in which rounds execute. This is the primitive
+// beneath the deterministic parallel pair-measurement executor.
+func MeasurePairIsolated(net *netsim.Network, client *netsim.Host, vvpAddr netip.Addr, tn scan.TNode, seed int64, cfg Config) PairResult {
+	cl := client.Clone(seedmix.Mix(seed, 1))
+	overlays := []*netsim.Host{cl}
+	if h, ok := net.HostAt(vvpAddr); ok {
+		overlays = append(overlays, h.Clone(seedmix.Mix(seed, 2)))
+	}
+	// A tNode with a global counter can itself qualify as a vVP, so the two
+	// roles may share one address; clone it once.
+	if h, ok := net.HostAt(tn.Addr); ok && tn.Addr != vvpAddr {
+		overlays = append(overlays, h.Clone(seedmix.Mix(seed, 3)))
+	}
+	return MeasurePair(net.Overlay(overlays...), cl, vvpAddr, tn, seedmix.Mix(seed, 4), cfg)
 }
 
 // classify applies the Appendix-A detector and the Figure-2/3 decision

@@ -3,6 +3,7 @@ package experiments
 import (
 	"io"
 	"math"
+	"net/netip"
 
 	"github.com/netsec-lab/rovista/internal/core"
 	"github.com/netsec-lab/rovista/internal/detect"
@@ -157,27 +158,42 @@ type AblationExclusivityResult struct {
 	SharedMisleads int
 }
 
+// anyInvalidPrefixSource is a replacement pipeline stage: it selects every
+// prefix with ANY invalid route at the collector, dropping the §3.2
+// exclusivity requirement the default TestPrefixSource enforces. Swapping
+// it into a Runner reruns the whole round over the unfiltered prefix set.
+type anyInvalidPrefixSource struct{ w *core.World }
+
+func (s anyInvalidPrefixSource) TestPrefixes() []netip.Prefix {
+	view := s.w.Collector.Snapshot(s.w.Graph)
+	var out []netip.Prefix
+	for _, p := range view.Prefixes() {
+		for _, obs := range view.Routes(p) {
+			if s.w.VRPs.Validate(p, obs.Origin()) == rpki.Invalid {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
 // AblationExclusivity shows why dual-announced invalid prefixes must be
-// excluded from the tNode set.
+// excluded from the tNode set. The variant round swaps only the
+// test-prefix stage of the pipeline; everything downstream is unchanged.
 func AblationExclusivity(seed int64, out io.Writer) AblationExclusivityResult {
 	w := mustWorld(smallWorld(seed))
 	if err := w.AdvanceTo(0); err != nil {
 		panic(err)
 	}
-	view := w.Collector.Snapshot(w.Graph)
 	var res AblationExclusivityResult
-	res.WithFilter = len(view.ExclusivelyInvalid(w.VRPs))
-	for _, p := range view.Prefixes() {
-		anyInvalid := false
-		for _, obs := range view.Routes(p) {
-			if w.VRPs.Validate(p, obs.Origin()) == rpki.Invalid {
-				anyInvalid = true
-			}
-		}
-		if anyInvalid {
-			res.WithoutFilter++
-		}
-	}
+
+	base := core.NewRunner(w, core.DefaultRunnerConfig(seed))
+	res.WithFilter = base.Measure().TestPrefixes
+
+	variant := core.NewRunner(w, core.DefaultRunnerConfig(seed))
+	variant.Prefixes = anyInvalidPrefixSource{w}
+	res.WithoutFilter = variant.Measure().TestPrefixes
 	for _, inv := range w.Invalids {
 		if !inv.Shared {
 			continue

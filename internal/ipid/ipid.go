@@ -104,6 +104,13 @@ func (c *Counter) Peek() uint16 {
 	return 0
 }
 
+// Fork returns a fresh counter with the same assignment policy but
+// independent state seeded by seed. Pair measurements fork the counters of
+// the hosts they touch: a forked counter starts at a new random offset, which
+// the side channel tolerates by construction (the detector reads counter
+// *growth*, never absolute values).
+func (c *Counter) Fork(seed int64) *Counter { return NewCounter(c.policy, seed) }
+
 // Advance bumps the global counter by n packets' worth of background
 // traffic in one step (used by the simulator to account for traffic to
 // destinations outside the measurement).

@@ -18,6 +18,7 @@ import (
 	"github.com/netsec-lab/rovista/internal/bgp"
 	"github.com/netsec-lab/rovista/internal/inet"
 	"github.com/netsec-lab/rovista/internal/ipid"
+	"github.com/netsec-lab/rovista/internal/seedmix"
 	"github.com/netsec-lab/rovista/internal/tcpsim"
 )
 
@@ -72,6 +73,25 @@ func NewHost(addr netip.Addr, asn inet.ASN, policy ipid.Policy, seed int64, port
 		TCP:  tcpsim.New(tcpsim.DefaultConfig(ports...)),
 		IPID: ipid.NewCounter(policy, seed),
 		rng:  rand.New(rand.NewSource(seed ^ 0x5eed)),
+	}
+}
+
+// Clone returns an isolated copy of the host for one measurement context:
+// same address, AS, TCP configuration, IP-ID policy, background model and
+// packet handler, but fresh connection state and independent seed-derived
+// randomness. Clones share nothing mutable with the original, so rounds
+// running against clones of the same host cannot interfere — the property
+// the parallel pair-measurement executor is built on.
+func (h *Host) Clone(seed int64) *Host {
+	return &Host{
+		Addr:           h.Addr,
+		ASN:            h.ASN,
+		TCP:            h.TCP.Clone(),
+		IPID:           h.IPID.Fork(seedmix.Mix(seed, 1)),
+		BackgroundRate: h.BackgroundRate,
+		BackgroundFn:   h.BackgroundFn,
+		Handler:        h.Handler,
+		rng:            rand.New(seedmix.NewSource(seedmix.Mix(seed, 2))),
 	}
 }
 
@@ -132,6 +152,14 @@ type FilterFunc func(pkt Packet) bool
 type Network struct {
 	Graph *bgp.Graph
 	hosts map[netip.Addr]*Host
+	// overlay, when non-nil, shadows hosts by address: lookups consult it
+	// first. Overlay networks are read-only views created per measurement
+	// context; only the base network's host population ever changes.
+	overlay map[netip.Addr]*Host
+	// generation counts host-population changes; consumers that cache
+	// derived views (e.g. the runner's vVP discovery) compare generations to
+	// auto-invalidate.
+	generation uint64
 
 	// EgressFilter drops packets as they leave their source AS (e.g. BCP38
 	// anti-spoofing, or the tNode-side egress filtering behind the paper's
@@ -170,10 +198,34 @@ func (n *Network) AddHost(h *Host) {
 		panic(fmt.Sprintf("netsim: duplicate host %v", h.Addr))
 	}
 	n.hosts[h.Addr] = h
+	n.generation++
 }
 
-// HostAt returns the host bound to addr, if any.
+// Generation returns a counter that increases whenever the host population
+// changes. Caches of host-derived state (the runner's vVP discovery, for
+// one) key on it so additions like World.AddCandidateHosts invalidate them
+// automatically.
+func (n *Network) Generation() uint64 { return n.generation }
+
+// Overlay returns a read-only view of the network in which the given hosts
+// shadow their same-addressed originals. The view shares the base graph,
+// filters and host population; only lookups for the overlaid addresses
+// differ. Measurement contexts overlay cloned hosts so concurrent rounds
+// never touch shared host state.
+func (n *Network) Overlay(hosts ...*Host) *Network {
+	view := *n
+	view.overlay = make(map[netip.Addr]*Host, len(hosts))
+	for _, h := range hosts {
+		view.overlay[h.Addr] = h
+	}
+	return &view
+}
+
+// HostAt returns the host bound to addr, if any, preferring overlay entries.
 func (n *Network) HostAt(addr netip.Addr) (*Host, bool) {
+	if h, ok := n.overlay[addr]; ok {
+		return h, true
+	}
 	h, ok := n.hosts[addr]
 	return h, ok
 }
@@ -235,7 +287,7 @@ func (n *Network) Trace(srcASN inet.ASN, pkt Packet) (path []inet.ASN, dst *Host
 	if !delivered {
 		return path, nil, DropNoRoute
 	}
-	h, ok := n.hosts[pkt.Dst]
+	h, ok := n.HostAt(pkt.Dst)
 	if !ok {
 		return path, nil, DropNoHost
 	}

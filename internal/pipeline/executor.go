@@ -1,0 +1,84 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Executor runs independent work items across a worker pool. Determinism
+// comes from the division of labour, not the schedule: item i always writes
+// slot i of a caller-owned result slice, and items never communicate, so any
+// interleaving produces the same results as running the items in order.
+type Executor struct {
+	// Workers is the pool size; 0 or negative means runtime.NumCPU(), and 1
+	// runs items inline on the calling goroutine (no pool, no atomics).
+	Workers int
+	// Progress, when set, is called after each completed item with the
+	// number of items finished so far and the total. Calls are serialized;
+	// under a pool the "done" counts are monotonic but may skip values
+	// (several items can finish between two calls).
+	Progress func(done, total int)
+}
+
+// PoolSize resolves the effective pool size: Workers, or runtime.NumCPU()
+// when unset.
+func (e *Executor) PoolSize() int {
+	if e == nil || e.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return e.Workers
+}
+
+// ForEach runs fn(i) for every i in [0, n), each exactly once. With one
+// worker the items run in index order on the calling goroutine; with more,
+// workers pull indices from a shared counter, so items run in arbitrary
+// order and concurrently — fn must be safe for that (the PairMeasurer
+// purity contract). ForEach returns after every item has finished.
+func (e *Executor) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := e.PoolSize()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+			e.report(i+1, n)
+		}
+		return
+	}
+
+	var next, done atomic.Int64
+	var mu sync.Mutex // serializes Progress callbacks
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(i)
+				d := int(done.Add(1))
+				if e != nil && e.Progress != nil {
+					mu.Lock()
+					e.Progress(d, n)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// report invokes Progress from the serial path.
+func (e *Executor) report(done, total int) {
+	if e != nil && e.Progress != nil {
+		e.Progress(done, total)
+	}
+}

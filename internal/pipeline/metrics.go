@@ -1,0 +1,100 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// StageTiming records one stage's wall-clock duration.
+type StageTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Metrics collects a round's observability data: per-stage wall-clock
+// timings and pair-level counters. It is written by the round driver after
+// each stage completes (never from worker goroutines), so plain fields
+// suffice.
+type Metrics struct {
+	// Workers is the executor pool size the round ran with.
+	Workers int
+	// Stages holds timings in execution order.
+	Stages []StageTiming
+	// PairsMeasured counts every (vVP, tNode) measurement run;
+	// PairsUsable the subset that passed the Appendix-A FP/FN gate;
+	// PairsDiscarded the rest.
+	PairsMeasured, PairsUsable, PairsDiscarded int
+}
+
+// StartStage begins timing a named stage and returns the function that
+// stops the clock and appends the timing:
+//
+//	defer m.StartStage("discover-vvps")()
+//
+// A nil receiver returns a no-op, so callers never need to guard.
+func (m *Metrics) StartStage(name string) func() {
+	if m == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		m.Stages = append(m.Stages, StageTiming{Name: name, Duration: time.Since(start)})
+	}
+}
+
+// StageDuration returns the recorded duration for name (summing repeats)
+// and whether the stage ran.
+func (m *Metrics) StageDuration(name string) (time.Duration, bool) {
+	if m == nil {
+		return 0, false
+	}
+	var total time.Duration
+	found := false
+	for _, s := range m.Stages {
+		if s.Name == name {
+			total += s.Duration
+			found = true
+		}
+	}
+	return total, found
+}
+
+// String renders a compact human-readable report (for -timings output).
+func (m *Metrics) String() string {
+	if m == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "workers=%d pairs=%d usable=%d discarded=%d\n",
+		m.Workers, m.PairsMeasured, m.PairsUsable, m.PairsDiscarded)
+	width := 0
+	for _, s := range m.Stages {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	for _, s := range m.Stages {
+		fmt.Fprintf(&b, "  %-*s %12v\n", width, s.Name, s.Duration.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// SortedStageNames returns the distinct stage names in alphabetical order
+// (mainly for tests and stable reporting).
+func (m *Metrics) SortedStageNames() []string {
+	if m == nil {
+		return nil
+	}
+	seen := make(map[string]bool, len(m.Stages))
+	var names []string
+	for _, s := range m.Stages {
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			names = append(names, s.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

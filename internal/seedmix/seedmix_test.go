@@ -1,0 +1,98 @@
+package seedmix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// oldXorScheme is the historical per-pair seed derivation from
+// core.Runner.Measure, kept here to demonstrate the collision class the
+// mixer removes.
+func oldXorScheme(seed int64, asn uint32, ti, vi int) int64 {
+	return seed ^ int64(asn)<<20 ^ int64(ti)<<8 ^ int64(vi)
+}
+
+func TestOldXorSchemeCollides(t *testing.T) {
+	// (ti=0, vi=256) and (ti=1, vi=0) pack to the same value: vi overflows
+	// into ti's shift window. The guard documents why Mix exists.
+	a := oldXorScheme(7, 42, 0, 256)
+	b := oldXorScheme(7, 42, 1, 0)
+	if a != b {
+		t.Fatalf("expected the xor scheme to collide, got %d vs %d", a, b)
+	}
+}
+
+func TestMixDistinctOverPairTuples(t *testing.T) {
+	seen := make(map[int64][4]int64)
+	for _, seed := range []int64{0, 1, -1, 1 << 40} {
+		for asn := int64(0); asn < 40; asn++ {
+			for ti := int64(0); ti < 40; ti++ {
+				for vi := int64(0); vi < 8; vi++ {
+					m := Mix(seed, asn, ti, vi)
+					if prev, dup := seen[m]; dup {
+						t.Fatalf("Mix collision: %v and %v -> %d",
+							prev, [4]int64{seed, asn, ti, vi}, m)
+					}
+					seen[m] = [4]int64{seed, asn, ti, vi}
+				}
+			}
+		}
+	}
+}
+
+func TestMixOrderSensitive(t *testing.T) {
+	if Mix(1, 2) == Mix(2, 1) {
+		t.Fatal("Mix must depend on component order")
+	}
+	if Mix(0, 0) == Mix(0) {
+		t.Fatal("Mix must depend on component count")
+	}
+}
+
+func TestMixAvalanche(t *testing.T) {
+	// Flipping one low bit of one component should flip roughly half the
+	// output bits; require at least 16 of 64 to catch accidental linearity.
+	base := Mix(9, 100, 3, 1)
+	for _, alt := range []int64{Mix(9, 101, 3, 1), Mix(9, 100, 2, 1), Mix(8, 100, 3, 1)} {
+		diff := uint64(base ^ alt)
+		bits := 0
+		for ; diff != 0; diff &= diff - 1 {
+			bits++
+		}
+		if bits < 16 {
+			t.Fatalf("weak avalanche: only %d bits differ", bits)
+		}
+	}
+}
+
+func TestSourceIsValidRandSource(t *testing.T) {
+	rng := rand.New(NewSource(42))
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		v := rng.Int63()
+		if v < 0 {
+			t.Fatalf("Int63 returned negative %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 990 {
+		t.Fatalf("suspiciously many duplicates: %d unique of 1000", len(seen))
+	}
+	// Same seed, same stream.
+	a, b := rand.New(NewSource(7)), rand.New(NewSource(7))
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Source is not deterministic")
+		}
+	}
+}
+
+func TestSourceSeedResets(t *testing.T) {
+	s := NewSource(5)
+	first := s.Uint64()
+	s.Uint64()
+	s.Seed(5)
+	if got := s.Uint64(); got != first {
+		t.Fatalf("Seed(5) did not reset the stream: %d vs %d", got, first)
+	}
+}

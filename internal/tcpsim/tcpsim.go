@@ -213,6 +213,12 @@ func (e *Endpoint) PendingCount() int { return len(e.pending) }
 // between rounds that restart virtual time, since deadlines are absolute.
 func (e *Endpoint) Reset() { e.pending = make(map[FlowKey]*pending) }
 
+// Clone returns a fresh endpoint with the same configuration (open ports,
+// RTO behaviour) and no connection state. Pair measurements clone the
+// endpoints of the hosts they touch so concurrent rounds cannot observe each
+// other's half-open flows.
+func (e *Endpoint) Clone() *Endpoint { return New(e.cfg) }
+
 // Listening reports whether the port is open.
 func (e *Endpoint) Listening(port uint16) bool { return e.open[port] }
 

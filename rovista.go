@@ -36,6 +36,7 @@ import (
 	"github.com/netsec-lab/rovista/internal/core"
 	"github.com/netsec-lab/rovista/internal/experiments"
 	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/pipeline"
 	"github.com/netsec-lab/rovista/internal/topology"
 )
 
@@ -55,12 +56,26 @@ type Truth = core.Truth
 // InvalidAnn is one scheduled misconfigured (RPKI-invalid) announcement.
 type InvalidAnn = core.InvalidAnn
 
+// WorldBuilder assembles a world in explicit stages (RPKI → ROV schedule →
+// invalids → hosts → clients/collector) for callers that want to inspect or
+// perturb a world mid-construction; BuildWorld runs all stages.
+type WorldBuilder = core.WorldBuilder
+
+// NewWorldBuilder validates cfg and returns a stage-by-stage world builder.
+func NewWorldBuilder(cfg WorldConfig) (*WorldBuilder, error) { return core.NewWorldBuilder(cfg) }
+
 // RunnerConfig tunes the measurement pipeline (background cutoff, minimum
-// vVPs per AS, detector settings).
+// vVPs per AS, detector settings, pair-measurement worker count).
 type RunnerConfig = core.RunnerConfig
 
-// Runner executes measurement rounds against a world.
+// Runner executes measurement rounds against a world. Its stage fields
+// (Prefixes, TNodes, VVPs, Measurer, Scorer) accept replacement pipeline
+// stages; nil fields select the paper-faithful defaults.
 type Runner = core.Runner
+
+// Metrics holds one round's observability data: per-stage wall-clock
+// timings and pair counters (Snapshot.Metrics).
+type Metrics = pipeline.Metrics
 
 // Snapshot is one full measurement round's results.
 type Snapshot = core.Snapshot

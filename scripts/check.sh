@@ -1,0 +1,11 @@
+#!/bin/sh
+# Tier-1 verification gate, mirroring `make check` for environments without
+# make: vet, build, full test suite, then a race-detector pass over the
+# concurrency-bearing packages (the parallel pair-measurement executor and
+# the netsim state it clones).
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/core/ ./internal/netsim/ ./internal/pipeline/
