@@ -22,10 +22,11 @@ test:
 race:
 	$(GO) test -race ./internal/core/ ./internal/netsim/ ./internal/pipeline/
 
-# Round benchmarks: serial vs parallel executor on one full measurement
-# round. Identical results either way; only wall-clock differs.
+# Round + convergence benchmarks with allocation reporting, distilled into
+# BENCH_round.json (ns/op, B/op, allocs/op per benchmark) for diffing
+# across commits.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkMeasureRound' -benchtime 5x .
+	sh scripts/bench.sh
 
 clean:
 	$(GO) clean ./...

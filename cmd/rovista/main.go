@@ -6,12 +6,15 @@
 //
 //	rovista [-seed N] [-day D] [-size small|medium|large] [-top K] [-v]
 //	        [-workers N] [-progress] [-timings]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"github.com/netsec-lab/rovista/internal/core"
@@ -30,7 +33,37 @@ func main() {
 	workers := flag.Int("workers", 0, "pair-measurement workers (0 = all CPUs, 1 = serial; results are identical for any value)")
 	progress := flag.Bool("progress", false, "print per-stage progress to stderr")
 	timings := flag.Bool("timings", false, "print per-stage wall-clock timings and pair counters to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rovista:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rovista:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rovista:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rovista:", err)
+			}
+		}()
+	}
 
 	cfg, err := worldConfig(*size, *seed)
 	if err != nil {

@@ -113,16 +113,7 @@ func (a *AS) resetRoutingState() {
 			selfOrigin:  true,
 		})
 	}
-	a.exportAll = a.exportAll[:0]
-	a.exportCustomers = a.exportCustomers[:0]
-	for n, rel := range a.Neighbors {
-		a.exportAll = append(a.exportAll, n)
-		if rel == Customer {
-			a.exportCustomers = append(a.exportCustomers, n)
-		}
-	}
-	sort.Slice(a.exportAll, func(i, j int) bool { return a.exportAll[i] < a.exportAll[j] })
-	sort.Slice(a.exportCustomers, func(i, j int) bool { return a.exportCustomers[i] < a.exportCustomers[j] })
+	a.rebuildExportLists()
 }
 
 // resetPrefixes clears learned state for exactly the prefixes in set
@@ -152,7 +143,16 @@ func (a *AS) resetPrefixes(set map[uint64]bool) {
 }
 
 func (a *AS) rebuildExportLists() {
-	a.rebuildExportLists()
+	a.exportAll = a.exportAll[:0]
+	a.exportCustomers = a.exportCustomers[:0]
+	for n, rel := range a.Neighbors {
+		a.exportAll = append(a.exportAll, n)
+		if rel == Customer {
+			a.exportCustomers = append(a.exportCustomers, n)
+		}
+	}
+	sort.Slice(a.exportAll, func(i, j int) bool { return a.exportAll[i] < a.exportAll[j] })
+	sort.Slice(a.exportCustomers, func(i, j int) bool { return a.exportCustomers[i] < a.exportCustomers[j] })
 }
 
 func (a *AS) installBest(r Route) {

@@ -14,6 +14,13 @@ import (
 // Graph is the AS-level Internet: the set of ASes and their adjacencies.
 type Graph struct {
 	ASes map[inet.ASN]*AS
+
+	// version counts routing-state recomputations (Converge and
+	// ConvergePrefixes). Consumers that cache derived forwarding state —
+	// netsim's data-path cache, for one — compare versions to invalidate.
+	// Surgical RIB edits that bypass convergence (AS.DropRoute, direct field
+	// mutation without a re-converge) must call BumpVersion explicitly.
+	version uint64
 }
 
 // NewGraph returns an empty graph.
@@ -54,6 +61,15 @@ func (g *Graph) Link(a, b inet.ASN, rel Relationship) error {
 	return nil
 }
 
+// Version returns a counter that increases whenever the graph's routing
+// state is recomputed. Forwarding-path caches key on it.
+func (g *Graph) Version() uint64 { return g.version }
+
+// BumpVersion marks the routing state as changed without a convergence run.
+// Call it after surgical edits (DropRoute, direct default-route toggles not
+// followed by a re-converge) so path caches drop their entries.
+func (g *Graph) BumpVersion() { g.version++ }
+
 // update is one in-flight announcement during convergence. The Announcement
 // is shared across the sender's fan-out and treated as immutable.
 type update struct {
@@ -70,6 +86,7 @@ const maxRounds = 256
 // re-originates its prefixes and announcements propagate until quiescence.
 // It returns the number of rounds taken.
 func (g *Graph) Converge() (int, error) {
+	g.version++
 	asns := g.sortedASNs()
 	for _, asn := range asns {
 		g.ASes[asn].resetRoutingState()
@@ -102,6 +119,7 @@ func (g *Graph) ConvergePrefixes(prefixes []netip.Prefix) (int, error) {
 	if len(prefixes) == 0 {
 		return 0, nil
 	}
+	g.version++
 	set := make(map[uint64]bool, len(prefixes))
 	for _, p := range prefixes {
 		set[pkey(p.Masked())] = true
@@ -127,8 +145,17 @@ func (g *Graph) ConvergePrefixes(prefixes []netip.Prefix) (int, error) {
 	return g.propagate(queue)
 }
 
-// propagate floods queued updates to quiescence.
+// propagate floods queued updates to quiescence. The grouping map, receiver
+// list, and per-worker scratch state are allocated once and reused across
+// rounds: convergence runs tens of rounds over the same AS population, and
+// rebuilding those structures per round dominated convergence garbage.
 func (g *Graph) propagate(queue []update) (int, error) {
+	byRecv := make(map[inet.ASN][]update, len(g.ASes))
+	var recvs []inet.ASN
+	var outs [][]update
+	maxWorkers := runtime.GOMAXPROCS(0)
+	scratch := make([]propScratch, maxWorkers)
+
 	for round := 1; round <= maxRounds; round++ {
 		if len(queue) == 0 {
 			return round - 1, nil
@@ -136,18 +163,31 @@ func (g *Graph) propagate(queue []update) (int, error) {
 		// Group this round's updates by receiver. Receivers only mutate
 		// their own routing state, so they are processed in parallel; the
 		// per-receiver outputs are merged in deterministic receiver order.
-		byRecv := make(map[inet.ASN][]update, len(g.ASes))
+		// Buckets keep their backing arrays between rounds (truncated to
+		// zero length); recvs is rebuilt from the non-empty buckets.
+		for r, b := range byRecv {
+			byRecv[r] = b[:0]
+		}
 		for _, u := range queue {
 			byRecv[u.to] = append(byRecv[u.to], u)
 		}
-		recvs := make([]inet.ASN, 0, len(byRecv))
-		for r := range byRecv {
-			recvs = append(recvs, r)
+		recvs = recvs[:0]
+		for r, b := range byRecv {
+			if len(b) > 0 {
+				recvs = append(recvs, r)
+			}
 		}
 		sort.Slice(recvs, func(i, j int) bool { return recvs[i] < recvs[j] })
 
-		outs := make([][]update, len(recvs))
-		workers := runtime.GOMAXPROCS(0)
+		if cap(outs) < len(recvs) {
+			outs = make([][]update, len(recvs))
+		} else {
+			outs = outs[:len(recvs)]
+			for i := range outs {
+				outs[i] = nil
+			}
+		}
+		workers := maxWorkers
 		if workers > len(recvs) {
 			workers = len(recvs)
 		}
@@ -155,10 +195,13 @@ func (g *Graph) propagate(queue []update) (int, error) {
 		var cursor atomic.Int64
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(sc *propScratch) {
 				defer wg.Done()
+				if sc.seen == nil {
+					sc.seen = make(map[netip.Prefix]bool)
+				}
 				for {
-					i := int(cursor.Add(1)) - 1
+					i := int(cursor.Add(1) - 1)
 					if i >= len(recvs) {
 						return
 					}
@@ -167,13 +210,13 @@ func (g *Graph) propagate(queue []update) (int, error) {
 					if a == nil {
 						continue
 					}
-					var changed []netip.Prefix
-					seen := make(map[netip.Prefix]bool)
+					changed := sc.changed[:0]
+					clear(sc.seen)
 					for _, u := range byRecv[recv] {
 						if a.importAnnouncement(u.from, *u.ann) {
 							p := u.ann.Prefix.Masked()
-							if !seen[p] {
-								seen[p] = true
+							if !sc.seen[p] {
+								sc.seen[p] = true
 								changed = append(changed, p)
 							}
 						}
@@ -189,9 +232,10 @@ func (g *Graph) propagate(queue []update) (int, error) {
 							out = append(out, update{to: nbr, from: recv, ann: ann})
 						}
 					}
+					sc.changed = changed[:0]
 					outs[i] = out
 				}
-			}()
+			}(&scratch[w])
 		}
 		wg.Wait()
 
@@ -199,13 +243,23 @@ func (g *Graph) propagate(queue []update) (int, error) {
 		for _, o := range outs {
 			total += len(o)
 		}
-		next := make([]update, 0, total)
+		next := queue[:0]
+		if cap(next) < total {
+			next = make([]update, 0, total)
+		}
 		for _, o := range outs {
 			next = append(next, o...)
 		}
 		queue = next
 	}
 	return maxRounds, fmt.Errorf("bgp: convergence did not quiesce in %d rounds", maxRounds)
+}
+
+// propScratch is one worker's reusable convergence state. Workers are
+// assigned distinct entries, so no locking is needed.
+type propScratch struct {
+	seen    map[netip.Prefix]bool
+	changed []netip.Prefix
 }
 
 func (g *Graph) sortedASNs() []inet.ASN {

@@ -204,3 +204,33 @@ func TestMeasureProgressCallback(t *testing.T) {
 		t.Fatalf("measure-pairs never reported completion: %d", lastDone[StageMeasurePairs])
 	}
 }
+
+// TestPathCacheRoundEquivalence: a full measurement round with the
+// forwarding-path cache enabled must be bit-for-bit identical to one with
+// the cache disabled — the cache is an invisible optimization, never a
+// behaviour change.
+func TestPathCacheRoundEquivalence(t *testing.T) {
+	run := func(disable bool) *Snapshot {
+		w, err := BuildWorld(SmallWorldConfig(5))
+		if err != nil {
+			t.Fatalf("BuildWorld: %v", err)
+		}
+		if err := w.AdvanceTo(0); err != nil {
+			t.Fatalf("AdvanceTo: %v", err)
+		}
+		w.Net.DisablePathCache = disable
+		cfg := DefaultRunnerConfig(5)
+		cfg.Workers = 4
+		cfg.RecordPairs = true
+		snap := NewRunner(w, cfg).Measure()
+		snap.Metrics = nil // timings legitimately differ
+		return snap
+	}
+	want := run(true)
+	if len(want.PairResults) == 0 {
+		t.Fatal("round measured no pairs; equivalence check is vacuous")
+	}
+	if got := run(false); !reflect.DeepEqual(got, want) {
+		t.Fatal("cached round produced a different snapshot than uncached")
+	}
+}

@@ -117,7 +117,15 @@ func MeasurePair(net *netsim.Network, client *netsim.Host, vvpAddr netip.Addr, t
 		h.TCP.Reset()
 	}
 
-	res := PairResult{VVP: vvpAddr, TNode: tn}
+	total := cfg.PreProbes + cfg.PostProbes
+	res := PairResult{
+		VVP:   vvpAddr,
+		TNode: tn,
+		// One sample is expected per probe; preallocating exactly keeps the
+		// handler's appends allocation-free across the whole round.
+		IDs:   make([]uint16, 0, total),
+		Times: make([]float64, 0, total),
+	}
 	prevHandler := client.Handler
 	client.Handler = func(sim *netsim.Sim, pkt netsim.Packet) bool {
 		if pkt.Kind == tcpsim.RST && pkt.Src == vvpAddr {
@@ -128,7 +136,6 @@ func MeasurePair(net *netsim.Network, client *netsim.Host, vvpAddr netip.Addr, t
 	}
 	defer func() { client.Handler = prevHandler }()
 
-	total := cfg.PreProbes + cfg.PostProbes
 	for i := 0; i < total; i++ {
 		k := i
 		s.At(float64(k)*cfg.ProbeInterval, func() {

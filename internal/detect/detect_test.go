@@ -165,3 +165,23 @@ func TestConfigDefaults(t *testing.T) {
 		t.Fatalf("defaults = %+v", c)
 	}
 }
+
+// TestMeasurePairIsolatedAllocs is an allocation-regression guard for the
+// parallel executor's per-pair primitive. The hot-path work (event-heap
+// boxing, per-packet delivery closures, per-segment slices, math/rand table
+// seeding) was removed deliberately; a run on this small world costs ~160
+// allocations today. The ceiling leaves ~2.5x slack for benign drift while
+// still catching any reintroduced per-packet allocation, which multiplies
+// by the thousands of packets per round.
+func TestMeasurePairIsolatedAllocs(t *testing.T) {
+	const ceiling = 400
+	n, client, vvp, tn := world(t, false, 2)
+	// Warm the shared network's path cache so the steady state is measured.
+	MeasurePairIsolated(n, client, vvp.Addr, tn, 5, Config{})
+	got := testing.AllocsPerRun(10, func() {
+		MeasurePairIsolated(n, client, vvp.Addr, tn, 5, Config{})
+	})
+	if got > ceiling {
+		t.Fatalf("MeasurePairIsolated allocates %v per run, ceiling %d", got, ceiling)
+	}
+}

@@ -8,8 +8,9 @@ package ipid
 
 import (
 	"fmt"
-	"math/rand"
 	"net/netip"
+
+	"github.com/netsec-lab/rovista/internal/seedmix"
 )
 
 // Policy enumerates IP-ID assignment behaviours.
@@ -51,24 +52,25 @@ type Counter struct {
 	policy  Policy
 	global  uint16
 	perDest map[netip.Addr]uint16
-	rng     *rand.Rand
+	src     seedmix.Source
 }
 
 // NewCounter creates a Counter with the given policy. The seed feeds both
 // the initial counter offset and the Random policy's generator so whole
-// simulations stay reproducible.
+// simulations stay reproducible. Seeding is O(1): counters are constructed
+// per cloned host on the pair-measurement hot path, where math/rand's
+// 607-word lag-table seeding once dominated round CPU.
 func NewCounter(policy Policy, seed int64) *Counter {
-	rng := rand.New(rand.NewSource(seed))
-	c := &Counter{
-		policy: policy,
-		global: uint16(rng.Intn(1 << 16)),
-		rng:    rng,
-	}
+	c := &Counter{policy: policy, src: *seedmix.NewSource(seed)}
+	c.global = c.rand16()
 	if policy == PerDestination {
 		c.perDest = make(map[netip.Addr]uint16)
 	}
 	return c
 }
+
+// rand16 draws a uniform 16-bit value from the counter's source.
+func (c *Counter) rand16() uint16 { return uint16(c.src.Uint64() >> 48) }
 
 // Policy returns the counter's assignment policy.
 func (c *Counter) Policy() Policy { return c.policy }
@@ -83,12 +85,12 @@ func (c *Counter) Next(dst netip.Addr) uint16 {
 	case PerDestination:
 		v := c.perDest[dst] + 1
 		if _, ok := c.perDest[dst]; !ok {
-			v = uint16(c.rng.Intn(1 << 16))
+			v = c.rand16()
 		}
 		c.perDest[dst] = v
 		return v
 	case Random:
-		return uint16(c.rng.Intn(1 << 16))
+		return c.rand16()
 	default: // Constant
 		return 0
 	}

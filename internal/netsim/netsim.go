@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"github.com/netsec-lab/rovista/internal/bgp"
 	"github.com/netsec-lab/rovista/internal/inet"
@@ -66,13 +67,17 @@ type Host struct {
 }
 
 // NewHost builds a host with a compliant TCP endpoint listening on ports.
+// All host randomness (the IP-ID offset and the background-traffic stream)
+// comes from O(1)-seeded splitmix64 sources: hosts are also constructed on
+// clone-per-pair hot paths, where math/rand's lag-table seeding is the
+// single most expensive thing a round can do.
 func NewHost(addr netip.Addr, asn inet.ASN, policy ipid.Policy, seed int64, ports ...uint16) *Host {
 	return &Host{
 		Addr: addr,
 		ASN:  asn,
 		TCP:  tcpsim.New(tcpsim.DefaultConfig(ports...)),
 		IPID: ipid.NewCounter(policy, seed),
-		rng:  rand.New(rand.NewSource(seed ^ 0x5eed)),
+		rng:  rand.New(seedmix.NewSource(seed ^ 0x5eed)),
 	}
 }
 
@@ -177,6 +182,15 @@ type Network struct {
 	Jitter float64
 	// LossRate is an independent per-packet drop probability.
 	LossRate float64
+
+	// DisablePathCache turns off forwarding-path memoization, forcing every
+	// routed packet through a full LPM walk. Exists for the cached-vs-
+	// uncached equivalence tests and for debugging; the cache never changes
+	// results, only how often the pure path computation re-runs.
+	DisablePathCache bool
+	// paths memoizes Graph.DataPath by (srcASN, dst), invalidated by the
+	// graph's routing version. Shared (by pointer) with every Overlay view.
+	paths *pathCache
 }
 
 // NewNetwork wraps a converged BGP graph.
@@ -188,7 +202,78 @@ func NewNetwork(g *bgp.Graph) *Network {
 		IngressFilter: make(map[inet.ASN]FilterFunc),
 		BaseDelay:     0.005,
 		PerHopDelay:   0.008,
+		paths:         &pathCache{},
 	}
+}
+
+// pathKey identifies one forwarding-path computation.
+type pathKey struct {
+	src inet.ASN
+	dst netip.Addr
+}
+
+// pathEntry is one memoized Graph.DataPath result. The path slice is shared
+// by every cache hit: consumers treat traced paths as immutable.
+type pathEntry struct {
+	path      []inet.ASN
+	delivered bool
+}
+
+// pathCache memoizes the pure AS-path computation beneath Trace. The BGP
+// data plane is a function of (routing state, srcASN, dst) only, so entries
+// stay valid until the graph re-converges; the graph's routing version keys
+// the whole cache, and a version mismatch drops every entry at once. An
+// RWMutex (rather than sync.Map) keeps the hit path to one read-lock: during
+// the measure-pairs stage the network is read-only and every worker probes
+// the same few (client, vVP, tNode) endpoints, so the cache is written a
+// handful of times and read millions.
+type pathCache struct {
+	mu      sync.RWMutex
+	version uint64
+	m       map[pathKey]pathEntry
+}
+
+// dataPath returns Graph.DataPath(src, dst), memoized. Safe for concurrent
+// use by the parallel pair-measurement executor.
+func (n *Network) dataPath(src inet.ASN, dst netip.Addr) ([]inet.ASN, bool) {
+	c := n.paths
+	if n.DisablePathCache || c == nil {
+		return n.Graph.DataPath(src, dst)
+	}
+	ver := n.Graph.Version()
+	k := pathKey{src, dst}
+	c.mu.RLock()
+	if c.version == ver {
+		if e, ok := c.m[k]; ok {
+			c.mu.RUnlock()
+			return e.path, e.delivered
+		}
+	}
+	c.mu.RUnlock()
+
+	path, delivered := n.Graph.DataPath(src, dst)
+	c.mu.Lock()
+	if c.version != ver || c.m == nil {
+		c.m = make(map[pathKey]pathEntry, 256)
+		c.version = ver
+	}
+	c.m[k] = pathEntry{path: path, delivered: delivered}
+	c.mu.Unlock()
+	return path, delivered
+}
+
+// InvalidatePathCache drops every memoized forwarding path. Routing
+// re-convergence invalidates the cache automatically (it keys on the graph's
+// routing version); this exists for callers that mutate forwarding-relevant
+// AS fields directly without a re-converge.
+func (n *Network) InvalidatePathCache() {
+	if n.paths == nil {
+		return
+	}
+	n.paths.mu.Lock()
+	n.paths.m = nil
+	n.paths.version = 0
+	n.paths.mu.Unlock()
 }
 
 // AddHost attaches a host. It panics on duplicate addresses — always a bug
@@ -211,7 +296,9 @@ func (n *Network) Generation() uint64 { return n.generation }
 // shadow their same-addressed originals. The view shares the base graph,
 // filters and host population; only lookups for the overlaid addresses
 // differ. Measurement contexts overlay cloned hosts so concurrent rounds
-// never touch shared host state.
+// never touch shared host state. The forwarding-path cache is shared (by
+// pointer) with the base network: paths depend only on the graph, which
+// overlays never change, so every concurrent context warms one cache.
 func (n *Network) Overlay(hosts ...*Host) *Network {
 	view := *n
 	view.overlay = make(map[netip.Addr]*Host, len(hosts))
@@ -275,7 +362,9 @@ const (
 // Trace routes pkt from srcASN and reports the traversed AS path, the
 // destination host when delivery succeeds, and the drop reason otherwise.
 // This is the primitive beneath both packet delivery and the traceroute
-// implementation in internal/trace.
+// implementation in internal/trace. The returned path may be served from the
+// forwarding-path cache and shared with other callers: treat it as
+// immutable.
 func (n *Network) Trace(srcASN inet.ASN, pkt Packet) (path []inet.ASN, dst *Host, reason DropReason) {
 	if n.Graph.AS(srcASN) == nil {
 		return nil, nil, DropSrcGone
@@ -283,7 +372,7 @@ func (n *Network) Trace(srcASN inet.ASN, pkt Packet) (path []inet.ASN, dst *Host
 	if f := n.EgressFilter[srcASN]; f != nil && f(pkt) {
 		return nil, nil, DropEgress
 	}
-	path, delivered := n.Graph.DataPath(srcASN, pkt.Dst)
+	path, delivered := n.dataPath(srcASN, pkt.Dst)
 	if !delivered {
 		return path, nil, DropNoRoute
 	}

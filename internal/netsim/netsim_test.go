@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"net/netip"
+	"reflect"
 	"testing"
 
 	"github.com/netsec-lab/rovista/internal/bgp"
@@ -466,5 +467,60 @@ func TestOverlayShadowsWithoutMutatingBase(t *testing.T) {
 	s.Run(5)
 	if got == 0 {
 		t.Fatal("overlay clone never received the packet")
+	}
+}
+
+// TestPathCacheEquivalence: the forwarding-path cache is a pure memo — for
+// every (src, dst) pair, Trace with the cache enabled must return exactly
+// what it returns with the cache disabled, and a routing change followed by
+// a re-convergence (which bumps the graph's routing version) must flow
+// through the cached network just as it does through the uncached one.
+func TestPathCacheEquivalence(t *testing.T) {
+	n, client, vvp, tnode := threeASWorld(t)
+
+	type traceOut struct {
+		path   []inet.ASN
+		dst    *Host
+		reason DropReason
+	}
+	traceAll := func() []traceOut {
+		var out []traceOut
+		for _, src := range []inet.ASN{1, 2, 3, 10} {
+			for _, dst := range []netip.Addr{client.Addr, vvp.Addr, tnode.Addr, ip("10.9.0.1")} {
+				p, h, r := n.Trace(src, Packet{Src: client.Addr, Dst: dst})
+				out = append(out, traceOut{append([]inet.ASN(nil), p...), h, r})
+			}
+		}
+		return out
+	}
+
+	cached := traceAll() // warm + read through the cache
+	n.DisablePathCache = true
+	uncached := traceAll()
+	n.DisablePathCache = false
+	if !reflect.DeepEqual(cached, uncached) {
+		t.Fatalf("cached traces differ from uncached:\n%+v\nvs\n%+v", cached, uncached)
+	}
+	// Second cached pass: entries are now all hits and must still agree.
+	if again := traceAll(); !reflect.DeepEqual(again, uncached) {
+		t.Fatalf("cache-hit traces differ from uncached:\n%+v\nvs\n%+v", again, uncached)
+	}
+
+	// Routing change: the tNode's AS withdraws its prefix. ConvergePrefixes
+	// bumps the routing version, so the cache must drop its entries without
+	// any explicit invalidation call.
+	n.Graph.AS(3).Originated = nil
+	if _, err := n.Graph.ConvergePrefixes([]netip.Prefix{pfx("10.3.0.0/16")}); err != nil {
+		t.Fatal(err)
+	}
+	cached = traceAll()
+	n.DisablePathCache = true
+	uncached = traceAll()
+	n.DisablePathCache = false
+	if !reflect.DeepEqual(cached, uncached) {
+		t.Fatalf("post-reconvergence cached traces differ from uncached:\n%+v\nvs\n%+v", cached, uncached)
+	}
+	if _, _, r := n.Trace(1, Packet{Src: client.Addr, Dst: tnode.Addr}); r != DropNoRoute {
+		t.Fatalf("withdrawn prefix still routed through cache: reason=%v", r)
 	}
 }

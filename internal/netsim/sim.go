@@ -1,34 +1,95 @@
 package netsim
 
 import (
-	"container/heap"
 	"math/rand"
 	"net/netip"
 
 	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/seedmix"
 	"github.com/netsec-lab/rovista/internal/tcpsim"
+)
+
+// eventKind selects what a scheduled event does when it fires. Packet
+// delivery and TCP timer wakeups — the two per-packet event shapes — carry
+// their operands inline instead of in a closure: one round schedules
+// hundreds of thousands of them, and the closure captures used to be among
+// the largest allocation sources in the whole measurement path.
+type eventKind uint8
+
+const (
+	// evFunc runs an arbitrary callback (the public At/After API).
+	evFunc eventKind = iota
+	// evDeliver hands pkt to host (the tail of a routed transmission).
+	evDeliver
+	// evTick fires the host's due TCP retransmissions and re-arms.
+	evTick
 )
 
 // event is one scheduled action in virtual time; seq breaks ties so
 // execution order is fully deterministic.
 type event struct {
-	at  float64
-	seq uint64
-	fn  func()
+	at   float64
+	seq  uint64
+	kind eventKind
+	fn   func() // evFunc only
+	host *Host  // evDeliver, evTick
+	pkt  Packet // evDeliver only
 }
 
+// before orders events by (time, sequence).
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// eventHeap is a binary min-heap ordered by before. It is hand-rolled
+// rather than built on container/heap because the standard interface boxes
+// every pushed and popped element into an `any`, which costs one heap
+// allocation per event — per packet, on the measurement path.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].before(&s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release fn/host references
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && s[l].before(&s[small]) {
+			small = l
+		}
+		if r < n && s[r].before(&s[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
+}
 
 // TraceEvent records one packet transmission attempt for debugging and the
 // Figure-2 timeline rendering.
@@ -44,28 +105,40 @@ type Sim struct {
 	// Trace, when set, receives every transmission attempt.
 	Trace func(TraceEvent)
 
-	now    float64
-	events eventHeap
-	seq    uint64
-	rng    *rand.Rand
+	now     float64
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	tickBuf []tcpsim.Segment // scratch for TCP timer fan-out
 }
 
-// NewSim creates a simulator over net with a deterministic seed.
+// NewSim creates a simulator over net with a deterministic seed. Seeding is
+// O(1) (splitmix64): simulators are constructed per measurement pair, so
+// construction cost is round cost.
 func NewSim(net *Network, seed int64) *Sim {
-	return &Sim{Net: net, rng: rand.New(rand.NewSource(seed))}
+	return &Sim{
+		Net:    net,
+		rng:    rand.New(seedmix.NewSource(seed)),
+		events: make(eventHeap, 0, 64),
+	}
 }
 
 // Now returns the current virtual time in seconds.
 func (s *Sim) Now() float64 { return s.now }
 
-// At schedules fn at absolute virtual time t (clamped to now).
-func (s *Sim) At(t float64, fn func()) {
+// schedule enqueues an event at absolute virtual time t (clamped to now).
+func (s *Sim) schedule(t float64, e event) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	e.at = t
+	e.seq = s.seq
+	s.events.push(e)
 }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Sim) At(t float64, fn func()) { s.schedule(t, event{kind: evFunc, fn: fn}) }
 
 // After schedules fn delay seconds from now.
 func (s *Sim) After(delay float64, fn func()) { s.At(s.now+delay, fn) }
@@ -78,9 +151,16 @@ func (s *Sim) Run(until float64) int {
 		if s.events[0].at > until {
 			break
 		}
-		e := heap.Pop(&s.events).(event)
+		e := s.events.pop()
 		s.now = e.at
-		e.fn()
+		switch e.kind {
+		case evFunc:
+			e.fn()
+		case evDeliver:
+			s.deliver(e.host, e.pkt)
+		case evTick:
+			s.tick(e.host)
+		}
 		n++
 	}
 	if s.now < until {
@@ -119,11 +199,11 @@ func (s *Sim) transmit(srcASN inet.ASN, pkt Packet) {
 	if s.Net.Jitter > 0 {
 		delay += s.rng.Float64() * s.Net.Jitter
 	}
-	s.After(delay, func() { s.deliver(dstHost, pkt) })
+	s.schedule(s.now+delay, event{kind: evDeliver, host: dstHost, pkt: pkt})
 }
 
 // deliver hands pkt to the destination host: the custom handler first, then
-// the TCP automaton; any response segments are transmitted in turn.
+// the TCP automaton; any response segment is transmitted in turn.
 func (s *Sim) deliver(h *Host, pkt Packet) {
 	if h.Handler != nil && h.Handler(s, pkt) {
 		return
@@ -134,8 +214,18 @@ func (s *Sim) deliver(h *Host, pkt Packet) {
 		LocalPort: pkt.DstPort,
 		Kind:      pkt.Kind,
 	}
-	out := h.TCP.HandleSegment(s.now, seg)
-	for _, o := range out {
+	if o, ok := h.TCP.HandleSegment(s.now, seg); ok {
+		s.SendFrom(h, h.Addr, o.Peer, o.LocalPort, o.PeerPort, o.Kind)
+	}
+	s.armRetransmit(h)
+}
+
+// tick fires the host's due TCP retransmissions and re-arms the timer.
+// The segment buffer is owned by the Sim and reused across ticks; deliveries
+// are scheduled, never run inline, so the loop cannot re-enter tick.
+func (s *Sim) tick(h *Host) {
+	s.tickBuf = h.TCP.Tick(s.now, s.tickBuf[:0])
+	for _, o := range s.tickBuf {
 		s.SendFrom(h, h.Addr, o.Peer, o.LocalPort, o.PeerPort, o.Kind)
 	}
 	s.armRetransmit(h)
@@ -148,10 +238,5 @@ func (s *Sim) armRetransmit(h *Host) {
 	if !ok {
 		return
 	}
-	s.At(deadline, func() {
-		for _, o := range h.TCP.Tick(s.now) {
-			s.SendFrom(h, h.Addr, o.Peer, o.LocalPort, o.PeerPort, o.Kind)
-		}
-		s.armRetransmit(h)
-	})
+	s.schedule(deadline, event{kind: evTick, host: h})
 }

@@ -140,38 +140,41 @@ func New(cfg Config) *Endpoint {
 }
 
 // HandleSegment processes an inbound segment at the given time and returns
-// the segments to transmit in response.
-func (e *Endpoint) HandleSegment(now float64, seg Segment) []Segment {
+// the segment to transmit in response, if any. Every modelled behaviour
+// responds with at most one segment, so the single-value shape keeps the
+// per-packet path allocation-free (a slice return was one heap allocation
+// per delivered packet on the measurement hot path).
+func (e *Endpoint) HandleSegment(now float64, seg Segment) (Segment, bool) {
 	switch seg.Kind {
 	case SYN:
 		if !e.open[seg.LocalPort] {
 			if e.cfg.RespondOnClosed {
-				return []Segment{reply(seg, RST)}
+				return reply(seg, RST), true
 			}
-			return nil
+			return Segment{}, false
 		}
 		k := key(seg)
 		if e.cfg.Behavior != NoRetransmit {
 			e.pending[k] = &pending{flow: k, deadline: now + e.cfg.InitialRTO}
 		}
-		return []Segment{reply(seg, SYNACK)}
+		return reply(seg, SYNACK), true
 	case SYNACK:
 		// No modelled endpoint initiates connections, so every SYN-ACK is
 		// unexpected: answer with RST unless configured silent.
 		if e.cfg.SilentOnUnexpected {
-			return nil
+			return Segment{}, false
 		}
-		return []Segment{reply(seg, RST)}
+		return reply(seg, RST), true
 	case RST:
 		if e.cfg.Behavior != IgnoreRST {
 			delete(e.pending, key(seg))
 		}
-		return nil
+		return Segment{}, false
 	case ACK:
 		delete(e.pending, key(seg))
-		return nil
+		return Segment{}, false
 	}
-	return nil
+	return Segment{}, false
 }
 
 // NextDeadline returns the earliest retransmission deadline, if any.
@@ -186,10 +189,11 @@ func (e *Endpoint) NextDeadline() (float64, bool) {
 	return best, found
 }
 
-// Tick fires retransmissions due at or before now and returns the segments
-// to transmit. Exhausted flows are dropped.
-func (e *Endpoint) Tick(now float64) []Segment {
-	var out []Segment
+// Tick fires retransmissions due at or before now, appends the segments to
+// transmit onto out, and returns the extended slice. Exhausted flows are
+// dropped. Callers on hot paths pass a reused scratch buffer (truncated to
+// length zero) so steady-state ticking never allocates.
+func (e *Endpoint) Tick(now float64, out []Segment) []Segment {
 	for k, p := range e.pending {
 		if p.deadline > now {
 			continue
@@ -216,8 +220,11 @@ func (e *Endpoint) Reset() { e.pending = make(map[FlowKey]*pending) }
 // Clone returns a fresh endpoint with the same configuration (open ports,
 // RTO behaviour) and no connection state. Pair measurements clone the
 // endpoints of the hosts they touch so concurrent rounds cannot observe each
-// other's half-open flows.
-func (e *Endpoint) Clone() *Endpoint { return New(e.cfg) }
+// other's half-open flows. The open-port set is written only during New, so
+// clones share it; only the pending-flow map is per-clone.
+func (e *Endpoint) Clone() *Endpoint {
+	return &Endpoint{cfg: e.cfg, open: e.open, pending: make(map[FlowKey]*pending)}
+}
 
 // Listening reports whether the port is open.
 func (e *Endpoint) Listening(port uint16) bool { return e.open[port] }

@@ -13,12 +13,12 @@ func seg(kind Kind, localPort uint16) Segment {
 
 func TestSynToOpenPortGetsSynAck(t *testing.T) {
 	e := New(DefaultConfig(80))
-	out := e.HandleSegment(0, seg(SYN, 80))
-	if len(out) != 1 || out[0].Kind != SYNACK {
-		t.Fatalf("out = %+v", out)
+	out, ok := e.HandleSegment(0, seg(SYN, 80))
+	if !ok || out.Kind != SYNACK {
+		t.Fatalf("out = %+v ok=%v", out, ok)
 	}
-	if out[0].Peer != peer || out[0].PeerPort != 40000 || out[0].LocalPort != 80 {
-		t.Fatalf("reply flow wrong: %+v", out[0])
+	if out.Peer != peer || out.PeerPort != 40000 || out.LocalPort != 80 {
+		t.Fatalf("reply flow wrong: %+v", out)
 	}
 	if e.PendingCount() != 1 {
 		t.Fatalf("pending = %d", e.PendingCount())
@@ -27,9 +27,9 @@ func TestSynToOpenPortGetsSynAck(t *testing.T) {
 
 func TestSynToClosedPortGetsRst(t *testing.T) {
 	e := New(DefaultConfig(80))
-	out := e.HandleSegment(0, seg(SYN, 81))
-	if len(out) != 1 || out[0].Kind != RST {
-		t.Fatalf("out = %+v", out)
+	out, ok := e.HandleSegment(0, seg(SYN, 81))
+	if !ok || out.Kind != RST {
+		t.Fatalf("out = %+v ok=%v", out, ok)
 	}
 	if e.PendingCount() != 0 {
 		t.Fatal("closed-port SYN must not create state")
@@ -40,16 +40,16 @@ func TestSynToClosedPortSilent(t *testing.T) {
 	cfg := DefaultConfig(80)
 	cfg.RespondOnClosed = false
 	e := New(cfg)
-	if out := e.HandleSegment(0, seg(SYN, 81)); out != nil {
+	if out, ok := e.HandleSegment(0, seg(SYN, 81)); ok {
 		t.Fatalf("out = %+v, want silence", out)
 	}
 }
 
 func TestUnexpectedSynAckGetsRst(t *testing.T) {
 	e := New(DefaultConfig())
-	out := e.HandleSegment(0, seg(SYNACK, 12345))
-	if len(out) != 1 || out[0].Kind != RST {
-		t.Fatalf("out = %+v", out)
+	out, ok := e.HandleSegment(0, seg(SYNACK, 12345))
+	if !ok || out.Kind != RST {
+		t.Fatalf("out = %+v ok=%v", out, ok)
 	}
 }
 
@@ -57,7 +57,7 @@ func TestSilentOnUnexpected(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.SilentOnUnexpected = true
 	e := New(cfg)
-	if out := e.HandleSegment(0, seg(SYNACK, 12345)); out != nil {
+	if out, ok := e.HandleSegment(0, seg(SYNACK, 12345)); ok {
 		t.Fatalf("out = %+v, want silence", out)
 	}
 }
@@ -74,11 +74,11 @@ func TestRetransmissionSchedule(t *testing.T) {
 		t.Fatalf("deadline = %v %v, want 3", d, ok)
 	}
 	// Nothing fires early.
-	if out := e.Tick(2.9); out != nil {
+	if out := e.Tick(2.9, nil); len(out) != 0 {
 		t.Fatalf("early tick fired: %+v", out)
 	}
 	// First retransmission at t=3.
-	out := e.Tick(3)
+	out := e.Tick(3, nil)
 	if len(out) != 1 || out[0].Kind != SYNACK {
 		t.Fatalf("first retransmit = %+v", out)
 	}
@@ -87,17 +87,30 @@ func TestRetransmissionSchedule(t *testing.T) {
 	if d != 9 {
 		t.Fatalf("backoff deadline = %v, want 9", d)
 	}
-	out = e.Tick(9)
+	out = e.Tick(9, nil)
 	if len(out) != 1 {
 		t.Fatalf("second retransmit = %+v", out)
 	}
 	// Retries exhausted: next tick drops the flow silently.
-	out = e.Tick(100)
-	if out != nil {
+	out = e.Tick(100, nil)
+	if len(out) != 0 {
 		t.Fatalf("exhausted flow fired: %+v", out)
 	}
 	if e.PendingCount() != 0 {
 		t.Fatal("flow should be dropped after max retries")
+	}
+}
+
+func TestTickAppendsToScratchBuffer(t *testing.T) {
+	e := New(DefaultConfig(443))
+	e.HandleSegment(0, seg(SYN, 443))
+	buf := make([]Segment, 0, 4)
+	out := e.Tick(3, buf)
+	if len(out) != 1 || out[0].Kind != SYNACK {
+		t.Fatalf("tick into scratch = %+v", out)
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("Tick must append into the provided buffer")
 	}
 }
 
@@ -108,7 +121,7 @@ func TestRstCancelsRetransmission(t *testing.T) {
 	if e.PendingCount() != 0 {
 		t.Fatal("RST should cancel the pending flow")
 	}
-	if out := e.Tick(10); out != nil {
+	if out := e.Tick(10, nil); len(out) != 0 {
 		t.Fatalf("cancelled flow fired: %+v", out)
 	}
 }
@@ -131,7 +144,7 @@ func TestIgnoreRSTBehavior(t *testing.T) {
 	if e.PendingCount() != 1 {
 		t.Fatal("IgnoreRST endpoint must keep retransmitting after RST")
 	}
-	if out := e.Tick(3); len(out) != 1 {
+	if out := e.Tick(3, nil); len(out) != 1 {
 		t.Fatalf("expected retransmission, got %+v", out)
 	}
 }
@@ -140,9 +153,9 @@ func TestNoRetransmitBehavior(t *testing.T) {
 	cfg := DefaultConfig(443)
 	cfg.Behavior = NoRetransmit
 	e := New(cfg)
-	out := e.HandleSegment(0, seg(SYN, 443))
-	if len(out) != 1 || out[0].Kind != SYNACK {
-		t.Fatalf("SYN-ACK still expected, got %+v", out)
+	out, ok := e.HandleSegment(0, seg(SYN, 443))
+	if !ok || out.Kind != SYNACK {
+		t.Fatalf("SYN-ACK still expected, got %+v ok=%v", out, ok)
 	}
 	if e.PendingCount() != 0 {
 		t.Fatal("NoRetransmit must not track state")
@@ -165,9 +178,26 @@ func TestIndependentFlows(t *testing.T) {
 	if e.PendingCount() != 1 {
 		t.Fatalf("pending = %d, want 1", e.PendingCount())
 	}
-	out := e.Tick(3)
+	out := e.Tick(3, nil)
 	if len(out) != 1 || out[0].Peer != other {
 		t.Fatalf("surviving retransmission = %+v", out)
+	}
+}
+
+func TestCloneSharesOpenPortsNotFlows(t *testing.T) {
+	e := New(DefaultConfig(80, 443))
+	e.HandleSegment(0, seg(SYN, 80))
+	c := e.Clone()
+	if !c.Listening(80) || !c.Listening(443) || c.Listening(22) {
+		t.Fatal("clone lost the open-port set")
+	}
+	if c.PendingCount() != 0 {
+		t.Fatal("clone inherited half-open flows")
+	}
+	// Flows on the clone must not leak back to the original.
+	c.HandleSegment(0, seg(SYN, 443))
+	if e.PendingCount() != 1 {
+		t.Fatalf("original pending = %d after clone activity, want 1", e.PendingCount())
 	}
 }
 

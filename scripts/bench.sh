@@ -1,0 +1,41 @@
+#!/bin/sh
+# Hot-path benchmark runner. Runs the measurement-round benchmarks (serial
+# and parallel) plus the BGP convergence benchmarks with allocation
+# reporting, and distills the results into BENCH_round.json so perf
+# regressions are diffable across commits.
+#
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_round.json)
+set -eu
+
+out=${1:-BENCH_round.json}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkMeasureRound' -benchmem -benchtime 5x . | tee "$tmp"
+go test -run '^$' -bench 'BenchmarkConverge' -benchmem ./internal/bgp/ | tee -a "$tmp"
+
+awk -v gover="$(go version | awk '{print $3}')" '
+BEGIN { n = 0 }
+/^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    iters[n] = $2
+    names[n] = name
+    ns[n] = bytes[n] = allocs[n] = "null"
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns[n] = $i
+        if ($(i+1) == "B/op")      bytes[n] = $i
+        if ($(i+1) == "allocs/op") allocs[n] = $i
+    }
+    n++
+}
+END {
+    printf "{\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", gover
+    for (i = 0; i < n; i++) {
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            names[i], iters[i], ns[i], bytes[i], allocs[i], (i < n-1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out"
