@@ -17,10 +17,11 @@ test:
 	$(GO) test ./...
 
 # The race run focuses on the packages with real concurrency: the parallel
-# pair-measurement executor (core, pipeline) and the host/network state it
-# clones and overlays (netsim).
+# pair-measurement executor (core, pipeline), the host/network state it
+# clones and overlays (netsim), the parallel convergence engine (bgp) and
+# the parallel cone computation (topology).
 race:
-	$(GO) test -race ./internal/core/ ./internal/netsim/ ./internal/pipeline/
+	$(GO) test -race ./internal/core/ ./internal/netsim/ ./internal/pipeline/ ./internal/bgp/ ./internal/topology/
 
 # Round + convergence benchmarks with allocation reporting, distilled into
 # BENCH_round.json (ns/op, B/op, allocs/op per benchmark) for diffing

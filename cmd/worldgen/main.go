@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	worldgen [-seed N] [-size small|medium|large] [-ranks K]
+//	worldgen [-seed N] [-size small|medium|large|10k|50k] [-workers N] [-ranks K]
 package main
 
 import (
@@ -20,7 +20,8 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
-	size := flag.String("size", "small", "world size: small, medium or large")
+	size := flag.String("size", "small", "world size: small, medium, large, 10k or 50k")
+	workers := flag.Int("workers", 0, "build workers (0 = GOMAXPROCS); any count builds the identical world")
 	ranks := flag.Int("ranks", 15, "print the top K ranked ASes")
 	mrtOut := flag.String("mrt", "", "write the day-0 collector view as an MRT TABLE_DUMP_V2 archive to this file")
 	flag.Parse()
@@ -37,10 +38,15 @@ func main() {
 		}
 	case "large":
 		cfg = core.DefaultWorldConfig(*seed)
+	case "10k":
+		cfg = core.LargeWorldConfig(*seed, 10_000)
+	case "50k":
+		cfg = core.LargeWorldConfig(*seed, 50_000)
 	default:
 		fmt.Fprintf(os.Stderr, "worldgen: unknown size %q\n", *size)
 		os.Exit(2)
 	}
+	cfg.BuildWorkers = *workers
 
 	w, err := core.BuildWorld(cfg)
 	if err != nil {

@@ -22,19 +22,95 @@ func maskKey(addr uint32, plen int) uint64 {
 	return uint64(m)<<8 | uint64(uint8(plen))
 }
 
-// prefixState is the per-prefix Adj-RIB-In: at most one route per neighbor.
-type prefixState struct {
-	routes []Route
+// adjRoute is one Adj-RIB-In entry: the announcement as received (shared
+// across the sender's whole fan-out and immutable) plus the attributes fixed
+// at import time. Holding the announcement pointer instead of copying
+// prefix+path into a Route shrinks the entry and makes the "did the best
+// route actually change" check a pointer compare in the common case.
+type adjRoute struct {
+	ann      *Announcement
+	from     inet.ASN
+	pref     int32
+	rel      Relationship
+	validity rpki.Validity
 }
 
-func (s *prefixState) upsert(r Route) {
-	for i := range s.routes {
-		if s.routes[i].LearnedFrom == r.LearnedFrom {
-			s.routes[i] = r
+// adjBetter mirrors Route.better on Adj-RIB-In entries: higher LocalPref,
+// then shorter AS path, then lowest neighbor ASN as the deterministic
+// tiebreak.
+func adjBetter(r, o *adjRoute) bool {
+	if r.pref != o.pref {
+		return r.pref > o.pref
+	}
+	if len(r.ann.Path) != len(o.ann.Path) {
+		return len(r.ann.Path) < len(o.ann.Path)
+	}
+	return r.from < o.from
+}
+
+// adjCell is the per-prefix Adj-RIB-In: at most one route per neighbor.
+// The first route lives inline — most (AS, prefix) pairs hear the prefix
+// from a single neighbor — and additional neighbors spill into more, whose
+// backing array is reused across convergence runs. An empty cell has a nil
+// r0.ann.
+type adjCell struct {
+	r0   adjRoute
+	more []adjRoute
+}
+
+func (c *adjCell) upsert(r adjRoute) {
+	if c.r0.ann == nil {
+		c.r0 = r
+		return
+	}
+	if c.r0.from == r.from {
+		c.r0 = r
+		return
+	}
+	for i := range c.more {
+		if c.more[i].from == r.from {
+			c.more[i] = r
 			return
 		}
 	}
-	s.routes = append(s.routes, r)
+	c.more = append(c.more, r)
+}
+
+// clearCell empties the cell while keeping the spill array's capacity for
+// the next convergence. Stale entries are zeroed so announcement memory from
+// a previous routing epoch is not pinned.
+func (c *adjCell) clearCell() {
+	c.r0 = adjRoute{}
+	if cap(c.more) > 0 {
+		clear(c.more[:cap(c.more)])
+		c.more = c.more[:0]
+	}
+}
+
+// locRoute is one Loc-RIB slot: the selected route for the prefix whose ID
+// indexes it. set distinguishes "no route" from the zero route; self-
+// originated slots carry a synthesized announcement with a nil path.
+type locRoute struct {
+	ann        *Announcement
+	from       inet.ASN
+	pref       int32
+	rel        Relationship
+	validity   rpki.Validity
+	selfOrigin bool
+	set        bool
+}
+
+// route materializes the public Route view of the slot.
+func (l *locRoute) route() Route {
+	return Route{
+		Prefix:      l.ann.Prefix,
+		Path:        l.ann.Path,
+		LearnedFrom: l.from,
+		Rel:         l.rel,
+		Validity:    l.validity,
+		LocalPref:   int(l.pref),
+		selfOrigin:  l.selfOrigin,
+	}
 }
 
 // AS is one autonomous system in the graph: its neighbors, policy, and
@@ -62,16 +138,26 @@ type AS struct {
 	// on-ramp tunnels (§7.6), which re-exposed only some filtered space.
 	DefaultScope netip.Prefix
 
-	adjIn map[uint64]*prefixState
-	// rib maps prefix key -> selected best route.
-	rib map[uint64]Route
+	// tab interns prefixes to the dense IDs that index adjIn and rib. Every
+	// AS in a Graph shares the graph's table; a standalone AS owns one.
+	tab *PrefixTable
+
+	// adjIn and rib are indexed by PrefixID; they grow to tab.Len() during
+	// the serial reset phase of each convergence and are reused (cleared in
+	// place, never reallocated) across runs.
+	adjIn []adjCell
+	rib   []locRoute
 	// lenCount tracks how many FIB entries exist per prefix length, so the
 	// data-plane LPM only probes populated lengths.
 	lenCount [33]int
 
-	// export fan-out lists, precomputed at reset time.
+	// export fan-out lists, precomputed at reset time. exportGen records the
+	// topology generation the lists were built against; resetPrefixes
+	// rebuilds them whenever the neighbor set has changed since.
 	exportAll       []inet.ASN // every neighbor
 	exportCustomers []inet.ASN // customer neighbors only
+	topoGen         uint64
+	exportGen       uint64
 }
 
 // NewAS creates an AS with no neighbors.
@@ -79,8 +165,7 @@ func NewAS(asn inet.ASN) *AS {
 	return &AS{
 		ASN:       asn,
 		Neighbors: make(map[inet.ASN]Relationship),
-		adjIn:     make(map[uint64]*prefixState),
-		rib:       make(map[uint64]Route),
+		tab:       NewPrefixTable(),
 	}
 }
 
@@ -93,52 +178,82 @@ func (a *AS) policy() ImportPolicy {
 }
 
 // validity computes the RFC 6811 outcome of ann under this AS's VRP view.
-func (a *AS) validity(ann Announcement) rpki.Validity {
+func (a *AS) validity(ann *Announcement) rpki.Validity {
 	if a.VRPs == nil {
 		return rpki.NotFound
 	}
 	return a.VRPs.Validate(ann.Prefix, ann.Origin())
 }
 
-// resetRoutingState clears all learned state (used before a re-convergence).
-func (a *AS) resetRoutingState() {
-	a.adjIn = make(map[uint64]*prefixState)
-	a.rib = make(map[uint64]Route, len(a.Originated))
-	a.lenCount = [33]int{}
-	for _, p := range a.Originated {
-		a.installBest(Route{
-			Prefix:      p.Masked(),
-			LearnedFrom: a.ASN,
-			LocalPref:   1 << 20, // own routes beat anything learned
-			selfOrigin:  true,
-		})
+// ensureSized grows the ID-indexed tables to cover every interned prefix.
+// Must run on the serial path (reset phase) — the parallel import workers
+// index the slices without bounds growth.
+func (a *AS) ensureSized() {
+	n := a.tab.Len()
+	if n <= len(a.adjIn) && n <= len(a.rib) {
+		return
 	}
-	a.rebuildExportLists()
+	if cap(a.adjIn) < n {
+		t := make([]adjCell, n)
+		copy(t, a.adjIn)
+		a.adjIn = t
+	} else {
+		a.adjIn = a.adjIn[:n]
+	}
+	if cap(a.rib) < n {
+		t := make([]locRoute, n)
+		copy(t, a.rib)
+		a.rib = t
+	} else {
+		a.rib = a.rib[:n]
+	}
 }
 
-// resetPrefixes clears learned state for exactly the prefixes in set
-// (keyed by pkey) and re-installs self routes for any originated prefix in
-// the set. Export fan-out lists are rebuilt if missing.
-func (a *AS) resetPrefixes(set map[uint64]bool) {
-	for k := range set {
-		delete(a.adjIn, k)
-		if r, ok := a.rib[k]; ok {
-			delete(a.rib, k)
-			a.lenCount[r.Prefix.Bits()]--
+// resetRoutingState clears all learned state (used before a re-convergence).
+func (a *AS) resetRoutingState() {
+	if a.tab == nil {
+		a.tab = NewPrefixTable()
+	}
+	for _, p := range a.Originated {
+		a.tab.Intern(p)
+	}
+	a.ensureSized()
+	for i := range a.adjIn {
+		a.adjIn[i].clearCell()
+	}
+	clear(a.rib)
+	a.lenCount = [33]int{}
+	for _, p := range a.Originated {
+		if id, ok := a.tab.IDOf(p); ok {
+			a.installSelf(id)
+		}
+	}
+	a.rebuildExportLists()
+	a.exportGen = a.topoGen
+}
+
+// resetPrefixes clears learned state for exactly the prefixes in set and
+// re-installs self routes for any originated prefix in the set. Export
+// fan-out lists are rebuilt when the neighbor set has changed since they
+// were computed (or when they were never built), so a link added after the
+// first full Converge participates in incremental re-convergence.
+func (a *AS) resetPrefixes(set map[PrefixID]bool) {
+	a.ensureSized()
+	for id := range set {
+		a.adjIn[id].clearCell()
+		if a.rib[id].set {
+			a.rib[id] = locRoute{}
+			a.lenCount[a.tab.plenOf(id)]--
 		}
 	}
 	for _, p := range a.Originated {
-		if set[pkey(p.Masked())] {
-			a.installBest(Route{
-				Prefix:      p.Masked(),
-				LearnedFrom: a.ASN,
-				LocalPref:   1 << 20,
-				selfOrigin:  true,
-			})
+		if id, ok := a.tab.IDOf(p); ok && set[id] {
+			a.installSelf(id)
 		}
 	}
-	if len(a.exportAll) == 0 && len(a.Neighbors) > 0 {
+	if a.exportGen != a.topoGen || (len(a.exportAll) == 0 && len(a.Neighbors) > 0) {
 		a.rebuildExportLists()
+		a.exportGen = a.topoGen
 	}
 }
 
@@ -155,83 +270,107 @@ func (a *AS) rebuildExportLists() {
 	sort.Slice(a.exportCustomers, func(i, j int) bool { return a.exportCustomers[i] < a.exportCustomers[j] })
 }
 
-func (a *AS) installBest(r Route) {
-	k := pkey(r.Prefix)
-	if _, had := a.rib[k]; !had {
-		a.lenCount[r.Prefix.Bits()]++
+// installSelf installs the self-originated route for an interned prefix.
+func (a *AS) installSelf(id PrefixID) {
+	if !a.rib[id].set {
+		a.lenCount[a.tab.plenOf(id)]++
 	}
-	a.rib[k] = r
+	a.rib[id] = locRoute{
+		ann:        &Announcement{Prefix: a.tab.Prefix(id)},
+		from:       a.ASN,
+		pref:       1 << 20, // own routes beat anything learned
+		selfOrigin: true,
+		set:        true,
+	}
 }
 
-// importAnnouncement runs the import pipeline for one announcement from a
-// neighbor. It returns true when the best route for the prefix changed.
-// The announcement's path slice is retained without copying; senders must
-// treat emitted paths as immutable.
-func (a *AS) importAnnouncement(from inet.ASN, ann Announcement) bool {
+// importAnn runs the import pipeline for one announcement from a neighbor.
+// It returns the announcement's prefix ID and whether the best route for
+// that prefix changed. The announcement (and its path slice) is retained
+// without copying; senders must treat emitted announcements as immutable.
+func (a *AS) importAnn(from inet.ASN, ann *Announcement) (PrefixID, bool) {
 	rel, ok := a.Neighbors[from]
 	if !ok || ann.ContainsAS(a.ASN) {
-		return false
+		return 0, false
 	}
 	validity := a.validity(ann)
-	dec := a.policy().Evaluate(a.ASN, from, rel, ann, validity)
+	dec := a.policy().Evaluate(a.ASN, from, rel, *ann, validity)
 	if !dec.Accept {
-		return false
+		return 0, false
 	}
-	r := Route{
-		Prefix:      ann.Prefix,
-		Path:        ann.Path,
-		LearnedFrom: from,
-		Rel:         rel,
-		Validity:    validity,
-		LocalPref:   rel.localPref() + dec.LocalPrefDelta,
+	id, ok := a.tab.IDOf(ann.Prefix)
+	if !ok || int(id) >= len(a.adjIn) {
+		// Prefixes reach the import path only via announcements, and every
+		// announcement originates from a prefix interned during the serial
+		// reset phase — so this is unreachable during convergence and only
+		// guards direct misuse.
+		return 0, false
 	}
-	k := pkey(r.Prefix)
-	st := a.adjIn[k]
-	if st == nil {
-		st = &prefixState{}
-		a.adjIn[k] = st
-	}
-	st.upsert(r)
-	return a.selectBest(k, st)
+	c := &a.adjIn[id]
+	c.upsert(adjRoute{
+		ann:      ann,
+		from:     from,
+		pref:     int32(rel.localPref() + dec.LocalPrefDelta),
+		rel:      rel,
+		validity: validity,
+	})
+	return id, a.selectBest(id, c)
 }
 
-// selectBest recomputes the best route for the prefix behind key k,
-// reporting whether the installed best changed.
-func (a *AS) selectBest(k uint64, st *prefixState) bool {
-	old, hadOld := a.rib[k]
-	if hadOld && old.selfOrigin {
+// selectBest recomputes the best route for an interned prefix, reporting
+// whether the installed best changed.
+func (a *AS) selectBest(id PrefixID, c *adjCell) bool {
+	old := &a.rib[id]
+	if old.set && old.selfOrigin {
 		return false // own prefixes never lose to learned routes
 	}
-	var best Route
-	haveBest := false
-	// Order of iteration is irrelevant: better() ends with a strict
-	// LearnedFrom tiebreak and each neighbor appears at most once, so the
+	if c.r0.ann == nil {
+		return false
+	}
+	// Order of iteration is irrelevant: adjBetter ends with a strict
+	// neighbor-ASN tiebreak and each neighbor appears at most once, so the
 	// winner is unique.
-	for i := range st.routes {
-		if !haveBest || st.routes[i].better(best) {
-			best, haveBest = st.routes[i], true
+	best := &c.r0
+	for i := range c.more {
+		if adjBetter(&c.more[i], best) {
+			best = &c.more[i]
 		}
 	}
-	if !haveBest {
+	if old.set && old.from == best.from && old.pref == best.pref &&
+		(old.ann == best.ann || pathsEqual(old.ann.Path, best.ann.Path)) {
 		return false
 	}
-	if hadOld && routesEqual(old, best) {
-		return false
+	if !old.set {
+		a.lenCount[a.tab.plenOf(id)]++
 	}
-	a.installBest(best)
+	*old = locRoute{
+		ann:      best.ann,
+		from:     best.from,
+		pref:     best.pref,
+		rel:      best.rel,
+		validity: best.validity,
+		set:      true,
+	}
 	return true
 }
 
-func routesEqual(x, y Route) bool {
-	if x.Prefix != y.Prefix || x.LearnedFrom != y.LearnedFrom || x.LocalPref != y.LocalPref || len(x.Path) != len(y.Path) {
+func pathsEqual(x, y []inet.ASN) bool {
+	if len(x) != len(y) {
 		return false
 	}
-	for i := range x.Path {
-		if x.Path[i] != y.Path[i] {
+	for i := range x {
+		if x[i] != y[i] {
 			return false
 		}
 	}
 	return true
+}
+
+func routesEqual(x, y Route) bool {
+	if x.Prefix != y.Prefix || x.LearnedFrom != y.LearnedFrom || x.LocalPref != y.LocalPref {
+		return false
+	}
+	return pathsEqual(x.Path, y.Path)
 }
 
 // exportTargets returns the neighbors that should receive the given best
@@ -239,21 +378,21 @@ func routesEqual(x, y Route) bool {
 // routes) go to everyone; routes from peers/providers go to customers only.
 // The neighbor the route was learned from is included — the receiver's
 // AS-path loop check discards the echo — keeping the fan-out lists static.
-func (a *AS) exportTargets(r Route) []inet.ASN {
-	if r.selfOrigin || r.Rel == Customer {
+func (a *AS) exportTargets(l *locRoute) []inet.ASN {
+	if l.selfOrigin || l.rel == Customer {
 		return a.exportAll
 	}
 	return a.exportCustomers
 }
 
-// announcementFor builds the announcement this AS sends for route r. The
-// returned path is freshly allocated and shared by every neighbor copy, so
-// receivers must not mutate it.
-func (a *AS) announcementFor(r Route) *Announcement {
-	path := make([]inet.ASN, 0, len(r.Path)+1)
+// announcementFor builds the announcement this AS sends for the selected
+// route l. The returned path is freshly allocated and shared by every
+// neighbor copy, so receivers must not mutate it.
+func (a *AS) announcementFor(l *locRoute) *Announcement {
+	path := make([]inet.ASN, 0, len(l.ann.Path)+1)
 	path = append(path, a.ASN)
-	path = append(path, r.Path...)
-	return &Announcement{Prefix: r.Prefix, Path: path}
+	path = append(path, l.ann.Path...)
+	return &Announcement{Prefix: l.ann.Prefix, Path: path}
 }
 
 // Lookup performs the data-plane longest-prefix match for dst. The boolean
@@ -264,8 +403,8 @@ func (a *AS) Lookup(dst netip.Addr) (Route, bool) {
 		if a.lenCount[plen] == 0 {
 			continue
 		}
-		if r, ok := a.rib[maskKey(addr, plen)]; ok {
-			return r, true
+		if id, ok := a.tab.idOfKey(maskKey(addr, plen)); ok && int(id) < len(a.rib) && a.rib[id].set {
+			return a.rib[id].route(), true
 		}
 	}
 	return Route{}, false
@@ -273,30 +412,46 @@ func (a *AS) Lookup(dst netip.Addr) (Route, bool) {
 
 // BestRoute returns the selected route for an exact prefix.
 func (a *AS) BestRoute(prefix netip.Prefix) (Route, bool) {
-	r, ok := a.rib[pkey(prefix.Masked())]
-	return r, ok
+	id, ok := a.tab.IDOf(prefix)
+	if !ok || int(id) >= len(a.rib) || !a.rib[id].set {
+		return Route{}, false
+	}
+	return a.rib[id].route(), true
+}
+
+// bestLoc returns the Loc-RIB slot for an interned prefix, or nil.
+func (a *AS) bestLoc(id PrefixID) *locRoute {
+	if int(id) >= len(a.rib) || !a.rib[id].set {
+		return nil
+	}
+	return &a.rib[id]
 }
 
 // Routes returns all selected routes (the Loc-RIB) ordered by prefix.
 func (a *AS) Routes() []Route {
-	out := make([]Route, 0, len(a.rib))
-	for _, r := range a.rib {
-		out = append(out, r)
+	ids := make([]PrefixID, 0, len(a.rib))
+	for id := range a.rib {
+		if a.rib[id].set {
+			ids = append(ids, PrefixID(id))
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return pkey(out[i].Prefix) < pkey(out[j].Prefix) })
+	sort.Slice(ids, func(i, j int) bool { return a.tab.keyOf(ids[i]) < a.tab.keyOf(ids[j]) })
+	out := make([]Route, len(ids))
+	for i, id := range ids {
+		out[i] = a.rib[id].route()
+	}
 	return out
 }
 
 // DropRoute removes the FIB entry for prefix (used by tests and fault
 // injection to model partial tables).
 func (a *AS) DropRoute(prefix netip.Prefix) bool {
-	k := pkey(prefix.Masked())
-	r, ok := a.rib[k]
-	if !ok {
+	id, ok := a.tab.IDOf(prefix)
+	if !ok || int(id) >= len(a.rib) || !a.rib[id].set {
 		return false
 	}
-	delete(a.rib, k)
-	a.lenCount[r.Prefix.Bits()]--
+	a.lenCount[a.tab.plenOf(id)]--
+	a.rib[id] = locRoute{}
 	return true
 }
 

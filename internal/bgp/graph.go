@@ -15,17 +15,28 @@ import (
 type Graph struct {
 	ASes map[inet.ASN]*AS
 
+	// tab interns every prefix that appears in routing state to a dense
+	// PrefixID. It is shared by all member ASes (AddAS wires it in).
+	tab *PrefixTable
+
 	// version counts routing-state recomputations (Converge and
 	// ConvergePrefixes). Consumers that cache derived forwarding state —
 	// netsim's data-path cache, for one — compare versions to invalidate.
 	// Surgical RIB edits that bypass convergence (AS.DropRoute, direct field
 	// mutation without a re-converge) must call BumpVersion explicitly.
 	version uint64
+
+	// sortedCache memoizes sortedASNs; AddAS invalidates it. Convergence
+	// (full and incremental) walks the AS list in sorted order every call,
+	// and re-sorting tens of thousands of ASNs per measurement round was
+	// pure overhead once the membership stopped changing.
+	sortedCache []inet.ASN
+	asnsDirty   bool
 }
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
-	return &Graph{ASes: make(map[inet.ASN]*AS)}
+	return &Graph{ASes: make(map[inet.ASN]*AS), tab: NewPrefixTable()}
 }
 
 // AddAS creates (or returns) the AS with the given number.
@@ -34,12 +45,18 @@ func (g *Graph) AddAS(asn inet.ASN) *AS {
 		return a
 	}
 	a := NewAS(asn)
+	a.tab = g.tab // share the graph-wide intern table
 	g.ASes[asn] = a
+	g.asnsDirty = true
 	return a
 }
 
 // AS returns the AS with the given number, or nil.
 func (g *Graph) AS(asn inet.ASN) *AS { return g.ASes[asn] }
+
+// Prefixes returns the graph-wide prefix intern table. Forwarding-state
+// caches use it to resolve destination addresses to interned prefix IDs.
+func (g *Graph) Prefixes() *PrefixTable { return g.tab }
 
 // Link records a customer-provider or peering adjacency. rel is the
 // relationship of b as seen from a: Link(a, b, Customer) means b is a's
@@ -58,6 +75,11 @@ func (g *Graph) Link(a, b inet.ASN, rel Relationship) error {
 	default:
 		asB.Neighbors[a] = Peer
 	}
+	// The export fan-out lists of both endpoints are stale now; the
+	// generation bump forces a rebuild on the next (possibly incremental)
+	// convergence.
+	asA.topoGen++
+	asB.topoGen++
 	return nil
 }
 
@@ -82,12 +104,29 @@ type update struct {
 // sooner, so hitting the cap indicates a policy bug.
 const maxRounds = 256
 
+// internAll interns every prefix that can appear in routing or forwarding
+// state — originated prefixes and scoped default routes — before any AS
+// sizes its ID-indexed tables. This must complete before the parallel
+// propagation starts: workers index per-AS slices by ID without growth.
+func (g *Graph) internAll(asns []inet.ASN) {
+	for _, asn := range asns {
+		a := g.ASes[asn]
+		for _, p := range a.Originated {
+			g.tab.Intern(p)
+		}
+		if a.HasDefault && a.DefaultScope.IsValid() {
+			g.tab.Intern(a.DefaultScope)
+		}
+	}
+}
+
 // Converge recomputes the global routing state from scratch: every AS
 // re-originates its prefixes and announcements propagate until quiescence.
 // It returns the number of rounds taken.
 func (g *Graph) Converge() (int, error) {
 	g.version++
 	asns := g.sortedASNs()
+	g.internAll(asns)
 	for _, asn := range asns {
 		g.ASes[asn].resetRoutingState()
 	}
@@ -95,9 +134,13 @@ func (g *Graph) Converge() (int, error) {
 	for _, asn := range asns {
 		a := g.ASes[asn]
 		for _, p := range a.Originated {
-			r, _ := a.BestRoute(p)
-			ann := a.announcementFor(r)
-			for _, nbr := range a.exportTargets(r) {
+			id, _ := g.tab.IDOf(p)
+			l := a.bestLoc(id)
+			if l == nil {
+				continue
+			}
+			ann := a.announcementFor(l)
+			for _, nbr := range a.exportTargets(l) {
 				queue = append(queue, update{to: nbr, from: asn, ann: ann})
 			}
 		}
@@ -120,9 +163,9 @@ func (g *Graph) ConvergePrefixes(prefixes []netip.Prefix) (int, error) {
 		return 0, nil
 	}
 	g.version++
-	set := make(map[uint64]bool, len(prefixes))
+	set := make(map[PrefixID]bool, len(prefixes))
 	for _, p := range prefixes {
-		set[pkey(p.Masked())] = true
+		set[g.tab.Intern(p)] = true
 	}
 	asns := g.sortedASNs()
 	for _, asn := range asns {
@@ -132,12 +175,16 @@ func (g *Graph) ConvergePrefixes(prefixes []netip.Prefix) (int, error) {
 	for _, asn := range asns {
 		a := g.ASes[asn]
 		for _, p := range a.Originated {
-			if !set[pkey(p.Masked())] {
+			id, ok := g.tab.IDOf(p)
+			if !ok || !set[id] {
 				continue
 			}
-			r, _ := a.BestRoute(p)
-			ann := a.announcementFor(r)
-			for _, nbr := range a.exportTargets(r) {
+			l := a.bestLoc(id)
+			if l == nil {
+				continue
+			}
+			ann := a.announcementFor(l)
+			for _, nbr := range a.exportTargets(l) {
 				queue = append(queue, update{to: nbr, from: asn, ann: ann})
 			}
 		}
@@ -198,7 +245,7 @@ func (g *Graph) propagate(queue []update) (int, error) {
 			go func(sc *propScratch) {
 				defer wg.Done()
 				if sc.seen == nil {
-					sc.seen = make(map[netip.Prefix]bool)
+					sc.seen = make(map[PrefixID]bool)
 				}
 				for {
 					i := int(cursor.Add(1) - 1)
@@ -213,22 +260,21 @@ func (g *Graph) propagate(queue []update) (int, error) {
 					changed := sc.changed[:0]
 					clear(sc.seen)
 					for _, u := range byRecv[recv] {
-						if a.importAnnouncement(u.from, *u.ann) {
-							p := u.ann.Prefix.Masked()
-							if !sc.seen[p] {
-								sc.seen[p] = true
-								changed = append(changed, p)
+						if id, ch := a.importAnn(u.from, u.ann); ch {
+							if !sc.seen[id] {
+								sc.seen[id] = true
+								changed = append(changed, id)
 							}
 						}
 					}
 					var out []update
-					for _, p := range changed {
-						r, ok := a.BestRoute(p)
-						if !ok {
+					for _, id := range changed {
+						l := a.bestLoc(id)
+						if l == nil {
 							continue
 						}
-						ann := a.announcementFor(r)
-						for _, nbr := range a.exportTargets(r) {
+						ann := a.announcementFor(l)
+						for _, nbr := range a.exportTargets(l) {
 							out = append(out, update{to: nbr, from: recv, ann: ann})
 						}
 					}
@@ -258,16 +304,24 @@ func (g *Graph) propagate(queue []update) (int, error) {
 // propScratch is one worker's reusable convergence state. Workers are
 // assigned distinct entries, so no locking is needed.
 type propScratch struct {
-	seen    map[netip.Prefix]bool
-	changed []netip.Prefix
+	seen    map[PrefixID]bool
+	changed []PrefixID
 }
 
+// sortedASNs returns the graph's ASNs in ascending order. The result is
+// cached — membership changes only through AddAS, which invalidates it —
+// and callers must treat it as read-only.
 func (g *Graph) sortedASNs() []inet.ASN {
-	out := make([]inet.ASN, 0, len(g.ASes))
+	if !g.asnsDirty && g.sortedCache != nil {
+		return g.sortedCache
+	}
+	out := g.sortedCache[:0]
 	for asn := range g.ASes {
 		out = append(out, asn)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	g.sortedCache = out
+	g.asnsDirty = false
 	return out
 }
 

@@ -132,3 +132,43 @@ func TestConvergePrefixesEmpty(t *testing.T) {
 	}
 	routesMatch(t, before, snapshotRoutes(g))
 }
+
+// TestConvergePrefixesAfterLink: a neighbor linked in AFTER the first full
+// convergence must participate in subsequent incremental convergences. The
+// per-AS export lists are rebuilt lazily, keyed on a topology generation that
+// Link bumps — before that fix, resetPrefixes reused the stale lists and the
+// new neighbor silently never learned a route until the next full Converge.
+func TestConvergePrefixesAfterLink(t *testing.T) {
+	g := buildDiamond()
+	if _, err := g.Converge(); err != nil {
+		t.Fatalf("converge: %v", err)
+	}
+
+	// AS 6 joins as a customer of 2 (an existing, already-converged AS), and
+	// AS 2 gains it as an export target.
+	if err := g.Link(2, 6, Customer); err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	p := pfx("10.4.0.0/16")
+	if _, err := g.ConvergePrefixes([]netip.Prefix{p, pfx("10.5.0.0/16")}); err != nil {
+		t.Fatalf("converge prefixes: %v", err)
+	}
+	r, ok := g.AS(6).BestRoute(p)
+	if !ok {
+		t.Fatal("AS 6 (linked after full convergence) has no route to 10.4.0.0/16 after ConvergePrefixes")
+	}
+	wantPath := []inet.ASN{2, 4}
+	if !pathsEqual(r.Path, wantPath) {
+		t.Fatalf("AS 6 route path %v, want %v", r.Path, wantPath)
+	}
+
+	// The incremental result must match a from-scratch full convergence.
+	g2 := buildDiamond()
+	if err := g2.Link(2, 6, Customer); err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	if _, err := g2.Converge(); err != nil {
+		t.Fatalf("converge: %v", err)
+	}
+	routesMatch(t, snapshotRoutes(g2), snapshotRoutes(g))
+}

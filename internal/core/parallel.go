@@ -1,0 +1,59 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// buildWorkers resolves the configured world-build worker count (0 means
+// GOMAXPROCS). The worker count never affects a built world's contents —
+// every parallel stage follows the plan/execute discipline below — so this
+// is purely a throughput knob.
+func (w *World) buildWorkers() int {
+	if n := w.Cfg.BuildWorkers; n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelDo runs fn(i) for i in [0, n) across the given number of workers.
+//
+// This is the execution half of the world builder's plan/execute split: a
+// serial planning pass performs every generator-rng draw in the canonical
+// order (the draw stream is part of a world's identity), producing
+// self-contained unit plans; parallelDo then executes the plans, each of
+// which writes only its own slot of a plan-indexed result; a serial merge
+// applies results in plan order. Workers pull indices from a shared cursor,
+// so scheduling is nondeterministic but the result is not — a world built
+// with any worker count is bit-for-bit identical to the serial build.
+func parallelDo(workers, n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/ipid"
+	"github.com/netsec-lab/rovista/internal/rpki"
+	"github.com/netsec-lab/rovista/internal/tcpsim"
+)
+
+// hostPrint is a host reduced to a DeepEqual-friendly shape: function-valued
+// fields (packet handlers) collapse to presence bits, everything else —
+// including the TCP endpoint and the seeded IP-ID counter state — compares
+// structurally.
+type hostPrint struct {
+	Addr    netip.Addr
+	ASN     inet.ASN
+	Rate    float64
+	TCP     *tcpsim.Endpoint
+	IPID    *ipid.Counter
+	Handler bool
+}
+
+// worldFingerprint captures every artifact the parallel build stages produce.
+// It reaches unexported state (roaDayByPrefix, hostSeq, the generator rng) on
+// purpose: worker-count independence must hold for the whole construction
+// stream, not just the public surface.
+func worldFingerprint(w *World) map[string]any {
+	fp := make(map[string]any)
+	fp["asns"] = w.Topo.ASNs
+	fp["info"] = w.Topo.Info
+	for _, r := range rpki.AllRIRs {
+		fp[fmt.Sprintf("repo-%v", r)] = w.Authorities[r].Repo
+	}
+	fp["truth"] = w.Truth
+	fp["invalids"] = w.Invalids
+	fp["clean"] = w.Clean
+	fp["roaDays"] = w.roaDayByPrefix
+	fp["hostSeq"] = w.hostSeq
+
+	var hosts []hostPrint
+	for _, addr := range w.Net.AllAddrs() {
+		h, _ := w.Net.HostAt(addr)
+		hosts = append(hosts, hostPrint{
+			Addr: h.Addr, ASN: h.ASN, Rate: h.BackgroundRate,
+			TCP: h.TCP, IPID: h.IPID, Handler: h.Handler != nil,
+		})
+	}
+	fp["hosts"] = hosts
+
+	var filtered []inet.ASN
+	for asn := range w.Net.EgressFilter {
+		filtered = append(filtered, asn)
+	}
+	sort.Slice(filtered, func(i, j int) bool { return filtered[i] < filtered[j] })
+	fp["egress"] = filtered
+
+	fp["clientA"] = w.ClientA.Addr
+	fp["clientB"] = w.ClientB.Addr
+	fp["feeders"] = w.Collector.Feeders
+
+	// The generator rng must sit at the identical stream position: record the
+	// next few draws (the world is discarded afterwards).
+	draws := make([]int64, 4)
+	for i := range draws {
+		draws[i] = w.rng.Int63()
+	}
+	fp["rng"] = draws
+	return fp
+}
+
+// TestParallelBuildDeterminism: a world built with any number of workers is
+// bit-for-bit the world built serially — same topology, repositories, truth
+// schedule, host population (down to seeded counter state), and even the
+// same generator-rng stream position. The build parallelism contract is that
+// workers only execute pre-drawn plans; this is the test that enforces it.
+func TestParallelBuildDeterminism(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		cfg := SmallWorldConfig(seed)
+		cfg.BuildWorkers = 1
+		serial, err := BuildWorld(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: serial build: %v", seed, err)
+		}
+		want := worldFingerprint(serial)
+		for _, workers := range []int{2, 8} {
+			cfg.BuildWorkers = workers
+			w, err := BuildWorld(cfg)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: build: %v", seed, workers, err)
+			}
+			got := worldFingerprint(w)
+			for key, wv := range want {
+				if !reflect.DeepEqual(got[key], wv) {
+					t.Errorf("seed %d workers %d: %q differs from serial build", seed, workers, key)
+				}
+			}
+		}
+	}
+}

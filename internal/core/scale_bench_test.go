@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"syscall"
+	"testing"
+
+	"github.com/netsec-lab/rovista/internal/topology"
+)
+
+// peakRSSMB returns the process's peak resident set in MB (Linux reports
+// ru_maxrss in KB). Reported alongside the large-world benchmarks: at 50k
+// ASes the binding constraint is memory — per-AS RIB state — not time.
+func peakRSSMB() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Maxrss) / 1024
+}
+
+var scaleSizes = []int{10_000, 50_000}
+
+func scaleName(n int) string { return fmt.Sprintf("%dk", n/1000) }
+
+// BenchmarkWorldBuild measures full world construction (topology, cones,
+// RPKI repositories, schedules, hosts) at paper scale.
+func BenchmarkWorldBuild(b *testing.B) {
+	for _, n := range scaleSizes {
+		b.Run(scaleName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildWorld(LargeWorldConfig(1, n)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(peakRSSMB(), "peakRSS-MB")
+		})
+	}
+}
+
+// BenchmarkConvergeLarge measures steady-state full convergence of a
+// paper-scale graph (the per-snapshot cost that dominates timelines). One
+// warm-up convergence sizes the interned slice RIBs; the timed iterations
+// then show the reuse behaviour every snapshot after the first sees.
+func BenchmarkConvergeLarge(b *testing.B) {
+	for _, n := range scaleSizes {
+		b.Run(scaleName(n), func(b *testing.B) {
+			topo := topology.Generate(LargeWorldConfig(1, n).Topology)
+			if _, err := topo.Graph.Converge(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := topo.Graph.Converge(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(peakRSSMB(), "peakRSS-MB")
+		})
+	}
+}

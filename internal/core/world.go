@@ -24,6 +24,13 @@ type WorldConfig struct {
 	Seed     int64
 	Topology topology.Config
 
+	// BuildWorkers caps the parallelism of the world-build stages (RPKI
+	// object emission, host synthesis, cone computation); 0 means
+	// GOMAXPROCS. Built worlds are bit-for-bit identical at any worker
+	// count: all generator-rng draws happen in a serial planning pass and
+	// workers only execute pre-drawn plans (see parallelDo).
+	BuildWorkers int
+
 	// Days is the simulated timeline length (the paper measures ~628 days;
 	// worlds usually compress this).
 	Days int
@@ -136,6 +143,37 @@ func SmallWorldConfig(seed int64) WorldConfig {
 	cfg.InvalidAnnouncements = 6
 	cfg.CoveredInvalidAnnouncements = 1
 	cfg.SharedInvalidAnnouncements = 2
+	return cfg
+}
+
+// LargeWorldConfig returns a paper-scale world: nASes ASes in a realistic
+// tier split, with a fixed-size routed prefix population of ~250 regardless
+// of scale (Topology.OriginFrac). That matches the paper's measurement
+// shape — tens of thousands of vantage ASes ranked against a few hundred
+// exclusively-invalid test prefixes — and it is what makes 50k+ ASes
+// tractable: full-table state is ASes × prefixes, so growing both together
+// is quadratic while growing vantage count alone is linear. One candidate
+// host per originating AS keeps host synthesis proportional to the routed
+// edge rather than the transit core.
+func LargeWorldConfig(seed int64, nASes int) WorldConfig {
+	cfg := DefaultWorldConfig(seed)
+	nT1 := 10
+	nT2 := max(nASes/100, 4)
+	nT3 := max(nASes/12, 10)
+	cfg.Topology = topology.Config{
+		Seed:          seed,
+		NumTier1:      nT1,
+		NumTier2:      nT2,
+		NumTier3:      nT3,
+		NumStub:       max(nASes-nT1-nT2-nT3, 0),
+		PrefixesPerAS: 1.0,
+		OriginFrac:    250.0 / float64(nASes),
+		Tier2PeerProb: 0.05,
+		Tier3PeerProb: 0.005,
+		MultihomeProb: 0.45,
+	}
+	cfg.Days = 100
+	cfg.HostsPerAS = 1
 	return cfg
 }
 

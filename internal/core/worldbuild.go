@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"net/netip"
 
+	"github.com/netsec-lab/rovista/internal/bgp"
 	"github.com/netsec-lab/rovista/internal/inet"
 	"github.com/netsec-lab/rovista/internal/netsim"
 	"github.com/netsec-lab/rovista/internal/rpki"
@@ -176,27 +177,42 @@ func (w *World) cleanUpSet() map[inet.ASN]bool {
 		w.Truth[flip] = &Truth{ASN: flip, DeployDay: -1, Kind: "none"}
 	}
 
+	// Pre-extract provider/customer adjacency once: the fixpoint below is
+	// re-run after every flip, and rebuilding (and re-sorting) neighbor
+	// lists inside it made the clean-set computation quadratic at 50k ASes.
+	providers := make(map[inet.ASN][]inet.ASN, len(w.Topo.ASNs))
+	customers := make(map[inet.ASN][]inet.ASN, len(w.Topo.ASNs))
+	for _, asn := range w.Topo.ASNs {
+		for nbr, rel := range w.Graph.AS(asn).Neighbors {
+			switch rel {
+			case bgp.Provider:
+				providers[asn] = append(providers[asn], nbr)
+			case bgp.Customer:
+				customers[asn] = append(customers[asn], nbr)
+			}
+		}
+	}
+
+	// An AS is clean when it never filters and at least one of its
+	// providers is clean — i.e. it is reachable from a clean tier-1 along
+	// customer edges through never-filtering ASes. BFS computes the same
+	// fixpoint as the old repeated sweep in one pass over the edges.
 	propagate := func() map[inet.ASN]bool {
 		clean := make(map[inet.ASN]bool)
+		var queue []inet.ASN
 		for _, t1 := range w.Topo.Tier1 {
 			if neverFilters(t1) {
 				clean[t1] = true
+				queue = append(queue, t1)
 			}
 		}
-		// An AS is clean when it never filters and at least one of its
-		// providers is clean.
-		for changed := true; changed; {
-			changed = false
-			for _, asn := range w.Topo.ASNs {
-				if clean[asn] || !neverFilters(asn) {
-					continue
-				}
-				for _, p := range w.Topo.Providers(asn) {
-					if clean[p] {
-						clean[asn] = true
-						changed = true
-						break
-					}
+		for len(queue) > 0 {
+			asn := queue[0]
+			queue = queue[1:]
+			for _, c := range customers[asn] {
+				if !clean[c] && neverFilters(c) {
+					clean[c] = true
+					queue = append(queue, c)
 				}
 			}
 		}
@@ -210,9 +226,9 @@ func (w *World) cleanUpSet() map[inet.ASN]bool {
 	// Internet epoch. Flip filtering ASes adjacent to the clean region to
 	// never-filter (deterministically, core-first) until it is big enough.
 	minClean := max(len(w.Topo.ASNs)/20, 6)
+	byRank := w.Topo.ByRank()
 	for len(clean) < minClean {
 		flipped := false
-		byRank := w.Topo.ByRank()
 		// Edge-first: growing the region downward preserves the filtered
 		// core (Table 1's 16/17) while restoring propagation.
 		for i := len(byRank) - 1; i >= 0; i-- {
@@ -221,7 +237,7 @@ func (w *World) cleanUpSet() map[inet.ASN]bool {
 				continue
 			}
 			adjacent := false
-			for _, p := range w.Topo.Providers(asn) {
+			for _, p := range providers[asn] {
 				if clean[p] {
 					adjacent = true
 					break

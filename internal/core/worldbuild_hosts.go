@@ -1,6 +1,7 @@
 package core
 
 import (
+	"net/netip"
 	"sort"
 
 	"github.com/netsec-lab/rovista/internal/bgp"
@@ -12,18 +13,61 @@ import (
 	"github.com/netsec-lab/rovista/internal/topology"
 )
 
+// hostPlan is one pre-drawn host construction unit: everything a worker
+// needs to build the host without touching the generator rng. The serial
+// planning pass draws in the historical stream order; execution is free to
+// run in any order because each plan fills exactly one slot of a
+// plan-indexed slice.
+type hostPlan struct {
+	addr netip.Addr
+	asn  inet.ASN
+	pol  ipid.Policy
+	seed int64
+	rate float64
+	// tnode hosts listen on 443/80; brokenMode ≥ 0 selects one of the
+	// §4.1-violating behaviours (pre-drawn, since breaking draws from rng).
+	tnode      bool
+	brokenMode int
+}
+
+// build constructs the planned host. Pure function of the plan: safe to run
+// from any worker.
+func (p hostPlan) build() *netsim.Host {
+	var h *netsim.Host
+	if p.tnode {
+		h = netsim.NewHost(p.addr, p.asn, p.pol, p.seed, 443, 80)
+	} else {
+		h = netsim.NewHost(p.addr, p.asn, p.pol, p.seed)
+	}
+	h.BackgroundRate = p.rate
+	if p.brokenMode >= 0 {
+		breakTNodeMode(h, p.brokenMode)
+	}
+	return h
+}
+
 // buildHosts attaches candidate end hosts to every AS and tNode hosts under
-// each invalid prefix.
+// each invalid prefix. Planning (all rng draws) is serial; host synthesis —
+// TCP endpoint and counter construction, the bulk of the work at 50k+ ASes —
+// fans out across the build workers; the merge attaches hosts in plan order
+// so the network's host population and generation counter evolve exactly as
+// in the serial build.
 func (w *World) buildHosts() {
+	var plans []hostPlan
 	for _, asn := range w.Topo.ASNs {
 		info := w.Topo.Info[asn]
+		if len(info.Prefixes) == 0 {
+			continue // transit-only AS (Topology.OriginFrac): no address space
+		}
 		base := info.Prefixes[0]
 		for i := 0; i < w.Cfg.HostsPerAS; i++ {
 			addr := inet.NthAddr(base, uint32(10+i))
 			pol := w.samplePolicy()
-			h := netsim.NewHost(addr, asn, pol, w.nextHostSeed())
-			h.BackgroundRate = w.sampleBackground()
-			w.Net.AddHost(h)
+			seed := w.nextHostSeed()
+			plans = append(plans, hostPlan{
+				addr: addr, asn: asn, pol: pol, seed: seed,
+				rate: w.sampleBackground(), brokenMode: -1,
+			})
 		}
 	}
 	// tNode hosts live inside the wrong-origin AS, addressed from the
@@ -39,12 +83,16 @@ func (w *World) buildHosts() {
 		}
 		for i := 0; i < perInv; i++ {
 			addr := inet.NthAddr(inv.Prefix, uint32(20+i))
-			h := netsim.NewHost(addr, inv.Origin, ipid.Global, w.nextHostSeed(), 443, 80)
-			h.BackgroundRate = w.rng.Float64() * 3
+			seed := w.nextHostSeed()
+			rate := w.rng.Float64() * 3
+			mode := -1
 			if w.rng.Float64() < w.Cfg.TNodeBrokenFrac {
-				w.breakTNode(h)
+				mode = w.rng.Intn(3)
 			}
-			w.Net.AddHost(h)
+			plans = append(plans, hostPlan{
+				addr: addr, asn: inv.Origin, pol: ipid.Global, seed: seed,
+				rate: rate, tnode: true, brokenMode: mode,
+			})
 		}
 		if w.rng.Float64() < w.Cfg.InboundFilterFrac {
 			// The wrong-origin AS egress-filters responses from the
@@ -59,12 +107,19 @@ func (w *World) buildHosts() {
 			}
 		}
 	}
+	hosts := make([]*netsim.Host, len(plans))
+	parallelDo(w.buildWorkers(), len(plans), func(i int) {
+		hosts[i] = plans[i].build()
+	})
+	for _, h := range hosts {
+		w.Net.AddHost(h)
+	}
 }
 
-// breakTNode gives a tNode host one of the §4.1-violating behaviours.
-func (w *World) breakTNode(h *netsim.Host) {
+// breakTNodeMode gives a tNode host one of the §4.1-violating behaviours.
+func breakTNodeMode(h *netsim.Host, mode int) {
 	cfg := tcpsim.DefaultConfig(443, 80)
-	switch w.rng.Intn(3) {
+	switch mode {
 	case 0: // never retransmits (fails qualification condition b)
 		cfg.Behavior = tcpsim.NoRetransmit
 		h.TCP = tcpsim.New(cfg)
@@ -108,9 +163,12 @@ func (w *World) sampleBackground() float64 {
 // cleanly-uplinked) stub ASes far apart in the numbering: like the paper's
 // clients, they must be able to reach the RPKI-invalid test prefixes.
 func (w *World) buildClients(clean map[inet.ASN]bool) {
+	// Clients need address space to live in, so transit-only ASes (worlds
+	// with Topology.OriginFrac set) are never candidates.
+	addressable := func(asn inet.ASN) bool { return len(w.Topo.Info[asn].Prefixes) > 0 }
 	var stubASes []inet.ASN
 	for _, asn := range w.Topo.ASNs {
-		if w.Topo.Info[asn].Tier == topology.Stub && clean[asn] {
+		if w.Topo.Info[asn].Tier == topology.Stub && clean[asn] && addressable(asn) {
 			stubASes = append(stubASes, asn)
 		}
 	}
@@ -119,14 +177,14 @@ func (w *World) buildClients(clean map[inet.ASN]bool) {
 		// paper's clients just need reachability to the test prefixes and
 		// the ability to spoof.
 		for _, asn := range w.Topo.ASNs {
-			if clean[asn] {
+			if clean[asn] && addressable(asn) {
 				stubASes = append(stubASes, asn)
 			}
 		}
 	}
 	if len(stubASes) < 2 {
 		for _, asn := range w.Topo.ASNs {
-			if w.Truth[asn].DeployDay < 0 {
+			if w.Truth[asn].DeployDay < 0 && addressable(asn) {
 				stubASes = append(stubASes, asn)
 			}
 		}

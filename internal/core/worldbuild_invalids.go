@@ -28,12 +28,21 @@ func (w *World) buildInvalids(clean map[inet.ASN]bool) {
 		asn inet.ASN
 		p   netip.Prefix
 	}
+	// One pass over the allocation table: looking owners up per candidate
+	// prefix was O(ASes × prefixes) per query and quadratic overall, which
+	// dominated the build at paper scale.
+	owners := make(map[netip.Prefix]inet.ASN)
+	for _, asn := range w.Topo.ASNs {
+		for _, own := range w.Topo.Info[asn].Prefixes {
+			owners[own] = asn
+		}
+	}
 	var victims []victim
 	for p, day := range w.roaDayByPrefix {
 		if day != 0 {
 			continue
 		}
-		if owner := w.ownerOf(p); owner != 0 {
+		if owner := owners[p]; owner != 0 {
 			victims = append(victims, victim{owner, p})
 		}
 	}
@@ -140,18 +149,6 @@ func (w *World) buildInvalids(clean map[inet.ASN]bool) {
 			Covered:  true,
 		})
 	}
-}
-
-// ownerOf returns the AS allocated prefix p, or 0.
-func (w *World) ownerOf(p netip.Prefix) inet.ASN {
-	for _, asn := range w.Topo.ASNs {
-		for _, own := range w.Topo.Info[asn].Prefixes {
-			if own == p {
-				return asn
-			}
-		}
-	}
-	return 0
 }
 
 // applyDefaultLeaks wires up the §7.6 partial default-route leaks: each

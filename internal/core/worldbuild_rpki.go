@@ -12,38 +12,59 @@ import (
 
 // buildRPKI creates the five RIR authorities, one CA per AS, and the ROA
 // schedule (encoded in the objects' NotBefore days).
+//
+// Object emission runs one worker per RIR: an Authority is entirely
+// self-contained (per-subject key derivation seeded from issuance order
+// *within* that authority, serial numbers counted per repository, no shared
+// rng), so as long as each RIR's objects are issued in the same relative
+// order as the serial build, the five repositories come out bit-for-bit
+// identical at any worker count. The generator-rng draws for the ROA
+// schedule all happen in a serial planning pass, in the historical order.
 func (w *World) buildRPKI() {
 	horizon := w.Cfg.Days + 1
-	for _, r := range rpki.AllRIRs {
+	// Per-RIR CA issuance plans, in global ASN order (the per-authority
+	// order the serial build used).
+	byRIR := make(map[rpki.RIR][]inet.ASN, len(rpki.AllRIRs))
+	for _, asn := range w.Topo.ASNs {
+		r := w.Topo.Info[asn].RIR
+		byRIR[r] = append(byRIR[r], asn)
+	}
+	auths := make([]*rpki.Authority, len(rpki.AllRIRs))
+	parallelDo(w.buildWorkers(), len(rpki.AllRIRs), func(i int) {
+		r := rpki.AllRIRs[i]
 		var res rpki.ResourceSet
 		// Each RIR holds its forty /8 blocks; grant a generous ASN range.
-		for i := 0; i < 40; i++ {
-			base := 8 + int(r)*40 + i
+		for j := 0; j < 40; j++ {
+			base := 8 + int(r)*40 + j
 			res.Prefixes = append(res.Prefixes, netip.PrefixFrom(inet.V4(uint32(base)<<24), 8))
 		}
 		res.ASNs = []rpki.ASNRange{{Lo: 1, Hi: 1 << 30}}
-		w.Authorities[r] = rpki.NewAuthority(r, w.Cfg.Seed+int64(r), res, 0, horizon)
-	}
-	// One CA per AS holding its allocated prefixes.
-	for _, asn := range w.Topo.ASNs {
-		info := w.Topo.Info[asn]
-		auth := w.Authorities[info.RIR]
-		subject := fmt.Sprintf("as%d", asn)
-		_, err := auth.IssueCA(subject, "", rpki.ResourceSet{Prefixes: info.Prefixes}, 0, horizon)
-		if err != nil {
-			panic(fmt.Sprintf("core: issuing CA for %v: %v", asn, err))
+		auth := rpki.NewAuthority(r, w.Cfg.Seed+int64(r), res, 0, horizon)
+		// One CA per AS holding its allocated prefixes.
+		for _, asn := range byRIR[r] {
+			subject := fmt.Sprintf("as%d", asn)
+			_, err := auth.IssueCA(subject, "", rpki.ResourceSet{Prefixes: w.Topo.Info[asn].Prefixes}, 0, horizon)
+			if err != nil {
+				panic(fmt.Sprintf("core: issuing CA for %v: %v", asn, err))
+			}
 		}
+		auths[i] = auth
+	})
+	for i, r := range rpki.AllRIRs {
+		w.Authorities[r] = auths[i]
 	}
 	// ROA schedule: a random subset of prefixes is covered from day 0, the
-	// rest of the target set phases in linearly.
+	// rest of the target set phases in linearly. Plan serially (shuffle and
+	// day draws in the historical stream order), then emit per RIR.
 	type slot struct {
 		asn inet.ASN
 		p   netip.Prefix
+		day int
 	}
 	var all []slot
 	for _, asn := range w.Topo.ASNs {
 		for _, p := range w.Topo.Info[asn].Prefixes {
-			all = append(all, slot{asn, p})
+			all = append(all, slot{asn: asn, p: p})
 		}
 	}
 	w.rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
@@ -52,21 +73,27 @@ func (w *World) buildRPKI() {
 	if nEnd > len(all) {
 		nEnd = len(all)
 	}
+	roaPlans := make(map[rpki.RIR][]slot, len(rpki.AllRIRs))
 	for i := 0; i < nEnd; i++ {
-		day := 0
-		if i >= nStart {
-			day = 1 + w.rng.Intn(w.Cfg.Days-1)
-		}
 		s := all[i]
-		info := w.Topo.Info[s.asn]
-		auth := w.Authorities[info.RIR]
-		_, err := auth.IssueROA(fmt.Sprintf("as%d", s.asn), s.asn,
-			[]rpki.ROAPrefix{{Prefix: s.p, MaxLength: s.p.Bits()}}, day, horizon)
-		if err != nil {
-			panic(fmt.Sprintf("core: issuing ROA for %v: %v", s.asn, err))
+		if i >= nStart {
+			s.day = 1 + w.rng.Intn(w.Cfg.Days-1)
 		}
-		w.roaDayByPrefix[s.p] = day
+		r := w.Topo.Info[s.asn].RIR
+		roaPlans[r] = append(roaPlans[r], s)
+		w.roaDayByPrefix[s.p] = s.day
 	}
+	parallelDo(w.buildWorkers(), len(rpki.AllRIRs), func(i int) {
+		r := rpki.AllRIRs[i]
+		auth := w.Authorities[r]
+		for _, s := range roaPlans[r] {
+			_, err := auth.IssueROA(fmt.Sprintf("as%d", s.asn), s.asn,
+				[]rpki.ROAPrefix{{Prefix: s.p, MaxLength: s.p.Bits()}}, s.day, horizon)
+			if err != nil {
+				panic(fmt.Sprintf("core: issuing ROA for %v: %v", s.asn, err))
+			}
+		}
+	})
 }
 
 // buildROVSchedule decides which ASes deploy ROV, when, and in what mode.

@@ -36,7 +36,11 @@ func Generate(w *core.World, n int, seed int64) []Event {
 		if attacker == victim {
 			continue
 		}
-		vp := w.Topo.Info[victim].Prefixes[0]
+		vps := w.Topo.Info[victim].Prefixes
+		if len(vps) == 0 {
+			continue // transit-only AS (Topology.OriginFrac): nothing to hijack
+		}
+		vp := vps[0]
 		ev := Event{
 			Day:      rng.Intn(w.Cfg.Days + 1),
 			Victim:   victim,

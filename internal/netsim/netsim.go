@@ -188,8 +188,9 @@ type Network struct {
 	// uncached equivalence tests and for debugging; the cache never changes
 	// results, only how often the pure path computation re-runs.
 	DisablePathCache bool
-	// paths memoizes Graph.DataPath by (srcASN, dst), invalidated by the
-	// graph's routing version. Shared (by pointer) with every Overlay view.
+	// paths memoizes Graph.DataPath by (srcASN, interned prefix ID),
+	// invalidated by the graph's routing version. Shared (by pointer) with
+	// every Overlay view.
 	paths *pathCache
 }
 
@@ -206,10 +207,18 @@ func NewNetwork(g *bgp.Graph) *Network {
 	}
 }
 
-// pathKey identifies one forwarding-path computation.
+// pathKey identifies one forwarding-path computation: the source AS and the
+// most specific interned prefix covering the destination (NoPrefixID when no
+// interned prefix covers it). Every prefix the data plane consults — FIB
+// entries, originated prefixes, scoped defaults — is interned, and prefixes
+// nest, so any interned prefix containing dst is a superset of dst's LPM
+// prefix: two destinations with the same LPM ID are forwarded identically
+// from every source. Keying on the ID instead of the address lets every host
+// inside a prefix share one entry, which is what keeps the cache small at
+// paper scale (many hosts, few routed prefixes).
 type pathKey struct {
 	src inet.ASN
-	dst netip.Addr
+	dst bgp.PrefixID
 }
 
 // pathEntry is one memoized Graph.DataPath result. The path slice is shared
@@ -230,7 +239,47 @@ type pathEntry struct {
 type pathCache struct {
 	mu      sync.RWMutex
 	version uint64
+	// keyable records whether prefix-ID keying is sound for this version:
+	// false when some forwarding-relevant prefix (an originated prefix or a
+	// valid default scope) is not interned — possible after direct AS field
+	// edits followed by BumpVersion instead of a re-converge — in which case
+	// the cache is bypassed entirely until the next version.
+	keyable bool
 	m       map[pathKey]pathEntry
+	// dstID memoizes the address → LPM-ID resolution. The intern table only
+	// grows, and growth happens exclusively on the (version-bumping)
+	// convergence path, so entries stay valid for the cache's lifetime.
+	dstID map[netip.Addr]bgp.PrefixID
+}
+
+// lpmID resolves dst to the cache's destination key.
+func lpmID(g *bgp.Graph, dst netip.Addr) bgp.PrefixID {
+	if id, ok := g.Prefixes().LPM(dst); ok {
+		return id
+	}
+	return bgp.NoPrefixID
+}
+
+// cacheKeyingSafe reports whether every prefix the data plane can consult is
+// interned. FIB entries are interned by construction (they are indexed by
+// prefix ID); originated prefixes and default scopes are interned by the
+// convergence path, but direct mutation of AS fields between convergences
+// can leave them out, and then two addresses sharing an LPM ID may diverge.
+func (n *Network) cacheKeyingSafe() bool {
+	tab := n.Graph.Prefixes()
+	for _, a := range n.Graph.ASes {
+		for _, p := range a.Originated {
+			if _, ok := tab.IDOf(p); !ok {
+				return false
+			}
+		}
+		if a.HasDefault && a.DefaultScope.IsValid() {
+			if _, ok := tab.IDOf(a.DefaultScope); !ok {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // dataPath returns Graph.DataPath(src, dst), memoized. Safe for concurrent
@@ -241,23 +290,50 @@ func (n *Network) dataPath(src inet.ASN, dst netip.Addr) ([]inet.ASN, bool) {
 		return n.Graph.DataPath(src, dst)
 	}
 	ver := n.Graph.Version()
-	k := pathKey{src, dst}
+
 	c.mu.RLock()
 	if c.version == ver {
-		if e, ok := c.m[k]; ok {
+		if !c.keyable {
 			c.mu.RUnlock()
-			return e.path, e.delivered
+			return n.Graph.DataPath(src, dst)
 		}
+		id, haveID := c.dstID[dst]
+		if haveID {
+			if e, ok := c.m[pathKey{src, id}]; ok {
+				c.mu.RUnlock()
+				return e.path, e.delivered
+			}
+		}
+		c.mu.RUnlock()
+		if !haveID {
+			id = lpmID(n.Graph, dst)
+		}
+		path, delivered := n.Graph.DataPath(src, dst)
+		c.mu.Lock()
+		if c.version == ver && c.keyable {
+			c.dstID[dst] = id
+			c.m[pathKey{src, id}] = pathEntry{path: path, delivered: delivered}
+		}
+		c.mu.Unlock()
+		return path, delivered
 	}
 	c.mu.RUnlock()
 
+	// Version transition: compute outside the lock, then reset the cache for
+	// the new version (re-checking the keying invariant once per version).
+	id := lpmID(n.Graph, dst)
 	path, delivered := n.Graph.DataPath(src, dst)
 	c.mu.Lock()
-	if c.version != ver || c.m == nil {
-		c.m = make(map[pathKey]pathEntry, 256)
+	if c.version != ver {
 		c.version = ver
+		c.keyable = n.cacheKeyingSafe()
+		c.m = make(map[pathKey]pathEntry, 256)
+		c.dstID = make(map[netip.Addr]bgp.PrefixID, 256)
 	}
-	c.m[k] = pathEntry{path: path, delivered: delivered}
+	if c.keyable {
+		c.dstID[dst] = id
+		c.m[pathKey{src, id}] = pathEntry{path: path, delivered: delivered}
+	}
 	c.mu.Unlock()
 	return path, delivered
 }
@@ -272,6 +348,8 @@ func (n *Network) InvalidatePathCache() {
 	}
 	n.paths.mu.Lock()
 	n.paths.m = nil
+	n.paths.dstID = nil
+	n.paths.keyable = false
 	n.paths.version = 0
 	n.paths.mu.Unlock()
 }

@@ -524,3 +524,111 @@ func TestPathCacheEquivalence(t *testing.T) {
 		t.Fatalf("withdrawn prefix still routed through cache: reason=%v", r)
 	}
 }
+
+// TestPathCacheSharedPrefixEntry: the cache keys on (src, interned covering
+// prefix), so two destinations inside the same routed prefix share one
+// entry. Nesting guarantees every per-hop decision is identical for both —
+// this test pins that sharing never changes a trace, including for a
+// more-specific carve-out where the two addresses fall under DIFFERENT
+// most-specific prefixes and must NOT share.
+func TestPathCacheSharedPrefixEntry(t *testing.T) {
+	n, client, _, _ := threeASWorld(t)
+	// AS 2 carves a more-specific out of AS 3's /16.
+	n.Graph.AS(2).Originated = append(n.Graph.AS(2).Originated, pfx("10.3.128.0/17"))
+	if _, err := n.Graph.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	dsts := []netip.Addr{
+		ip("10.3.0.1"), ip("10.3.0.99"), // same /16, share an entry
+		ip("10.3.128.1"), // inside the /17: different entry
+		ip("10.3.200.5"), // also /17
+	}
+	type out struct {
+		path []inet.ASN
+		ok   bool
+	}
+	all := func() []out {
+		var res []out
+		for _, src := range []inet.ASN{1, 2, 3, 10} {
+			for _, d := range dsts {
+				p, _, r := n.Trace(src, Packet{Src: client.Addr, Dst: d})
+				res = append(res, out{append([]inet.ASN(nil), p...), r == DropNone})
+			}
+		}
+		return res
+	}
+	cached := all()
+	second := all() // all hits now
+	n.DisablePathCache = true
+	uncached := all()
+	n.DisablePathCache = false
+	if !reflect.DeepEqual(cached, uncached) || !reflect.DeepEqual(second, uncached) {
+		t.Fatalf("prefix-keyed cache changed traces:\ncached   %+v\nhits     %+v\nuncached %+v",
+			cached, second, uncached)
+	}
+	// The /17 addresses must terminate at AS 2, the /16 ones at AS 3 — if an
+	// entry were shared across the carve-out boundary this would fail.
+	if p, _, _ := n.Trace(1, Packet{Src: client.Addr, Dst: ip("10.3.128.1")}); p[len(p)-1] != 2 {
+		t.Fatalf("more-specific destination routed to %v, want AS 2", p[len(p)-1])
+	}
+	if p, _, _ := n.Trace(1, Packet{Src: client.Addr, Dst: ip("10.3.0.1")}); p[len(p)-1] != 3 {
+		t.Fatalf("covering-prefix destination routed to %v, want AS 3", p[len(p)-1])
+	}
+}
+
+// TestPathCacheUninternedScopeBypass: prefix-ID keying is only sound when
+// every prefix the data plane consults is interned. Setting a DefaultScope by
+// direct field edit plus BumpVersion (no re-convergence interns nothing)
+// must flip the cache into bypass mode — correct, uncached answers — and the
+// next full Converge interns the scope and restores caching, still with
+// answers identical to the uncached network.
+func TestPathCacheUninternedScopeBypass(t *testing.T) {
+	n, client, _, _ := threeASWorld(t)
+
+	probe := []netip.Addr{ip("10.3.0.1"), ip("10.9.0.1"), ip("10.2.0.1")}
+	all := func() [][]inet.ASN {
+		var res [][]inet.ASN
+		for _, d := range probe {
+			p, _, _ := n.Trace(1, Packet{Src: client.Addr, Dst: d})
+			res = append(res, append([]inet.ASN(nil), p...))
+		}
+		return res
+	}
+	all() // warm the cache at the current version
+
+	// Un-interned scope: 10.9.0.0/16 was never originated or converged.
+	a := n.Graph.AS(1)
+	a.DefaultRoute, a.HasDefault = 10, true
+	a.DefaultScope = pfx("10.9.0.0/16")
+	n.Graph.BumpVersion()
+
+	cached := all()
+	if n.paths.keyable {
+		t.Fatal("cache stayed keyable with an un-interned DefaultScope in play")
+	}
+	n.DisablePathCache = true
+	uncached := all()
+	n.DisablePathCache = false
+	if !reflect.DeepEqual(cached, uncached) {
+		t.Fatalf("bypassed cache differs from uncached:\n%+v\nvs\n%+v", cached, uncached)
+	}
+	// The scoped destination must now take the default hop toward AS 10.
+	if p, _, _ := n.Trace(1, Packet{Src: client.Addr, Dst: ip("10.9.0.1")}); len(p) < 2 || p[1] != 10 {
+		t.Fatalf("scoped destination did not take the default route: %v", p)
+	}
+
+	// Converge interns the scope; keying becomes safe again.
+	if _, err := n.Graph.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	cached = all()
+	if !n.paths.keyable {
+		t.Fatal("cache did not recover keyability after Converge interned the scope")
+	}
+	n.DisablePathCache = true
+	uncached = all()
+	n.DisablePathCache = false
+	if !reflect.DeepEqual(cached, uncached) {
+		t.Fatalf("post-converge cached traces differ from uncached:\n%+v\nvs\n%+v", cached, uncached)
+	}
+}

@@ -12,7 +12,10 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/netsec-lab/rovista/internal/bgp"
 	"github.com/netsec-lab/rovista/internal/inet"
@@ -58,6 +61,16 @@ type Config struct {
 	// PrefixesPerAS is the mean number of /16 prefixes allocated per AS
 	// (minimum 1).
 	PrefixesPerAS float64
+
+	// OriginFrac, when in (0, 1), is the fraction of ASes that originate
+	// prefixes at all; the rest are transit-only. Zero means every AS
+	// originates (the historical behaviour — no extra rng draws happen in
+	// that mode, so existing worlds are bit-for-bit unchanged). Paper-scale
+	// worlds use this to model tens of thousands of vantage ASes against a
+	// small routed test-prefix population: full-table Adj-RIB-In state is
+	// quadratic in (ASes × prefixes), and the real measurement only ever
+	// routes a few hundred prefixes of interest.
+	OriginFrac float64
 
 	// Tier2PeerProb / Tier3PeerProb are the probabilities that two same-tier
 	// ASes peer.
@@ -213,6 +226,9 @@ func (t *Topology) allocatePrefixes(cfg Config, rng *rand.Rand) {
 	}
 	for _, asn := range t.ASNs {
 		info := t.Info[asn]
+		if cfg.OriginFrac > 0 && cfg.OriginFrac < 1 && rng.Float64() >= cfg.OriginFrac {
+			continue // transit-only AS: no allocation, no origination
+		}
 		n := 1
 		for float64(n) < cfg.PrefixesPerAS && rng.Float64() < 0.5 {
 			n++
@@ -232,35 +248,76 @@ func (t *Topology) allocatePrefixes(cfg Config, rng *rand.Rand) {
 	}
 }
 
-// computeCones fills in ConeSize and Rank via memoized DFS over customer
-// edges (the provider→customer direction).
+// computeCones fills in ConeSize and Rank. Each AS's customer cone is
+// counted by an independent BFS over customer edges using a per-worker
+// generation-stamped visited array — O(ASes) memory per worker instead of
+// the full set-per-AS memoization a DFS union needs, which at 50k+ ASes
+// (where tier-1 cones span nearly the whole graph) is the difference
+// between megabytes and gigabytes. The per-AS counts are independent, so
+// the BFSes run in parallel; cone size is a pure function of the topology,
+// making the result identical at any worker count.
 func (t *Topology) computeCones() {
-	memo := make(map[inet.ASN]map[inet.ASN]bool)
-	var cone func(asn inet.ASN) map[inet.ASN]bool
-	cone = func(asn inet.ASN) map[inet.ASN]bool {
-		if c, ok := memo[asn]; ok {
-			return c
-		}
-		c := map[inet.ASN]bool{asn: true}
-		memo[asn] = c // pre-register to tolerate (malformed) cycles
+	n := len(t.ASNs)
+	idx := make(map[inet.ASN]int32, n)
+	for i, asn := range t.ASNs {
+		idx[asn] = int32(i)
+	}
+	customers := make([][]int32, n)
+	for i, asn := range t.ASNs {
 		for nbr, rel := range t.Graph.AS(asn).Neighbors {
 			if rel == bgp.Customer {
-				for k := range cone(nbr) {
-					c[k] = true
-				}
+				customers[i] = append(customers[i], idx[nbr])
 			}
 		}
-		return c
 	}
+	sizes := make([]int, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = max(n, 1)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			visited := make([]int32, n)
+			queue := make([]int32, 0, 64)
+			stamp := int32(0)
+			for {
+				i := int(cursor.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				stamp++
+				queue = append(queue[:0], int32(i))
+				visited[i] = stamp
+				count := 0
+				for len(queue) > 0 {
+					v := queue[len(queue)-1]
+					queue = queue[:len(queue)-1]
+					count++
+					for _, c := range customers[v] {
+						if visited[c] != stamp {
+							visited[c] = stamp
+							queue = append(queue, c)
+						}
+					}
+				}
+				sizes[i] = count
+			}
+		}()
+	}
+	wg.Wait()
+
 	type ranked struct {
 		asn  inet.ASN
 		size int
 	}
 	rs := make([]ranked, 0, len(t.ASNs))
-	for _, asn := range t.ASNs {
-		size := len(cone(asn))
-		t.Info[asn].ConeSize = size
-		rs = append(rs, ranked{asn, size})
+	for i, asn := range t.ASNs {
+		t.Info[asn].ConeSize = sizes[i]
+		rs = append(rs, ranked{asn, sizes[i]})
 	}
 	sort.Slice(rs, func(i, j int) bool {
 		if rs[i].size != rs[j].size {

@@ -1,41 +1,59 @@
 #!/bin/sh
 # Hot-path benchmark runner. Runs the measurement-round benchmarks (serial
 # and parallel) plus the BGP convergence benchmarks with allocation
-# reporting, and distills the results into BENCH_round.json so perf
-# regressions are diffable across commits.
+# reporting, and distills the results into BENCH_round.json; then runs the
+# paper-scale world benchmarks (10k/50k-AS build and steady-state converge,
+# with peak-RSS reporting) into BENCH_world.json. Both files make perf
+# regressions diffable across commits.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_round.json)
+# Usage: scripts/bench.sh [round.json [world.json]]
+#        (defaults: BENCH_round.json BENCH_world.json)
 set -eu
 
-out=${1:-BENCH_round.json}
+round_out=${1:-BENCH_round.json}
+world_out=${2:-BENCH_world.json}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'BenchmarkMeasureRound' -benchmem -benchtime 5x . | tee "$tmp"
-go test -run '^$' -bench 'BenchmarkConverge' -benchmem ./internal/bgp/ | tee -a "$tmp"
-
-awk -v gover="$(go version | awk '{print $3}')" '
+# distill turns `go test -bench` output into a JSON report. Recognizes
+# ns/op, B/op, allocs/op and the scale benchmarks' peakRSS-MB metric.
+distill() {
+    awk -v gover="$(go version | awk '{print $3}')" '
 BEGIN { n = 0 }
 /^Benchmark/ && /ns\/op/ {
     name = $1
     sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
     iters[n] = $2
     names[n] = name
-    ns[n] = bytes[n] = allocs[n] = "null"
+    ns[n] = bytes[n] = allocs[n] = rss[n] = "null"
     for (i = 3; i < NF; i++) {
-        if ($(i+1) == "ns/op")     ns[n] = $i
-        if ($(i+1) == "B/op")      bytes[n] = $i
-        if ($(i+1) == "allocs/op") allocs[n] = $i
+        if ($(i+1) == "ns/op")      ns[n] = $i
+        if ($(i+1) == "B/op")       bytes[n] = $i
+        if ($(i+1) == "allocs/op")  allocs[n] = $i
+        if ($(i+1) == "peakRSS-MB") rss[n] = $i
     }
     n++
 }
 END {
     printf "{\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", gover
     for (i = 0; i < n; i++) {
-        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
-            names[i], iters[i], ns[i], bytes[i], allocs[i], (i < n-1 ? "," : "")
+        line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
+            names[i], iters[i], ns[i], bytes[i], allocs[i])
+        if (rss[i] != "null") line = line sprintf(", \"peak_rss_mb\": %s", rss[i])
+        printf "%s}%s\n", line, (i < n-1 ? "," : "")
     }
     printf "  ]\n}\n"
-}' "$tmp" > "$out"
+}'
+}
 
-echo "wrote $out"
+go test -run '^$' -bench 'BenchmarkMeasureRound' -benchmem -benchtime 5x . | tee "$tmp"
+go test -run '^$' -bench 'BenchmarkConverge' -benchmem ./internal/bgp/ | tee -a "$tmp"
+distill < "$tmp" > "$round_out"
+echo "wrote $round_out"
+
+# Paper-scale tier: one timed pass each (a 50k-AS converge runs ~13s; more
+# iterations would add minutes for little signal).
+go test -run '^$' -bench 'BenchmarkWorldBuild|BenchmarkConvergeLarge' \
+    -benchmem -benchtime 1x -timeout 30m ./internal/core/ | tee "$tmp"
+distill < "$tmp" > "$world_out"
+echo "wrote $world_out"
