@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench clean
+.PHONY: check vet build test race fuzz-smoke robustness cover bench clean
 
-check: vet build test race
+check: vet build test race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +22,25 @@ test:
 # the parallel cone computation (topology).
 race:
 	$(GO) test -race ./internal/core/ ./internal/netsim/ ./internal/pipeline/ ./internal/bgp/ ./internal/topology/
+
+# Short fuzzing passes over the two parsers/state machines fuzz has the best
+# shot at: the TCP endpoint's segment handling and the prefix-interning
+# table's LPM invariants. Each target needs its own invocation (go test
+# accepts one -fuzz pattern at a time).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzHandleSegment -fuzztime 5s ./internal/tcpsim/
+	$(GO) test -run '^$$' -fuzz FuzzPrefixTable -fuzztime 5s ./internal/bgp/
+
+# Metamorphic robustness harness: determinism under faults, classification
+# F1 against ground truth, the no-silent-flip guard, and the profile sweep
+# distilled into BENCH_robustness.json.
+robustness:
+	sh scripts/robustness.sh
+
+# Per-package coverage with the committed 2-point soft floor
+# (COVERAGE_baseline.txt; re-record with scripts/coverage.sh -update).
+cover:
+	sh scripts/coverage.sh
 
 # Round + convergence benchmarks with allocation reporting, distilled into
 # BENCH_round.json (ns/op, B/op, allocs/op per benchmark) for diffing

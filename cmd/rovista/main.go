@@ -5,7 +5,7 @@
 // Usage:
 //
 //	rovista [-seed N] [-day D] [-size small|medium|large] [-top K] [-v]
-//	        [-workers N] [-progress] [-timings]
+//	        [-workers N] [-faults none|paper|harsh] [-progress] [-timings]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 package main
 
@@ -19,6 +19,7 @@ import (
 
 	"github.com/netsec-lab/rovista/internal/core"
 	"github.com/netsec-lab/rovista/internal/export"
+	"github.com/netsec-lab/rovista/internal/faults"
 	"github.com/netsec-lab/rovista/internal/inet"
 	"github.com/netsec-lab/rovista/internal/topology"
 )
@@ -31,6 +32,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-AS details")
 	format := flag.String("format", "table", "output format: table, json or csv")
 	workers := flag.Int("workers", 0, "pair-measurement workers (0 = all CPUs, 1 = serial; results are identical for any value)")
+	faultsName := flag.String("faults", "none", "fault-injection profile: none, paper or harsh")
 	progress := flag.Bool("progress", false, "print per-stage progress to stderr")
 	timings := flag.Bool("timings", false, "print per-stage wall-clock timings and pair counters to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -70,6 +72,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rovista:", err)
 		os.Exit(2)
 	}
+	profile, err := faults.ByName(*faultsName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rovista:", err)
+		os.Exit(2)
+	}
+	cfg.Faults = profile
 	w, err := core.BuildWorld(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rovista:", err)
@@ -90,6 +98,15 @@ func main() {
 
 	rcfg := core.DefaultRunnerConfig(*seed)
 	rcfg.Workers = *workers
+	if profile.Enabled() {
+		// Under injected faults the pipeline runs with its robustness
+		// countermeasures on: bounded retry with backoff and post-round vVP
+		// re-qualification (clean runs skip both, preserving exact rng streams).
+		rcfg.Faults = profile
+		rcfg.PairRetries = 2
+		rcfg.RetryBackoff = 2
+		rcfg.RequalifyVVPs = true
+	}
 	if *progress {
 		rcfg.Progress = func(stage string, done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%-16s %d/%d", stage, done, total)
@@ -125,6 +142,9 @@ func main() {
 
 	fmt.Printf("test prefixes: %d; qualified tNodes: %d; vVPs: %d; scored ASes: %d\n",
 		snap.TestPrefixes, len(snap.TNodes), snap.AllVVPs, len(snap.Reports))
+	if snap.Status.InsufficientData() {
+		fmt.Printf("round degraded: %s — scores below reflect partial data, not zero protection\n", snap.Status)
+	}
 	fmt.Printf("per-(AS,tNode) unanimity: %.1f%%\n", 100*snap.ConsistentPairFraction)
 
 	type row struct {

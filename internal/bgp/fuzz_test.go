@@ -1,0 +1,83 @@
+package bgp
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzPrefixTable interprets fuzz bytes as an intern/lookup script and checks
+// the table's core invariants against a brute-force shadow model: interning
+// is idempotent and mask-canonical, IDs stay dense and stable, and LPM always
+// returns the longest interned prefix containing the address (or reports
+// none when no interned prefix covers it).
+func FuzzPrefixTable(f *testing.F) {
+	f.Add([]byte{10, 0, 0, 0, 8, 10, 0, 0, 1})
+	f.Add([]byte{192, 168, 1, 0, 24, 192, 168, 1, 7, 192, 168, 1, 0, 25})
+	f.Add([]byte{0, 0, 0, 0, 0, 255, 255, 255, 255, 32})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab := NewPrefixTable()
+		var interned []netip.Prefix
+
+		// Script: 5 bytes intern a prefix (4 address bytes + length%33),
+		// then the same 4 address bytes are probed via LPM.
+		for i := 0; i+4 < len(data); i += 5 {
+			addr := netip.AddrFrom4([4]byte{data[i], data[i+1], data[i+2], data[i+3]})
+			p := netip.PrefixFrom(addr, int(data[i+4])%33)
+
+			before := tab.Len()
+			id := tab.Intern(p)
+			if got := tab.Prefix(id); got != p.Masked() {
+				t.Fatalf("Prefix(Intern(%v)) = %v, want %v", p, got, p.Masked())
+			}
+			if again := tab.Intern(p); again != id {
+				t.Fatalf("re-interning %v changed ID %d -> %d", p, id, again)
+			}
+			if id2 := tab.Intern(p.Masked()); id2 != id {
+				t.Fatalf("interning masked form of %v gave different ID", p)
+			}
+			seen := false
+			for _, q := range interned {
+				if q == p.Masked() {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				interned = append(interned, p.Masked())
+				if int(id) != before {
+					t.Fatalf("new prefix %v got ID %d, want dense next ID %d", p, id, before)
+				}
+			} else if tab.Len() != before {
+				t.Fatalf("re-interning known prefix %v grew the table", p)
+			}
+			if tab.Len() != len(interned) {
+				t.Fatalf("Len() = %d, shadow model has %d", tab.Len(), len(interned))
+			}
+
+			// LPM against the brute-force longest match over the shadow set.
+			probe := addr
+			wantLen := -1
+			var want netip.Prefix
+			for _, q := range interned {
+				if q.Contains(probe) && q.Bits() > wantLen {
+					wantLen, want = q.Bits(), q
+				}
+			}
+			gotID, ok := tab.LPM(probe)
+			if (wantLen >= 0) != ok {
+				t.Fatalf("LPM(%v) ok=%v, shadow model says %v", probe, ok, wantLen >= 0)
+			}
+			if ok && tab.Prefix(gotID) != want {
+				t.Fatalf("LPM(%v) = %v, want %v", probe, tab.Prefix(gotID), want)
+			}
+			if wantID, okID := tab.IDOf(want); ok && (!okID || wantID != gotID) {
+				t.Fatalf("IDOf(%v) disagrees with LPM result", want)
+			}
+		}
+
+		// Gen must count exactly the distinct interned prefixes.
+		if tab.Gen() != uint64(len(interned)) {
+			t.Fatalf("Gen() = %d after %d distinct interns", tab.Gen(), len(interned))
+		}
+	})
+}

@@ -3,8 +3,11 @@ package core
 import (
 	"net/netip"
 	"sort"
+	"sync"
+	"time"
 
 	"github.com/netsec-lab/rovista/internal/detect"
+	"github.com/netsec-lab/rovista/internal/faults"
 	"github.com/netsec-lab/rovista/internal/inet"
 	"github.com/netsec-lab/rovista/internal/pipeline"
 	"github.com/netsec-lab/rovista/internal/scan"
@@ -52,11 +55,31 @@ func (p worldVVPProvider) DiscoverVVPs() []scan.VVP { return p.r.DiscoverVVPs() 
 // collision-free where the old shift-xor packing aliased (ti, vi)
 // combinations. Isolation is what lets the executor run pairs on any number
 // of workers with bit-for-bit identical results.
+//
+// With Cfg.PairRetries set, an unusable measurement is retried with bounded
+// backoff: each attempt derives a fresh seed from (pair seed, attempt) and
+// shifts its probe schedule later in virtual time, so a transient fault
+// (flap window, loss streak, background burst) does not recur by
+// construction. The attempt sequence is a pure function of the pair
+// identity, preserving worker-count determinism.
 type isolatedPairMeasurer struct{ r *Runner }
 
 func (m isolatedPairMeasurer) MeasurePair(p pipeline.Pair) detect.PairResult {
-	seed := seedmix.Mix(m.r.Cfg.Seed, int64(uint32(p.ASN)), int64(p.TNodeIdx), int64(p.VVPIdx))
-	return detect.MeasurePairIsolated(m.r.W.Net, m.r.W.ClientA, p.VVP.Addr, p.TNode, seed, m.r.Cfg.Detect)
+	r := m.r
+	base := seedmix.Mix(r.Cfg.Seed, int64(uint32(p.ASN)), int64(p.TNodeIdx), int64(p.VVPIdx))
+	res := detect.MeasurePairIsolated(r.W.Net, r.W.ClientA, p.VVP.Addr, p.TNode, base, r.Cfg.Detect)
+	backoff := r.Cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = 2
+	}
+	for attempt := 1; !res.Usable && attempt <= r.Cfg.PairRetries; attempt++ {
+		cfg := r.Cfg.Detect
+		cfg.Offset = float64(attempt) * backoff
+		res = detect.MeasurePairIsolated(r.W.Net, r.W.ClientA, p.VVP.Addr, p.TNode,
+			seedmix.Mix(base, int64(attempt)), cfg)
+		res.Attempts = attempt + 1
+	}
+	return res
 }
 
 // Stage accessors: the override field when set, the world-backed default
@@ -122,8 +145,19 @@ type asUnit struct {
 // whole Snapshot — is identical for every worker count.
 func (r *Runner) Measure() *Snapshot {
 	w := r.W
+	fp := r.Cfg.Faults
+	if fp.Enabled() && w.Net != nil {
+		// Arming is idempotent per (profile, seed); it applies the stable
+		// per-host perturbations (counter splits) before discovery runs.
+		w.Net.ArmFaults(fp, seedmix.Mix(r.Cfg.Seed, faults.StreamArm))
+	}
 	ex := &pipeline.Executor{Workers: r.Cfg.Workers}
 	metrics := &pipeline.Metrics{Workers: ex.PoolSize()}
+	if fp.Name != "" {
+		metrics.Faults.Profile = fp.Name
+	} else {
+		metrics.Faults.Profile = "none"
+	}
 	snap := &Snapshot{
 		Day:                w.Day,
 		VVPsByAS:           make(map[inet.ASN][]scan.VVP),
@@ -145,6 +179,7 @@ func (r *Runner) Measure() *Snapshot {
 	stop()
 	r.progress(StageQualifyTNodes, 1, 1)
 	if len(snap.TNodes) < r.Cfg.MinTNodes {
+		snap.Status = pipeline.RoundInsufficientTNodes
 		return snap
 	}
 
@@ -158,6 +193,24 @@ func (r *Runner) Measure() *Snapshot {
 		snap.VVPBackgroundRates[v.ASN] = append(snap.VVPBackgroundRates[v.ASN], v.BackgroundRate)
 		if v.BackgroundRate <= r.Cfg.BackgroundCutoff {
 			snap.VVPsByAS[v.ASN] = append(snap.VVPsByAS[v.ASN], v)
+		}
+	}
+
+	// vVP churn: some vantage points vanish between qualification and
+	// measurement (the paper's daily scans routinely lost hosts). Each
+	// decision keys on the host address alone, so it is independent of map
+	// iteration order; vanished hosts stay in the pair grid — robustness
+	// means the round must absorb measuring a dead column — and are
+	// restored when the round ends.
+	if fp.ChurnProb > 0 && w.Net != nil {
+		defer w.Net.ClearVanished()
+		for _, vvps := range snap.VVPsByAS {
+			for _, v := range vvps {
+				if faults.Bernoulli(fp.ChurnProb, w.Net.FaultSeed, faults.StreamChurn, int64(inet.V4Int(v.Addr))) {
+					w.Net.SetVanished(v.Addr)
+					metrics.Faults.VVPsChurned++
+				}
+			}
 		}
 	}
 
@@ -187,14 +240,81 @@ func (r *Runner) Measure() *Snapshot {
 			}
 		}
 	}
+	if len(units) == 0 {
+		snap.Status = pipeline.RoundInsufficientVVPs
+	}
 	stop = metrics.StartStage(StageMeasurePairs)
 	measurer := r.pairMeasurer()
 	results := make([]detect.PairResult, len(pairs))
 	if r.Cfg.Progress != nil {
 		ex.Progress = func(done, total int) { r.progress(StageMeasurePairs, done, total) }
 	}
+	// Transient BGP flaps: thrash the forwarding-path cache concurrently
+	// with the workers. The cache is proven result-invariant (the path-cache
+	// equivalence tests), so the invalidations stress the concurrent rebuild
+	// path without perturbing any measurement — exactly CacheFlaps of them,
+	// so the metric stays deterministic.
+	var flapWG sync.WaitGroup
+	if fp.CacheFlaps > 0 && w.Net != nil && len(pairs) > 0 {
+		metrics.Faults.PathCacheFlaps = fp.CacheFlaps
+		flapWG.Add(1)
+		go func() {
+			defer flapWG.Done()
+			for i := 0; i < fp.CacheFlaps; i++ {
+				w.Net.InvalidatePathCache()
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
 	ex.ForEach(len(pairs), func(i int) { results[i] = measurer.MeasurePair(pairs[i]) })
+	flapWG.Wait()
 	stop()
+	for _, res := range results {
+		if res.Attempts > 1 {
+			metrics.Faults.PairRetries += res.Attempts - 1
+			if res.Usable {
+				metrics.Faults.PairsRecovered++
+			}
+		}
+	}
+
+	// vVP re-qualification: a column that came back mostly unusable points
+	// at the vantage point itself (churned away, counter gone unstable)
+	// rather than at any tNode. Re-run the §4.2 qualification scan for such
+	// vVPs; the ones that fail it have their remaining results discarded so
+	// an unstable counter can never vote on a verdict. Runs serially on the
+	// round driver with seeds derived per address — deterministic at any
+	// worker count.
+	if r.Cfg.RequalifyVVPs && w.Net != nil {
+		for _, u := range units {
+			nv := len(u.vvps)
+			for vi, v := range u.vvps {
+				bad := 0
+				for ti := range snap.TNodes {
+					if !results[u.offset+ti*nv+vi].Usable {
+						bad++
+					}
+				}
+				if 2*bad < len(snap.TNodes) {
+					continue
+				}
+				metrics.Faults.VVPsUnstable++
+				sc := r.scanner()
+				sc.Seed = seedmix.Mix(r.Cfg.Seed, faults.StreamRequalify, int64(inet.V4Int(v.Addr)))
+				if len(sc.DiscoverVVPs([]netip.Addr{v.Addr})) == 1 {
+					metrics.Faults.VVPsRequalified++
+					continue
+				}
+				metrics.Faults.VVPsDropped++
+				for ti := range snap.TNodes {
+					res := &results[u.offset+ti*nv+vi]
+					res.Usable = false
+					res.Outcome = detect.Inconclusive
+				}
+			}
+		}
+	}
+
 	metrics.PairsMeasured = len(results)
 	for _, res := range results {
 		if res.Usable {
@@ -233,6 +353,12 @@ func (r *Runner) Measure() *Snapshot {
 	r.progress(StageScore, 1, 1)
 	if totalCells > 0 {
 		snap.ConsistentPairFraction = float64(consistent) / float64(totalCells)
+	}
+	// A round that measured units but could not score a single AS (every
+	// column unusable or discarded — the harsh-faults regime) is degraded,
+	// not a measurement of zero deployment.
+	if len(snap.Reports) == 0 && snap.Status == pipeline.RoundOK {
+		snap.Status = pipeline.RoundInsufficientVVPs
 	}
 	return snap
 }

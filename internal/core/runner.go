@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/netsec-lab/rovista/internal/detect"
+	"github.com/netsec-lab/rovista/internal/faults"
 	"github.com/netsec-lab/rovista/internal/inet"
 	"github.com/netsec-lab/rovista/internal/pipeline"
 	"github.com/netsec-lab/rovista/internal/scan"
@@ -39,6 +40,22 @@ type RunnerConfig struct {
 	// single-shot stages report (1, 1) on completion; the pair-measurement
 	// stage reports each finished pair.
 	Progress func(stage string, done, total int)
+
+	// Faults is the fault-injection profile armed on the network for the
+	// round (zero value: clean, the default — nothing below changes any
+	// clean-run behaviour or rng stream).
+	Faults faults.Profile
+	// PairRetries bounds extra attempts for pairs whose first measurement
+	// was unusable; each retry re-derives its seed and backs its probe
+	// schedule off by RetryBackoff seconds of virtual time.
+	PairRetries int
+	// RetryBackoff is the per-attempt schedule offset in seconds (default 2
+	// when retries are enabled).
+	RetryBackoff float64
+	// RequalifyVVPs re-runs the §4.2 qualification scan for vVPs whose
+	// measurement column came back mostly unusable, and discards the column
+	// when the vVP no longer qualifies (churned or unstable counter).
+	RequalifyVVPs bool
 }
 
 // DefaultRunnerConfig returns the standard pipeline settings.
@@ -97,6 +114,11 @@ type Snapshot struct {
 	// VVPBackgroundRates records each discovered vVP's background rate
 	// (pre-cutoff), for the Figure 4 distribution.
 	VVPBackgroundRates map[inet.ASN][]float64
+
+	// Status is the round's typed health verdict: degraded rounds (too few
+	// tNodes, no scorable AS) say so instead of presenting empty Reports as
+	// a measurement of zero protection.
+	Status pipeline.RoundStatus
 
 	// PairResults holds raw per-pair results when RunnerConfig.RecordPairs
 	// is set.

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/netsec-lab/rovista/internal/pipeline"
+)
+
+// TestRoundStatusHealthy: an ordinary round over a healthy world reports ok.
+func TestRoundStatusHealthy(t *testing.T) {
+	snap := measureWith(t, SmallWorldConfig(5), 5, 1)
+	if snap.Status != pipeline.RoundOK {
+		t.Fatalf("healthy round Status = %v, want ok", snap.Status)
+	}
+	if snap.Status.InsufficientData() {
+		t.Fatal("healthy round flagged as insufficient data")
+	}
+}
+
+// TestRoundStatusInsufficientTNodes: demanding more tNodes than any small
+// world yields must produce the typed degraded verdict, not an empty report
+// masquerading as "zero protection everywhere".
+func TestRoundStatusInsufficientTNodes(t *testing.T) {
+	w, err := BuildWorld(SmallWorldConfig(5))
+	if err != nil {
+		t.Fatalf("BuildWorld: %v", err)
+	}
+	if err := w.AdvanceTo(0); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+	cfg := DefaultRunnerConfig(5)
+	cfg.MinTNodes = 1 << 20
+	snap := NewRunner(w, cfg).Measure()
+	if snap.Status != pipeline.RoundInsufficientTNodes {
+		t.Fatalf("Status = %v, want insufficient-tnodes", snap.Status)
+	}
+	if !snap.Status.InsufficientData() {
+		t.Fatal("degraded round not flagged as insufficient data")
+	}
+	if len(snap.Reports) != 0 {
+		t.Fatalf("degraded round still produced %d reports", len(snap.Reports))
+	}
+}
+
+// TestRoundStatusInsufficientVVPs: a round where no AS clears the vVP
+// minimum (an extreme churn epoch, or an absurd threshold) must say so.
+func TestRoundStatusInsufficientVVPs(t *testing.T) {
+	w, err := BuildWorld(SmallWorldConfig(5))
+	if err != nil {
+		t.Fatalf("BuildWorld: %v", err)
+	}
+	if err := w.AdvanceTo(0); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+	cfg := DefaultRunnerConfig(5)
+	cfg.MinVVPsPerAS = 1 << 20
+	snap := NewRunner(w, cfg).Measure()
+	if snap.Status != pipeline.RoundInsufficientVVPs {
+		t.Fatalf("Status = %v, want insufficient-vvps", snap.Status)
+	}
+	if len(snap.Reports) != 0 {
+		t.Fatalf("round without measurable ASes produced %d reports", len(snap.Reports))
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"github.com/netsec-lab/rovista/internal/bgp"
 	"github.com/netsec-lab/rovista/internal/collectors"
+	"github.com/netsec-lab/rovista/internal/faults"
 	"github.com/netsec-lab/rovista/internal/inet"
 	"github.com/netsec-lab/rovista/internal/ipid"
 	"github.com/netsec-lab/rovista/internal/netsim"
@@ -92,6 +93,12 @@ type WorldConfig struct {
 	// InboundFilterFrac of invalid-origin ASes egress-filter their tNodes'
 	// responses (the paper's inbound-filtering case).
 	InboundFilterFrac float64
+
+	// Faults, when enabled, arms the fault-injection profile on the built
+	// network as the final construction stage, so the stable per-host
+	// perturbations (per-CPU counter splits) exist before any scan observes
+	// the hosts. The zero value builds a clean world.
+	Faults faults.Profile
 }
 
 // DefaultWorldConfig returns a mid-size world tuned so every phenomenon in

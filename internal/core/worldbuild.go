@@ -6,9 +6,11 @@ import (
 	"net/netip"
 
 	"github.com/netsec-lab/rovista/internal/bgp"
+	"github.com/netsec-lab/rovista/internal/faults"
 	"github.com/netsec-lab/rovista/internal/inet"
 	"github.com/netsec-lab/rovista/internal/netsim"
 	"github.com/netsec-lab/rovista/internal/rpki"
+	"github.com/netsec-lab/rovista/internal/seedmix"
 	"github.com/netsec-lab/rovista/internal/topology"
 )
 
@@ -128,6 +130,12 @@ func (b *WorldBuilder) ClientsAndCollector() *WorldBuilder {
 	b.advance(stageClients)
 	b.w.buildClients(b.clean)
 	b.w.buildCollector()
+	// Fault arming is the last construction act: every host exists, and the
+	// per-host split-counter decisions must be in place before any scan
+	// (including the runner's cached vVP discovery) observes the network.
+	if cfg := b.w.Cfg; cfg.Faults.Enabled() {
+		b.w.Net.ArmFaults(cfg.Faults, seedmix.Mix(cfg.Seed, faults.StreamArm))
+	}
 	return b
 }
 

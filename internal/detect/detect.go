@@ -57,6 +57,11 @@ type Config struct {
 	SpoofCount    int     // spoofed SYNs in the burst (10)
 	RTO           float64 // expected tNode retransmission timeout (3 s)
 	Alpha         float64 // detector significance level (0.05)
+	// Offset shifts the whole probe schedule by this many seconds of virtual
+	// time. Retries use it as backoff: the same pair re-measured at a later
+	// offset sees a different slice of background traffic and, under fault
+	// injection, can fall outside a transient flap window.
+	Offset float64
 }
 
 // withDefaults fills zero fields.
@@ -91,6 +96,9 @@ type PairResult struct {
 	// background noise precludes inference (such results are discarded).
 	Usable bool
 	FNRate float64
+	// Attempts counts measurement attempts for this pair (1 without retry;
+	// the pipeline's bounded-retry wrapper sets higher values).
+	Attempts int
 	// IDs and Times are the raw observed IP-ID samples.
 	IDs   []uint16
 	Times []float64
@@ -119,8 +127,9 @@ func MeasurePair(net *netsim.Network, client *netsim.Host, vvpAddr netip.Addr, t
 
 	total := cfg.PreProbes + cfg.PostProbes
 	res := PairResult{
-		VVP:   vvpAddr,
-		TNode: tn,
+		VVP:      vvpAddr,
+		TNode:    tn,
+		Attempts: 1,
 		// One sample is expected per probe; preallocating exactly keeps the
 		// handler's appends allocation-free across the whole round.
 		IDs:   make([]uint16, 0, total),
@@ -138,19 +147,19 @@ func MeasurePair(net *netsim.Network, client *netsim.Host, vvpAddr netip.Addr, t
 
 	for i := 0; i < total; i++ {
 		k := i
-		s.At(float64(k)*cfg.ProbeInterval, func() {
+		s.At(cfg.Offset+float64(k)*cfg.ProbeInterval, func() {
 			s.SendFrom(client, client.Addr, vvpAddr, uint16(47000+k), 443, tcpsim.SYNACK)
 		})
 	}
 	// The spoofed burst fires between the pre and post windows, a quarter
 	// interval after the last pre probe (the paper's 4.5+ε).
-	burstAt := (float64(cfg.PreProbes-1) + 0.5) * cfg.ProbeInterval
+	burstAt := cfg.Offset + (float64(cfg.PreProbes-1)+0.5)*cfg.ProbeInterval
 	s.At(burstAt, func() {
 		for j := 0; j < cfg.SpoofCount; j++ {
 			s.SendFrom(client, vvpAddr, tn.Addr, uint16(48000+j), tn.Port, tcpsim.SYN)
 		}
 	})
-	s.Run(float64(total)*cfg.ProbeInterval + cfg.RTO + 5)
+	s.Run(cfg.Offset + float64(total)*cfg.ProbeInterval + cfg.RTO + 5)
 
 	res.classify(cfg)
 	return res
@@ -164,15 +173,17 @@ func MeasurePair(net *netsim.Network, client *netsim.Host, vvpAddr netip.Addr, t
 // the order or concurrency in which rounds execute. This is the primitive
 // beneath the deterministic parallel pair-measurement executor.
 func MeasurePairIsolated(net *netsim.Network, client *netsim.Host, vvpAddr netip.Addr, tn scan.TNode, seed int64, cfg Config) PairResult {
-	cl := client.Clone(seedmix.Mix(seed, 1))
+	// CloneHost applies the network's armed per-measurement perturbations
+	// (counter resets); on a clean network it is exactly Host.Clone.
+	cl := net.CloneHost(client, seedmix.Mix(seed, 1))
 	overlays := []*netsim.Host{cl}
 	if h, ok := net.HostAt(vvpAddr); ok {
-		overlays = append(overlays, h.Clone(seedmix.Mix(seed, 2)))
+		overlays = append(overlays, net.CloneHost(h, seedmix.Mix(seed, 2)))
 	}
 	// A tNode with a global counter can itself qualify as a vVP, so the two
 	// roles may share one address; clone it once.
 	if h, ok := net.HostAt(tn.Addr); ok && tn.Addr != vvpAddr {
-		overlays = append(overlays, h.Clone(seedmix.Mix(seed, 3)))
+		overlays = append(overlays, net.CloneHost(h, seedmix.Mix(seed, 3)))
 	}
 	return MeasurePair(net.Overlay(overlays...), cl, vvpAddr, tn, seedmix.Mix(seed, 4), cfg)
 }

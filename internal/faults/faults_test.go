@@ -1,0 +1,142 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want string
+	}{
+		{"", "none"},
+		{"none", "none"},
+		{"paper", "paper"},
+		{"harsh", "harsh"},
+	} {
+		p, err := ByName(tc.in)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", tc.in, err)
+		}
+		if p.Name != tc.want {
+			t.Fatalf("ByName(%q).Name = %q, want %q", tc.in, p.Name, tc.want)
+		}
+	}
+	if _, err := ByName("chaos-monkey"); err == nil {
+		t.Fatal("unknown profile name must error")
+	}
+}
+
+func TestNamesCoversEveryProfile(t *testing.T) {
+	names := Names()
+	if len(names) < 3 {
+		t.Fatalf("Names() = %v, want at least none/paper/harsh", names)
+	}
+	for _, n := range names {
+		if _, err := ByName(n); err != nil {
+			t.Fatalf("Names() lists %q but ByName rejects it: %v", n, err)
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if None().Enabled() {
+		t.Fatal("None profile reports enabled")
+	}
+	if (Profile{}).Enabled() {
+		t.Fatal("zero profile reports enabled")
+	}
+	if !Paper().Enabled() || !Harsh().Enabled() {
+		t.Fatal("paper/harsh profiles must report enabled")
+	}
+	// Any single knob enables the profile.
+	if !(Profile{LinkLossPerHop: 0.01}).Enabled() {
+		t.Fatal("single-knob profile must report enabled")
+	}
+	if !(Profile{ChurnProb: 0.1}).Enabled() {
+		t.Fatal("churn-only profile must report enabled")
+	}
+}
+
+func TestBernoulliDeterministicAndKeyed(t *testing.T) {
+	a := Bernoulli(0.5, 1, 2, 3)
+	for i := 0; i < 10; i++ {
+		if Bernoulli(0.5, 1, 2, 3) != a {
+			t.Fatal("Bernoulli is not a pure function of its key")
+		}
+	}
+	// Different keys must decorrelate: over many keys the acceptance rate
+	// tracks the probability.
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		const n = 20000
+		for i := int64(0); i < n; i++ {
+			if Bernoulli(p, 0xfeed, i) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.02 {
+			t.Fatalf("Bernoulli(%v) acceptance rate %v over %d keys", p, got, n)
+		}
+	}
+	if Bernoulli(0, 1, 2) {
+		t.Fatal("probability 0 must never fire")
+	}
+	if !Bernoulli(1.1, 1, 2) {
+		t.Fatal("probability >1 must always fire")
+	}
+}
+
+func TestConfusionF1(t *testing.T) {
+	var c Confusion
+	if got := c.F1(); got != 0 {
+		t.Fatalf("empty confusion F1 = %v, want 0", got)
+	}
+	for i := 0; i < 8; i++ {
+		c.Add(true, true) // TP
+	}
+	c.Add(true, false)  // FN
+	c.Add(false, true)  // FP
+	c.Add(false, false) // TN
+	if c.TP != 8 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Fatalf("confusion cells wrong: %+v", c)
+	}
+	if c.Total() != 11 {
+		t.Fatalf("Total = %d, want 11", c.Total())
+	}
+	// precision = recall = 8/9 → F1 = 8/9.
+	if got, want := c.F1(), 8.0/9.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("F1 = %v, want %v", got, want)
+	}
+	if got, want := c.Accuracy(), 9.0/11.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Accuracy = %v, want %v", got, want)
+	}
+}
+
+func TestHarshDominatesPaper(t *testing.T) {
+	p, h := Paper(), Harsh()
+	type pair struct {
+		name         string
+		paper, harsh float64
+	}
+	for _, c := range []pair{
+		{"LinkLossPerHop", p.LinkLossPerHop, h.LinkLossPerHop},
+		{"ReorderProb", p.ReorderProb, h.ReorderProb},
+		{"DupProb", p.DupProb, h.DupProb},
+		{"CrossTrafficFactor", p.CrossTrafficFactor, h.CrossTrafficFactor},
+		{"SplitCounterProb", p.SplitCounterProb, h.SplitCounterProb},
+		{"ResetProb", p.ResetProb, h.ResetProb},
+		{"ChurnProb", p.ChurnProb, h.ChurnProb},
+		{"FlapProb", p.FlapProb, h.FlapProb},
+	} {
+		if c.harsh < c.paper {
+			t.Errorf("%s: harsh (%v) milder than paper (%v)", c.name, c.harsh, c.paper)
+		}
+	}
+	// Rate limiting is harsher when the budget is *smaller*.
+	if h.RateLimitPPS > p.RateLimitPPS {
+		t.Error("harsh rate limit is more generous than paper's")
+	}
+}

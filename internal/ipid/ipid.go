@@ -53,6 +53,16 @@ type Counter struct {
 	global  uint16
 	perDest map[netip.Addr]uint16
 	src     seedmix.Source
+
+	// lanes, when non-empty, splits a Global counter into per-CPU counters:
+	// each transmission lands on a pseudo-randomly chosen lane (as Linux
+	// per-CPU IP-ID generations do under multi-queue NICs). The observed
+	// sequence is then non-monotonic, which is exactly the unstable-counter
+	// population the §4.2 vVP qualification must reject.
+	lanes []uint16
+	// resetIn, when positive, counts transmissions until the counter
+	// re-randomizes (a reboot or counter re-key mid-round).
+	resetIn int
 }
 
 // NewCounter creates a Counter with the given policy. The seed feeds both
@@ -75,11 +85,56 @@ func (c *Counter) rand16() uint16 { return uint16(c.src.Uint64() >> 48) }
 // Policy returns the counter's assignment policy.
 func (c *Counter) Policy() Policy { return c.policy }
 
+// EnableSplit turns a Global counter into ways per-CPU lanes, each starting
+// at an independent random offset. Calling it again with the same width is a
+// no-op; other policies ignore it. Split assignment is a stable property of
+// a host (set once when faults are armed), so it survives Fork.
+func (c *Counter) EnableSplit(ways int) {
+	if c.policy != Global || ways < 2 || len(c.lanes) == ways {
+		return
+	}
+	c.lanes = make([]uint16, ways)
+	for i := range c.lanes {
+		c.lanes[i] = c.rand16()
+	}
+}
+
+// SplitWays returns the number of per-CPU lanes (0 when not split).
+func (c *Counter) SplitWays() int { return len(c.lanes) }
+
+// ResetAfter schedules a one-shot counter re-randomization after n more
+// transmissions — the mid-round reboot/re-key perturbation. Non-positive n
+// cancels a pending reset.
+func (c *Counter) ResetAfter(n int) { c.resetIn = n }
+
+// spend charges n transmissions against a pending reset and re-randomizes
+// the counter state when the deadline passes.
+func (c *Counter) spend(n int) {
+	if c.resetIn <= 0 {
+		return
+	}
+	c.resetIn -= n
+	if c.resetIn > 0 {
+		return
+	}
+	c.resetIn = 0
+	c.global = c.rand16()
+	for i := range c.lanes {
+		c.lanes[i] = c.rand16()
+	}
+}
+
 // Next returns the IP-ID for the next packet sent to dst and advances the
 // internal state. Wraparound is the natural uint16 overflow.
 func (c *Counter) Next(dst netip.Addr) uint16 {
 	switch c.policy {
 	case Global:
+		c.spend(1)
+		if len(c.lanes) > 0 {
+			lane := int(c.src.Uint64() % uint64(len(c.lanes)))
+			c.lanes[lane]++
+			return c.lanes[lane]
+		}
 		c.global++
 		return c.global
 	case PerDestination:
@@ -106,18 +161,38 @@ func (c *Counter) Peek() uint16 {
 	return 0
 }
 
-// Fork returns a fresh counter with the same assignment policy but
-// independent state seeded by seed. Pair measurements fork the counters of
-// the hosts they touch: a forked counter starts at a new random offset, which
-// the side channel tolerates by construction (the detector reads counter
-// *growth*, never absolute values).
-func (c *Counter) Fork(seed int64) *Counter { return NewCounter(c.policy, seed) }
+// Fork returns a fresh counter with the same assignment policy (including a
+// per-CPU split, which is a host property) but independent state seeded by
+// seed. Pair measurements fork the counters of the hosts they touch: a
+// forked counter starts at a new random offset, which the side channel
+// tolerates by construction (the detector reads counter *growth*, never
+// absolute values). Pending resets are per-measurement state and do not
+// survive the fork.
+func (c *Counter) Fork(seed int64) *Counter {
+	nc := NewCounter(c.policy, seed)
+	nc.EnableSplit(len(c.lanes))
+	return nc
+}
 
 // Advance bumps the global counter by n packets' worth of background
 // traffic in one step (used by the simulator to account for traffic to
-// destinations outside the measurement).
+// destinations outside the measurement). Split counters spread the batch
+// across lanes round-robin — background flows hash across CPUs too.
 func (c *Counter) Advance(n int) {
-	if c.policy == Global {
-		c.global += uint16(n)
+	if c.policy != Global || n <= 0 {
+		return
 	}
+	c.spend(n)
+	if w := len(c.lanes); w > 0 {
+		each := n / w
+		for i := range c.lanes {
+			add := each
+			if i < n%w {
+				add++
+			}
+			c.lanes[i] += uint16(add)
+		}
+		return
+	}
+	c.global += uint16(n)
 }

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"github.com/netsec-lab/rovista/internal/bgp"
+	"github.com/netsec-lab/rovista/internal/faults"
 	"github.com/netsec-lab/rovista/internal/inet"
 	"github.com/netsec-lab/rovista/internal/ipid"
 	"github.com/netsec-lab/rovista/internal/seedmix"
@@ -64,6 +65,13 @@ type Host struct {
 
 	lastBG float64
 	rng    *rand.Rand
+
+	// Response rate-limiter state (token bucket), used only when the
+	// network's fault profile sets RateLimitPPS. Clones start with a fresh
+	// bucket: the limit models the remote stack, not a shared resource.
+	rlTokens float64
+	rlLast   float64
+	rlInit   bool
 }
 
 // NewHost builds a host with a compliant TCP endpoint listening on ports.
@@ -101,8 +109,11 @@ func (h *Host) Clone(seed int64) *Host {
 }
 
 // advanceBackground charges background traffic accumulated since the last
-// transmission against the global counter.
-func (h *Host) advanceBackground(now float64) {
+// transmission against the global counter. The fault profile scales the rate
+// (cross traffic the vVP's qualification never saw) and can add bursts; both
+// are gated on the profile so clean runs draw nothing extra from h.rng —
+// calibrated expectations depend on exact stream positions.
+func (h *Host) advanceBackground(now float64, fp *faults.Profile) {
 	if now < h.lastBG {
 		// A fresh simulation restarted virtual time: begin a new background
 		// epoch rather than freezing until the old timestamp is passed.
@@ -118,11 +129,41 @@ func (h *Host) advanceBackground(now float64) {
 		// intensity well at our sub-second sampling.
 		rate = h.BackgroundFn((h.lastBG + now) / 2)
 	}
+	if fp.CrossTrafficFactor > 0 {
+		rate *= 1 + fp.CrossTrafficFactor
+	}
 	if rate > 0 {
 		lambda := rate * (now - h.lastBG)
 		h.IPID.Advance(poisson(h.rng, lambda))
 	}
+	if fp.CrossBurstProb > 0 && fp.CrossBurstMax > 0 && h.rng.Float64() < fp.CrossBurstProb {
+		h.IPID.Advance(1 + h.rng.Intn(fp.CrossBurstMax))
+	}
 	h.lastBG = now
+}
+
+// allowResponse consumes one token from the host's response rate limiter,
+// refilled at pps with capacity burst. Callers gate on pps > 0.
+func (h *Host) allowResponse(now float64, pps float64, burst int) bool {
+	if burst < 1 {
+		burst = 1
+	}
+	if !h.rlInit || now < h.rlLast {
+		// First use, or a fresh simulation restarted virtual time.
+		h.rlInit = true
+		h.rlLast = now
+		h.rlTokens = float64(burst)
+	}
+	h.rlTokens += (now - h.rlLast) * pps
+	if h.rlTokens > float64(burst) {
+		h.rlTokens = float64(burst)
+	}
+	h.rlLast = now
+	if h.rlTokens < 1 {
+		return false
+	}
+	h.rlTokens--
+	return true
 }
 
 // poisson samples a Poisson variate; for large λ it falls back to a normal
@@ -183,6 +224,19 @@ type Network struct {
 	// LossRate is an independent per-packet drop probability.
 	LossRate float64
 
+	// Faults is the armed fault-injection profile (zero: clean network).
+	// Every simulator and host consults it; set it via ArmFaults so the
+	// seeded per-host decisions (counter splits) are applied consistently.
+	Faults faults.Profile
+	// FaultSeed roots every address-keyed fault decision. It is independent
+	// of the hosts' own seeds, so the same world can be measured under
+	// different fault streams.
+	FaultSeed int64
+	// vanished marks hosts that churned away after qualification: HostAt
+	// treats them as unattached. Shared (by pointer) with overlays; written
+	// only between measurement stages, never while workers run.
+	vanished map[netip.Addr]bool
+
 	// DisablePathCache turns off forwarding-path memoization, forcing every
 	// routed packet through a full LPM walk. Exists for the cached-vs-
 	// uncached equivalence tests and for debugging; the cache never changes
@@ -204,7 +258,61 @@ func NewNetwork(g *bgp.Graph) *Network {
 		BaseDelay:     0.005,
 		PerHopDelay:   0.008,
 		paths:         &pathCache{},
+		vanished:      make(map[netip.Addr]bool),
 	}
+}
+
+// ArmFaults installs a fault profile and applies its stable per-host
+// decisions: hosts drawn by SplitCounterProb (keyed on the host address, so
+// the decision is a property of the host, not of any one measurement) get
+// per-CPU split IP-ID counters. Re-arming with the same profile and seed is
+// a no-op; any change bumps the network generation so cached host-derived
+// views (the runner's vVP discovery) refresh.
+func (n *Network) ArmFaults(p faults.Profile, seed int64) {
+	if n.Faults.Name == p.Name && n.FaultSeed == seed {
+		return
+	}
+	n.Faults = p
+	n.FaultSeed = seed
+	if p.SplitCounterProb > 0 && p.SplitWays > 1 {
+		for addr, h := range n.hosts {
+			if faults.Bernoulli(p.SplitCounterProb, seed, faults.StreamSplit, int64(inet.V4Int(addr))) {
+				h.IPID.EnableSplit(p.SplitWays)
+			}
+		}
+	}
+	n.generation++
+}
+
+// SetVanished marks a host as churned away: HostAt (and therefore routing
+// and cloning) treat the address as unattached until ClearVanished. Callers
+// must not race it against running simulations.
+func (n *Network) SetVanished(addr netip.Addr) { n.vanished[addr] = true }
+
+// ClearVanished restores every churned host.
+func (n *Network) ClearVanished() {
+	for a := range n.vanished {
+		delete(n.vanished, a)
+	}
+}
+
+// CloneHost is Host.Clone plus the armed profile's per-measurement
+// perturbations: with ResetProb, some clones carry a scheduled mid-round
+// counter reset (a reboot as seen from the wire). The draw keys on the clone
+// seed, so it is a pure function of the pair identity — parallel rounds stay
+// bit-for-bit deterministic. On a clean network this is exactly Clone.
+func (n *Network) CloneHost(h *Host, seed int64) *Host {
+	c := h.Clone(seed)
+	p := &n.Faults
+	if p.ResetProb > 0 && faults.Bernoulli(p.ResetProb, n.FaultSeed, faults.StreamClone, seed) {
+		span := p.ResetMaxPackets
+		if span < 1 {
+			span = 1
+		}
+		after := 1 + int(uint64(seedmix.Mix(n.FaultSeed, faults.StreamClone, seed, 1))%uint64(span))
+		c.IPID.ResetAfter(after)
+	}
+	return c
 }
 
 // pathKey identifies one forwarding-path computation: the source AS and the
@@ -387,7 +495,11 @@ func (n *Network) Overlay(hosts ...*Host) *Network {
 }
 
 // HostAt returns the host bound to addr, if any, preferring overlay entries.
+// Churned (vanished) hosts are reported as absent.
 func (n *Network) HostAt(addr netip.Addr) (*Host, bool) {
+	if len(n.vanished) > 0 && n.vanished[addr] {
+		return nil, false
+	}
 	if h, ok := n.overlay[addr]; ok {
 		return h, true
 	}
@@ -435,6 +547,7 @@ const (
 	DropIngress DropReason = "ingress-filter"
 	DropLoss    DropReason = "random-loss"
 	DropSrcGone DropReason = "source-as-missing"
+	DropFlap    DropReason = "bgp-flap"
 )
 
 // Trace routes pkt from srcASN and reports the traversed AS path, the
@@ -469,11 +582,12 @@ func (n *Network) Trace(srcASN inet.ASN, pkt Packet) (path []inet.ASN, dst *Host
 	return path, h, DropNone
 }
 
-// route decides the fate of a packet sent from srcASN toward pkt.Dst.
-func (n *Network) route(srcASN inet.ASN, pkt Packet) (delay float64, dst *Host, reason DropReason) {
+// route decides the fate of a packet sent from srcASN toward pkt.Dst. hops
+// is the traversed AS-path length (the per-hop fault model needs it).
+func (n *Network) route(srcASN inet.ASN, pkt Packet) (delay float64, hops int, dst *Host, reason DropReason) {
 	path, h, reason := n.Trace(srcASN, pkt)
 	if reason != DropNone {
-		return 0, nil, reason
+		return 0, 0, nil, reason
 	}
-	return n.BaseDelay + n.PerHopDelay*float64(len(path)), h, DropNone
+	return n.BaseDelay + n.PerHopDelay*float64(len(path)), len(path), h, DropNone
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/netsec-lab/rovista/internal/bgp"
+	"github.com/netsec-lab/rovista/internal/faults"
 	"github.com/netsec-lab/rovista/internal/inet"
 	"github.com/netsec-lab/rovista/internal/ipid"
 	"github.com/netsec-lab/rovista/internal/tcpsim"
@@ -430,13 +431,13 @@ func TestCloneDeterministicBySeed(t *testing.T) {
 	_, _, vvp, _ := threeASWorld(t)
 	vvp.BackgroundRate = 5
 	a, b := vvp.Clone(7), vvp.Clone(7)
-	a.advanceBackground(10)
-	b.advanceBackground(10)
+	a.advanceBackground(10, &faults.Profile{})
+	b.advanceBackground(10, &faults.Profile{})
 	if a.IPID.Peek() != b.IPID.Peek() {
 		t.Fatal("same-seed clones diverged")
 	}
 	c := vvp.Clone(8)
-	c.advanceBackground(10)
+	c.advanceBackground(10, &faults.Profile{})
 	// Different seeds draw different background (may rarely coincide, but the
 	// initial counter offsets already differ with overwhelming probability).
 	if a.IPID.Peek() == c.IPID.Peek() {

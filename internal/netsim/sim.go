@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"math"
 	"math/rand"
 	"net/netip"
 
@@ -110,17 +111,29 @@ type Sim struct {
 	seq     uint64
 	rng     *rand.Rand
 	tickBuf []tcpsim.Segment // scratch for TCP timer fan-out
+
+	// flapStart/flapEnd, when flapEnd > flapStart, blackhole the forwarding
+	// plane for that window of this simulation's virtual time — a transient
+	// BGP flap drawn once per Sim from the fault profile.
+	flapStart, flapEnd float64
 }
 
 // NewSim creates a simulator over net with a deterministic seed. Seeding is
 // O(1) (splitmix64): simulators are constructed per measurement pair, so
-// construction cost is round cost.
+// construction cost is round cost. When the network's fault profile enables
+// flaps, the flap window is drawn here — the draws are profile-gated so
+// clean simulations consume an identical rng stream.
 func NewSim(net *Network, seed int64) *Sim {
-	return &Sim{
+	s := &Sim{
 		Net:    net,
 		rng:    rand.New(seedmix.NewSource(seed)),
 		events: make(eventHeap, 0, 64),
 	}
+	if fp := &net.Faults; fp.FlapProb > 0 && s.rng.Float64() < fp.FlapProb {
+		s.flapStart = s.rng.Float64() * fp.FlapSpan
+		s.flapEnd = s.flapStart + fp.FlapDuration
+	}
+	return s
 }
 
 // Now returns the current virtual time in seconds.
@@ -174,7 +187,7 @@ func (s *Sim) Run(until float64) int {
 // spoof. The IP-ID is drawn from h's counter after charging background
 // traffic, which is exactly what a remote observer of h's counter sees.
 func (s *Sim) SendFrom(h *Host, src, dst netip.Addr, srcPort, dstPort uint16, kind tcpsim.Kind) {
-	h.advanceBackground(s.now)
+	h.advanceBackground(s.now, &s.Net.Faults)
 	pkt := Packet{
 		Src: src, Dst: dst,
 		SrcPort: srcPort, DstPort: dstPort,
@@ -184,11 +197,22 @@ func (s *Sim) SendFrom(h *Host, src, dst netip.Addr, srcPort, dstPort uint16, ki
 	s.transmit(h.ASN, pkt)
 }
 
-// transmit routes pkt from srcASN and schedules delivery.
+// transmit routes pkt from srcASN and schedules delivery. Every fault draw
+// is gated on its profile knob, so a clean network consumes exactly the
+// pre-fault rng stream.
 func (s *Sim) transmit(srcASN inet.ASN, pkt Packet) {
-	delay, dstHost, reason := s.Net.route(srcASN, pkt)
+	fp := &s.Net.Faults
+	delay, hops, dstHost, reason := s.Net.route(srcASN, pkt)
+	if reason == DropNone && s.flapEnd > s.flapStart && s.now >= s.flapStart && s.now < s.flapEnd {
+		reason = DropFlap
+	}
 	if reason == DropNone && s.Net.LossRate > 0 && s.rng.Float64() < s.Net.LossRate {
 		reason = DropLoss
+	}
+	if reason == DropNone && fp.LinkLossPerHop > 0 && hops > 0 {
+		if s.rng.Float64() > math.Pow(1-fp.LinkLossPerHop, float64(hops)) {
+			reason = DropLoss
+		}
 	}
 	if s.Trace != nil {
 		s.Trace(TraceEvent{Time: s.now, Pkt: pkt, Dropped: reason})
@@ -199,7 +223,16 @@ func (s *Sim) transmit(srcASN inet.ASN, pkt Packet) {
 	if s.Net.Jitter > 0 {
 		delay += s.rng.Float64() * s.Net.Jitter
 	}
+	if fp.ReorderProb > 0 && s.rng.Float64() < fp.ReorderProb {
+		// Extra latency large enough to overtake later packets.
+		delay += s.rng.Float64() * fp.ReorderDelay
+	}
 	s.schedule(s.now+delay, event{kind: evDeliver, host: dstHost, pkt: pkt})
+	if fp.DupProb > 0 && s.rng.Float64() < fp.DupProb {
+		// A duplicate arrives shortly after the original (routers dedup
+		// nothing at L3); the event sequence number breaks exact ties.
+		s.schedule(s.now+delay+s.rng.Float64()*0.5*fp.ReorderDelay, event{kind: evDeliver, host: dstHost, pkt: pkt})
+	}
 }
 
 // deliver hands pkt to the destination host: the custom handler first, then
@@ -214,10 +247,22 @@ func (s *Sim) deliver(h *Host, pkt Packet) {
 		LocalPort: pkt.DstPort,
 		Kind:      pkt.Kind,
 	}
-	if o, ok := h.TCP.HandleSegment(s.now, seg); ok {
+	if o, ok := h.TCP.HandleSegment(s.now, seg); ok && s.allowResponse(h) {
 		s.SendFrom(h, h.Addr, o.Peer, o.LocalPort, o.PeerPort, o.Kind)
 	}
 	s.armRetransmit(h)
+}
+
+// allowResponse gates automaton responses (SYN-ACKs, RSTs) through the
+// host's token bucket when the fault profile rate-limits them. A suppressed
+// response charges nothing against the IP-ID counter — the packet was never
+// built, which is what makes rate limiting observable on the side channel.
+func (s *Sim) allowResponse(h *Host) bool {
+	fp := &s.Net.Faults
+	if fp.RateLimitPPS <= 0 {
+		return true
+	}
+	return h.allowResponse(s.now, fp.RateLimitPPS, fp.RateLimitBurst)
 }
 
 // tick fires the host's due TCP retransmissions and re-arms the timer.
@@ -226,7 +271,9 @@ func (s *Sim) deliver(h *Host, pkt Packet) {
 func (s *Sim) tick(h *Host) {
 	s.tickBuf = h.TCP.Tick(s.now, s.tickBuf[:0])
 	for _, o := range s.tickBuf {
-		s.SendFrom(h, h.Addr, o.Peer, o.LocalPort, o.PeerPort, o.Kind)
+		if s.allowResponse(h) {
+			s.SendFrom(h, h.Addr, o.Peer, o.LocalPort, o.PeerPort, o.Kind)
+		}
 	}
 	s.armRetransmit(h)
 }

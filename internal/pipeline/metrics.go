@@ -26,6 +26,31 @@ type Metrics struct {
 	// PairsUsable the subset that passed the Appendix-A FP/FN gate;
 	// PairsDiscarded the rest.
 	PairsMeasured, PairsUsable, PairsDiscarded int
+	// Faults holds the fault/retry/discard counters for the round.
+	Faults FaultMetrics
+}
+
+// FaultMetrics counts what the fault-injection layer did to a round and how
+// the hardened pipeline responded. All fields stay zero on a clean round, so
+// a nonzero counter is always attributable to the armed profile — the
+// robustness harness's no-silent-flips invariant depends on that.
+type FaultMetrics struct {
+	// Profile names the armed fault profile ("none" when clean).
+	Profile string
+	// PairRetries counts extra measurement attempts beyond the first;
+	// PairsRecovered the pairs whose final (retried) attempt was usable.
+	PairRetries, PairsRecovered int
+	// VVPsChurned counts vantage points that vanished between qualification
+	// and measurement.
+	VVPsChurned int
+	// VVPsUnstable counts vVP columns flagged by the instability check
+	// (half or more of the column unusable); of those, VVPsRequalified
+	// passed the re-qualification scan and kept their results, while
+	// VVPsDropped failed it and had their columns discarded.
+	VVPsUnstable, VVPsRequalified, VVPsDropped int
+	// PathCacheFlaps counts forwarding-path-cache invalidations injected
+	// concurrently with the measure stage.
+	PathCacheFlaps int
 }
 
 // StartStage begins timing a named stage and returns the function that
@@ -69,6 +94,11 @@ func (m *Metrics) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "workers=%d pairs=%d usable=%d discarded=%d\n",
 		m.Workers, m.PairsMeasured, m.PairsUsable, m.PairsDiscarded)
+	if f := m.Faults; f.Profile != "" && f.Profile != "none" {
+		fmt.Fprintf(&b, "faults=%s retries=%d recovered=%d churned=%d unstable=%d requalified=%d dropped=%d cache-flaps=%d\n",
+			f.Profile, f.PairRetries, f.PairsRecovered, f.VVPsChurned,
+			f.VVPsUnstable, f.VVPsRequalified, f.VVPsDropped, f.PathCacheFlaps)
+	}
 	width := 0
 	for _, s := range m.Stages {
 		if len(s.Name) > width {

@@ -17,6 +17,42 @@ import (
 	"github.com/netsec-lab/rovista/internal/scan"
 )
 
+// RoundStatus is the typed health verdict of one measurement round. A
+// degraded round (not enough qualified tNodes, or no AS with enough vVPs)
+// reports *why* it carries no scores instead of silently returning zeros —
+// downstream consumers must be able to tell "measured as unprotected" from
+// "could not measure".
+type RoundStatus uint8
+
+// Round statuses.
+const (
+	// RoundOK: the round ran to completion with enough data to score.
+	RoundOK RoundStatus = iota
+	// RoundInsufficientTNodes: fewer qualified tNodes than the configured
+	// minimum; no AS was scored.
+	RoundInsufficientTNodes
+	// RoundInsufficientVVPs: no AS retained enough usable vantage points
+	// after the background cutoff (and any churn); no pairs were measured.
+	RoundInsufficientVVPs
+)
+
+// String implements fmt.Stringer.
+func (s RoundStatus) String() string {
+	switch s {
+	case RoundOK:
+		return "ok"
+	case RoundInsufficientTNodes:
+		return "insufficient-tnodes"
+	case RoundInsufficientVVPs:
+		return "insufficient-vvps"
+	default:
+		return "unknown"
+	}
+}
+
+// InsufficientData reports whether the round degraded below scorability.
+func (s RoundStatus) InsufficientData() bool { return s != RoundOK }
+
 // TestPrefixSource yields the exclusively-invalid prefixes that anchor a
 // round (§3.2: announced at a collector, covered by a ROA, and with no
 // covering valid announcement).

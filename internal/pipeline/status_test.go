@@ -1,0 +1,31 @@
+package pipeline
+
+import "testing"
+
+func TestRoundStatusStrings(t *testing.T) {
+	cases := []struct {
+		s            RoundStatus
+		want         string
+		insufficient bool
+	}{
+		{RoundOK, "ok", false},
+		{RoundInsufficientTNodes, "insufficient-tnodes", true},
+		{RoundInsufficientVVPs, "insufficient-vvps", true},
+		{RoundStatus(99), "unknown", true},
+	}
+	for _, tc := range cases {
+		if got := tc.s.String(); got != tc.want {
+			t.Errorf("RoundStatus(%d).String() = %q, want %q", tc.s, got, tc.want)
+		}
+		if got := tc.s.InsufficientData(); got != tc.insufficient {
+			t.Errorf("RoundStatus(%d).InsufficientData() = %v, want %v", tc.s, got, tc.insufficient)
+		}
+	}
+}
+
+func TestRoundStatusZeroValueIsOK(t *testing.T) {
+	var s RoundStatus
+	if s != RoundOK || s.InsufficientData() {
+		t.Fatal("zero RoundStatus must mean a healthy round")
+	}
+}

@@ -20,6 +20,7 @@ package tcpsim
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 )
 
 // Kind is the TCP segment type (only the flag combinations the measurement
@@ -125,6 +126,7 @@ type Endpoint struct {
 	cfg     Config
 	open    map[uint16]bool
 	pending map[FlowKey]*pending
+	due     []*pending // Tick scratch: due flows, ordered before emission
 }
 
 // New creates an endpoint from cfg.
@@ -194,6 +196,7 @@ func (e *Endpoint) NextDeadline() (float64, bool) {
 // dropped. Callers on hot paths pass a reused scratch buffer (truncated to
 // length zero) so steady-state ticking never allocates.
 func (e *Endpoint) Tick(now float64, out []Segment) []Segment {
+	e.due = e.due[:0]
 	for k, p := range e.pending {
 		if p.deadline > now {
 			continue
@@ -202,10 +205,26 @@ func (e *Endpoint) Tick(now float64, out []Segment) []Segment {
 			delete(e.pending, k)
 			continue
 		}
+		e.due = append(e.due, p)
+	}
+	// Map iteration order is randomized, but each retransmission draws the
+	// host's next IP-ID as it leaves — the side channel the measurement
+	// observes — so same-tick flows must emit in a stable order.
+	sort.Slice(e.due, func(i, j int) bool {
+		a, b := e.due[i].flow, e.due[j].flow
+		if c := a.Peer.Compare(b.Peer); c != 0 {
+			return c < 0
+		}
+		if a.PeerPort != b.PeerPort {
+			return a.PeerPort < b.PeerPort
+		}
+		return a.LocalPort < b.LocalPort
+	})
+	for _, p := range e.due {
 		p.retries++
 		// Exponential backoff per RFC 6298 §5.5.
 		p.deadline = now + e.cfg.InitialRTO*float64(uint(1)<<uint(p.retries))
-		out = append(out, Segment{Peer: k.Peer, PeerPort: k.PeerPort, LocalPort: k.LocalPort, Kind: SYNACK})
+		out = append(out, Segment{Peer: p.flow.Peer, PeerPort: p.flow.PeerPort, LocalPort: p.flow.LocalPort, Kind: SYNACK})
 	}
 	return out
 }

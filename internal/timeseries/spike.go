@@ -94,6 +94,15 @@ func (d *Detector) Detect(pre, post []float64) SpikeResult {
 	if len(post) == 0 {
 		return SpikeResult{Usable: false}
 	}
+	// A fit window shorter than the smallest model needs admits no inference
+	// at all: with fewer samples than the ARMA order every fit falls through
+	// to the MeanModel, whose NaN-sanitized mean over zero-to-three samples
+	// turns ordinary Poisson noise into spurious high-z "spikes" that the
+	// caller would then trust (lost probes, by contrast, are caught upstream
+	// by the sample-count check). Declare the vVP unusable instead.
+	if len(pre) < 4 {
+		return SpikeResult{Usable: false, FNRate: 1}
+	}
 	model := d.fitDetect(pre)
 	mean, sd := model.Forecast(len(post))
 

@@ -226,3 +226,62 @@ func TestFitARIMANegativeD(t *testing.T) {
 		t.Fatal("expected error for negative d")
 	}
 }
+
+// TestDetectorShortWindows drives the detector through the degenerate fit
+// windows a faulty round actually produces (lost probes shrink pre below any
+// model's minimum) and asserts each case declares itself unusable instead of
+// fabricating spikes from a near-empty fit.
+func TestDetectorShortWindows(t *testing.T) {
+	d := NewDetector()
+	cases := []struct {
+		name       string
+		pre, post  []float64
+		wantUsable bool
+		wantSpikes int
+	}{
+		{name: "empty pre", pre: nil, post: []float64{12}, wantUsable: false},
+		{name: "single sample", pre: []float64{2}, post: []float64{12, 2}, wantUsable: false},
+		{name: "two samples", pre: []float64{2, 3}, post: []float64{12}, wantUsable: false},
+		{name: "three samples", pre: []float64{2, 3, 2}, post: []float64{12}, wantUsable: false},
+		{name: "empty post", pre: []float64{2, 3, 2, 3, 2, 3, 2, 3, 2, 3}, post: nil, wantUsable: false},
+		{name: "both empty", pre: nil, post: nil, wantUsable: false},
+		{
+			name: "four flat samples usable",
+			pre:  []float64{2, 2, 2, 2}, post: []float64{2, 14, 2},
+			wantUsable: true, wantSpikes: 1,
+		},
+		{
+			name: "constant-zero background",
+			pre:  []float64{0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, post: []float64{0, 12, 0},
+			wantUsable: true, wantSpikes: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := d.Detect(tc.pre, tc.post)
+			if res.Usable != tc.wantUsable {
+				t.Fatalf("Usable = %v, want %v (FNRate %.3f)", res.Usable, tc.wantUsable, res.FNRate)
+			}
+			if !tc.wantUsable && len(res.Spikes) != 0 {
+				t.Fatalf("unusable result still reported %d spikes", len(res.Spikes))
+			}
+			if tc.wantUsable && len(res.Spikes) != tc.wantSpikes {
+				t.Fatalf("got %d spikes, want %d", len(res.Spikes), tc.wantSpikes)
+			}
+		})
+	}
+}
+
+// TestDetectorShortWindowNoFalseSpikes sweeps every pre length from 0 to 12
+// over pure Poisson-ish noise with a noisy post window and checks the
+// detector never turns sampling noise into a spike, however short the fit.
+func TestDetectorShortWindowNoFalseSpikes(t *testing.T) {
+	d := NewDetector()
+	noise := []float64{3, 1, 4, 1, 5, 2, 6, 5, 3, 5, 1, 4}
+	for n := 0; n <= len(noise); n++ {
+		res := d.Detect(noise[:n], []float64{4, 2, 5, 3})
+		if len(res.Spikes) != 0 {
+			t.Fatalf("pre length %d: spurious spikes %+v", n, res.Spikes)
+		}
+	}
+}

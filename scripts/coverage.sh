@@ -1,0 +1,41 @@
+#!/bin/sh
+# Coverage gate. Runs `go test -cover` over every package, prints the
+# per-package breakdown, and compares the total statement coverage against
+# the committed baseline (COVERAGE_baseline.txt) with a 2-point soft floor:
+# the build fails only when total coverage drops more than 2 points below
+# the baseline, so incidental churn doesn't block while real coverage rot
+# does.
+#
+# Usage: scripts/coverage.sh            # check against the baseline
+#        scripts/coverage.sh -update    # re-record the baseline
+set -eu
+
+baseline_file=COVERAGE_baseline.txt
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+
+# -coverpkg=./... attributes cross-package coverage (e.g. the robustness
+# harness in internal/faults driving internal/core) to the packages it
+# actually exercises.
+go test -count=1 -coverprofile="$profile" -coverpkg=./... ./... | grep -v '\[no test files\]'
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+echo "total statement coverage: ${total}%"
+
+if [ "${1:-}" = "-update" ]; then
+    echo "$total" > "$baseline_file"
+    echo "baseline updated: $baseline_file = ${total}%"
+    exit 0
+fi
+
+if [ ! -f "$baseline_file" ]; then
+    echo "coverage.sh: no $baseline_file committed; run scripts/coverage.sh -update" >&2
+    exit 1
+fi
+
+baseline=$(cat "$baseline_file")
+if awk -v t="$total" -v b="$baseline" 'BEGIN { exit !(t < b - 2.0) }'; then
+    echo "coverage.sh: total ${total}% fell more than 2 points below the ${baseline}% baseline" >&2
+    exit 1
+fi
+echo "coverage ok (baseline ${baseline}%, floor $(awk -v b="$baseline" 'BEGIN { printf "%.1f", b - 2.0 }')%)"

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Robustness benchmark runner. Executes the metamorphic robustness harness
+# (internal/faults/robustness_test.go) — fixed-seed determinism at multiple
+# worker counts, classification F1 against data-plane ground truth, and the
+# no-silent-flip guard — then runs the profile sweep and publishes its
+# aggregate accuracy/fault-counter report as BENCH_robustness.json, making
+# noise-robustness regressions diffable across commits.
+#
+# Usage: scripts/robustness.sh [robustness.json]
+#        (default: BENCH_robustness.json)
+set -eu
+
+out=${1:-BENCH_robustness.json}
+
+# The three headline properties must hold before the sweep is worth reporting.
+go test -count=1 -run \
+    'TestRobustnessDeterminismUnderFaults|TestRobustnessF1|TestRobustnessNoSilentFlips' \
+    ./internal/faults/
+
+# Sweep every profile and write the artifact.
+ROBUSTNESS_JSON="$(pwd)/$out" go test -count=1 -run 'TestRobustnessSweep' -v \
+    ./internal/faults/ | grep -E 'robustness_test|wrote ' || true
+
+test -s "$out" || { echo "robustness.sh: $out was not written" >&2; exit 1; }
+echo "wrote $out"
