@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke robustness cover bench clean
+.PHONY: check vet build test race fuzz-smoke robustness cover bench serve-bench serve-smoke clean
 
 check: vet build test race fuzz-smoke
 
@@ -18,10 +18,11 @@ test:
 
 # The race run focuses on the packages with real concurrency: the parallel
 # pair-measurement executor (core, pipeline), the host/network state it
-# clones and overlays (netsim), the parallel convergence engine (bgp) and
-# the parallel cone computation (topology).
+# clones and overlays (netsim), the parallel convergence engine (bgp), the
+# parallel cone computation (topology), and the serving subsystem's
+# concurrent append/query paths (store, api).
 race:
-	$(GO) test -race ./internal/core/ ./internal/netsim/ ./internal/pipeline/ ./internal/bgp/ ./internal/topology/
+	$(GO) test -race ./internal/core/ ./internal/netsim/ ./internal/pipeline/ ./internal/bgp/ ./internal/topology/ ./internal/store/ ./internal/api/
 
 # Short fuzzing passes over the two parsers/state machines fuzz has the best
 # shot at: the TCP endpoint's segment handling and the prefix-interning
@@ -47,6 +48,18 @@ cover:
 # across commits.
 bench:
 	sh scripts/bench.sh
+
+# Serving-path benchmark only: the rovistad mixed read workload against a
+# populated 1k-AS/50-round store, distilled into BENCH_serve.json with qps
+# and p50/p99 request latency.
+serve-bench:
+	sh scripts/bench.sh -serve
+
+# End-to-end daemon smoke: start rovistad on a ~200-AS world, hit every
+# endpoint, assert 200s and non-empty bodies, then SIGINT and require a
+# clean exit (mirrors CI's serve-smoke job).
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -6,16 +6,26 @@
 //
 //	rovista [-seed N] [-day D] [-size small|medium|large] [-top K] [-v]
 //	        [-workers N] [-faults none|paper|harsh] [-progress] [-timings]
+//	        [-rounds N] [-interval D]
 //	        [-cpuprofile FILE] [-memprofile FILE]
+//
+// With -rounds N (N > 1) the command runs a longitudinal loop instead of a
+// single round: N rounds every -interval days starting at -day (default 0).
+// SIGINT/SIGTERM interrupt the loop at the next round boundary; completed
+// rounds are flushed normally and the exit code is 0 — partial longitudinal
+// data is a valid result, not a failure.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"syscall"
 
 	"github.com/netsec-lab/rovista/internal/core"
 	"github.com/netsec-lab/rovista/internal/export"
@@ -35,6 +45,8 @@ func main() {
 	faultsName := flag.String("faults", "none", "fault-injection profile: none, paper or harsh")
 	progress := flag.Bool("progress", false, "print per-stage progress to stderr")
 	timings := flag.Bool("timings", false, "print per-stage wall-clock timings and pair counters to stderr")
+	rounds := flag.Int("rounds", 1, "measurement rounds to run (>1 switches to the longitudinal loop)")
+	interval := flag.Int("interval", 5, "simulated days between rounds in -rounds mode")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -83,19 +95,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rovista:", err)
 		os.Exit(1)
 	}
-	d := *day
-	if d < 0 {
-		d = cfg.Days
-	}
-	if *format == "table" {
-		fmt.Printf("world: %d ASes, %d hosts, %d invalid announcements; measuring day %d\n",
-			len(w.Topo.ASNs), w.Net.Hosts(), len(w.Invalids), d)
-	}
-	if err := w.AdvanceTo(d); err != nil {
-		fmt.Fprintln(os.Stderr, "rovista:", err)
-		os.Exit(1)
-	}
-
 	rcfg := core.DefaultRunnerConfig(*seed)
 	rcfg.Workers = *workers
 	if profile.Enabled() {
@@ -116,7 +115,62 @@ func main() {
 		}
 	}
 	runner := core.NewRunner(w, rcfg)
-	snap := runner.Measure()
+
+	var snap *core.Snapshot
+	if *rounds > 1 {
+		// Longitudinal mode: run the shared round loop under a signal
+		// context so ^C flushes completed rounds instead of losing them.
+		ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stopSig()
+		start := *day
+		if start < 0 {
+			start = 0
+		}
+		if *format == "table" {
+			fmt.Printf("world: %d ASes, %d hosts, %d invalid announcements; %d rounds every %d days from day %d\n",
+				len(w.Topo.ASNs), w.Net.Hosts(), len(w.Invalids), *rounds, *interval, start)
+		}
+		tl, err := runner.RunRounds(ctx, start, *interval, *rounds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rovista:", err)
+			os.Exit(1)
+		}
+		if len(tl.Snapshots) < *rounds {
+			fmt.Fprintf(os.Stderr, "rovista: interrupted after %d/%d rounds; flushing completed results\n",
+				len(tl.Snapshots), *rounds)
+		}
+		if len(tl.Snapshots) == 0 {
+			return // interrupted before the first round completed: nothing to flush
+		}
+		if *format == "table" {
+			_, fullPct := tl.FullProtectionSeries()
+			fmt.Printf("\n%6s %6s %11s %7s %10s  %s\n", "round", "day", "scored ASes", "full%", "unanimity", "status")
+			for i, s := range tl.Snapshots {
+				full := 0.0
+				if i < len(fullPct) {
+					full = fullPct[i]
+				}
+				fmt.Printf("%6d %6d %11d %6.1f%% %9.1f%%  %s\n",
+					i, tl.Days[i], len(s.Reports), full, 100*s.ConsistentPairFraction, s.Status)
+			}
+			fmt.Printf("\nfinal round (day %d):\n", tl.Days[len(tl.Days)-1])
+		}
+		snap = tl.Snapshots[len(tl.Snapshots)-1]
+	} else {
+		d := *day
+		if d < 0 {
+			d = cfg.Days
+		}
+		if *format == "table" {
+			fmt.Printf("world: %d ASes, %d hosts, %d invalid announcements; measuring day %d\n",
+				len(w.Topo.ASNs), w.Net.Hosts(), len(w.Invalids), d)
+		}
+		if err := w.AdvanceTo(d); err != nil {
+			fmt.Fprintln(os.Stderr, "rovista:", err)
+			os.Exit(1)
+		}
+		snap = runner.Measure()
+	}
 	if *timings {
 		fmt.Fprint(os.Stderr, snap.Metrics.String())
 	}

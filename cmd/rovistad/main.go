@@ -1,0 +1,243 @@
+// Command rovistad is the RoVista serving daemon: it runs the longitudinal
+// measurement loop in the background — building a simulated Internet,
+// measuring a round every -interval simulated days, appending each round to
+// the snapshot store — while concurrently serving the query API over the
+// accumulated history. This is the repo's miniature of the paper's public
+// service: continuously refreshed per-AS ROV scores behind an HTTP API.
+//
+// Usage:
+//
+//	rovistad [-addr :8080] [-store DIR] [-seed N] [-size small|smoke|medium|large]
+//	         [-rounds N] [-interval D] [-period DUR] [-workers N]
+//	         [-faults none|paper|harsh] [-rate-burst N] [-rate-refill R]
+//	         [-compact-every N] [-synth AxR]
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: the measurement loop
+// stops at the next round boundary, in-flight requests drain, the store is
+// closed cleanly, and the exit code is 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/netsec-lab/rovista/internal/api"
+	"github.com/netsec-lab/rovista/internal/core"
+	"github.com/netsec-lab/rovista/internal/faults"
+	"github.com/netsec-lab/rovista/internal/store"
+	"github.com/netsec-lab/rovista/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rovistad:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	storeDir := flag.String("store", "", "snapshot store directory (default: a fresh temp dir)")
+	seed := flag.Int64("seed", 1, "world generation seed")
+	size := flag.String("size", "smoke", "world size: small, smoke (~200 ASes), medium or large")
+	rounds := flag.Int("rounds", 0, "measurement rounds to run (0 = until the timeline ends)")
+	interval := flag.Int("interval", 5, "simulated days between rounds")
+	period := flag.Duration("period", 0, "wall-clock pause between rounds (0 = continuous)")
+	workers := flag.Int("workers", 0, "pair-measurement workers (0 = all CPUs)")
+	faultsName := flag.String("faults", "none", "fault-injection profile: none, paper or harsh")
+	rateBurst := flag.Int("rate-burst", 100, "per-client rate-limit burst (0 disables limiting)")
+	rateRefill := flag.Float64("rate-refill", 50, "per-client rate-limit refill tokens/sec")
+	compactEvery := flag.Int("compact-every", 0, "compact the store every N appended rounds (0 = never)")
+	synth := flag.String("synth", "", "skip measurement: pre-populate the store with AxR synthetic ASes×rounds (e.g. 1000x50) and serve that")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	dir := *storeDir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "rovistad-store-"); err != nil {
+			return err
+		}
+		log.Printf("store: %s (temporary)", dir)
+	}
+	st, err := store.Open(dir, store.Config{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if st.Rounds() > 0 {
+		log.Printf("store: resumed %d archived rounds from %s", st.Rounds(), dir)
+	}
+
+	loopDone := make(chan struct{})
+	if *synth != "" {
+		var ases, nRounds int
+		if _, err := fmt.Sscanf(*synth, "%dx%d", &ases, &nRounds); err != nil || ases <= 0 || nRounds <= 0 {
+			return fmt.Errorf("bad -synth %q (want ASESxROUNDS, e.g. 1000x50)", *synth)
+		}
+		if err := store.Synthesize(st, store.SynthConfig{ASes: ases, Rounds: nRounds, Seed: *seed}); err != nil {
+			return err
+		}
+		log.Printf("synthesized %d rounds over %d ASes", nRounds, ases)
+		close(loopDone)
+	} else {
+		runner, nTotal, err := buildRunner(*size, *seed, *workers, *faultsName, *rounds, *interval)
+		if err != nil {
+			return err
+		}
+		// The first round runs before the listener opens so the API never
+		// serves an empty store.
+		if st.Rounds() == 0 {
+			if err := measureRound(runner, st, 0, *interval); err != nil {
+				return err
+			}
+		}
+		go func() {
+			defer close(loopDone)
+			for r := st.Rounds(); r < nTotal; r++ {
+				if *period > 0 {
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(*period):
+					}
+				} else if ctx.Err() != nil {
+					return
+				}
+				if err := measureRound(runner, st, r, *interval); err != nil {
+					log.Printf("measurement loop: %v", err)
+					return
+				}
+				if *compactEvery > 0 && (r+1)%*compactEvery == 0 {
+					if err := st.Compact(); err != nil {
+						log.Printf("compaction: %v", err)
+						return
+					}
+					log.Printf("round %d: compacted store", r)
+				}
+			}
+			log.Printf("measurement loop finished after %d rounds; still serving", st.Rounds())
+		}()
+	}
+
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: api.New(st, api.Config{
+			RateBurst:  *rateBurst,
+			RateRefill: *rateRefill,
+		}).Handler(),
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving on http://%s (%d rounds archived)", ln.Addr(), st.Rounds())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behaviour: a second ^C kills hard
+	log.Printf("shutting down: draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-loopDone
+	log.Printf("stopped cleanly with %d rounds archived", st.Rounds())
+	return st.Close()
+}
+
+// measureRound advances the world to round r's day, measures, and appends.
+func measureRound(runner *core.Runner, st *store.Store, r, interval int) error {
+	day := r * interval
+	if day > runner.W.Cfg.Days {
+		day = runner.W.Cfg.Days
+	}
+	if err := runner.W.AdvanceTo(day); err != nil {
+		return err
+	}
+	snap := runner.Measure()
+	if err := st.Append(store.FromSnapshot(snap)); err != nil {
+		return err
+	}
+	log.Printf("round %d (day %d): %d ASes scored, status=%s", r, day, len(snap.Reports), snap.Status)
+	return nil
+}
+
+// buildRunner constructs the world and runner, returning the total round
+// count the loop should produce.
+func buildRunner(size string, seed int64, workers int, faultsName string, rounds, interval int) (*core.Runner, int, error) {
+	cfg, err := worldConfig(size, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	profile, err := faults.ByName(faultsName)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg.Faults = profile
+	w, err := core.BuildWorld(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	rcfg := core.DefaultRunnerConfig(seed)
+	rcfg.Workers = workers
+	if profile.Enabled() {
+		rcfg.Faults = profile
+		rcfg.PairRetries = 2
+		rcfg.RetryBackoff = 2
+		rcfg.RequalifyVVPs = true
+	}
+	if rounds <= 0 {
+		rounds = cfg.Days/interval + 1
+	}
+	log.Printf("world: %d ASes, %d hosts; %d rounds every %d days", len(w.Topo.ASNs), w.Net.Hosts(), rounds, interval)
+	return core.NewRunner(w, rcfg), rounds, nil
+}
+
+// worldConfig mirrors cmd/rovista's sizes plus "smoke": a ~200-AS world
+// small enough for CI's serve-smoke job yet big enough that every endpoint
+// has data.
+func worldConfig(size string, seed int64) (core.WorldConfig, error) {
+	switch size {
+	case "small":
+		return core.SmallWorldConfig(seed), nil
+	case "smoke":
+		cfg := core.SmallWorldConfig(seed)
+		cfg.Topology = topology.Config{
+			Seed: seed, NumTier1: 4, NumTier2: 16, NumTier3: 60, NumStub: 120,
+			PrefixesPerAS: 1.2, Tier2PeerProb: 0.3, Tier3PeerProb: 0.04, MultihomeProb: 0.4,
+		}
+		return cfg, nil
+	case "medium":
+		cfg := core.DefaultWorldConfig(seed)
+		cfg.Topology = topology.Config{
+			Seed: seed, NumTier1: 6, NumTier2: 24, NumTier3: 90, NumStub: 280,
+			PrefixesPerAS: 1.3, Tier2PeerProb: 0.3, Tier3PeerProb: 0.03, MultihomeProb: 0.45,
+		}
+		return cfg, nil
+	case "large":
+		return core.DefaultWorldConfig(seed), nil
+	default:
+		return core.WorldConfig{}, fmt.Errorf("unknown size %q (want small, smoke, medium or large)", size)
+	}
+}

@@ -1,0 +1,374 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/netsec-lab/rovista/internal/export"
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/store"
+)
+
+// newTestStore synthesizes a deterministic populated store.
+func newTestStore(t *testing.T, ases, rounds int) *store.Store {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := store.Synthesize(st, store.SynthConfig{ASes: ases, Rounds: rounds, Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	req.RemoteAddr = "192.0.2.1:12345"
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func decode(t *testing.T, w *httptest.ResponseRecorder, v any) {
+	t.Helper()
+	if err := json.Unmarshal(w.Body.Bytes(), v); err != nil {
+		t.Fatalf("bad JSON %q: %v", w.Body.String(), err)
+	}
+}
+
+func TestEndpointsServeNonEmpty(t *testing.T) {
+	st := newTestStore(t, 40, 5)
+	h := New(st, Config{}).Handler()
+	paths := []string{
+		"/healthz",
+		"/metrics",
+		"/v1/as/1000",
+		"/v1/as/1000/timeseries",
+		"/v1/top",
+		"/v1/top?n=5&order=unprotected",
+		"/v1/diff?from=0&to=4",
+		"/v1/export",
+		"/v1/export?format=csv&round=2",
+		"/v1/rounds",
+	}
+	for _, p := range paths {
+		w := get(t, h, p)
+		if w.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", p, w.Code, w.Body.String())
+		}
+		if w.Body.Len() == 0 {
+			t.Fatalf("GET %s returned an empty body", p)
+		}
+	}
+}
+
+func TestASEndpointMatchesStore(t *testing.T) {
+	st := newTestStore(t, 40, 5)
+	h := New(st, Config{}).Handler()
+	asn := inet.ASN(1007)
+	p, ok := st.Current(asn)
+	if !ok {
+		t.Fatal("synthesized AS missing")
+	}
+	var got asResponse
+	w := get(t, h, "/v1/as/1007")
+	decode(t, w, &got)
+	if got.ASN != 1007 || got.Round != p.Round || got.Score != p.Score() {
+		t.Fatalf("AS response %+v does not match store point %+v", got, p)
+	}
+	e, _ := st.EntryAt(asn, int(p.Round))
+	if got.VVPs != e.VVPs || got.TNodesMeasured != e.TNodesMeasured || got.Unanimous != e.Unanimous {
+		t.Fatalf("AS response %+v does not match entry %+v", got, e)
+	}
+
+	if w := get(t, h, "/v1/as/999999"); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown ASN = %d", w.Code)
+	}
+	if w := get(t, h, "/v1/as/notanumber"); w.Code != http.StatusBadRequest {
+		t.Fatalf("garbage ASN = %d", w.Code)
+	}
+}
+
+func TestTimeseriesMatchesStore(t *testing.T) {
+	st := newTestStore(t, 20, 8)
+	h := New(st, Config{}).Handler()
+	var got struct {
+		ASN    uint32        `json:"asn"`
+		Points []seriesPoint `json:"points"`
+	}
+	decode(t, get(t, h, "/v1/as/1003/timeseries"), &got)
+	hist := st.Series(1003)
+	if len(got.Points) != len(hist) {
+		t.Fatalf("%d points, want %d", len(got.Points), len(hist))
+	}
+	for i, p := range got.Points {
+		if p.Round != hist[i].Round || p.Score != hist[i].Score() {
+			t.Fatalf("point %d: %+v vs %+v", i, p, hist[i])
+		}
+		if p.Day != st.Round(int(p.Round)).Day {
+			t.Fatalf("point %d day mismatch", i)
+		}
+	}
+}
+
+func TestTopOrderingAndBounds(t *testing.T) {
+	st := newTestStore(t, 60, 4)
+	h := New(st, Config{}).Handler()
+	var got struct {
+		Order   string               `json:"order"`
+		Records []export.ScoreRecord `json:"records"`
+	}
+	decode(t, get(t, h, "/v1/top?n=10"), &got)
+	if got.Order != "protected" || len(got.Records) != 10 {
+		t.Fatalf("top: %+v", got)
+	}
+	for i := 1; i < len(got.Records); i++ {
+		a, b := got.Records[i-1], got.Records[i]
+		if a.Score < b.Score || (a.Score == b.Score && a.ASN > b.ASN) {
+			t.Fatalf("ordering violated: %+v then %+v", a, b)
+		}
+	}
+	decode(t, get(t, h, "/v1/top?n=3&order=unprotected"), &got)
+	if len(got.Records) != 3 || got.Order != "unprotected" {
+		t.Fatalf("unprotected top: %+v", got)
+	}
+	for i := 1; i < len(got.Records); i++ {
+		if got.Records[i-1].Score > got.Records[i].Score {
+			t.Fatal("unprotected order must ascend")
+		}
+	}
+	if w := get(t, h, "/v1/top?n=-2"); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad n = %d", w.Code)
+	}
+	if w := get(t, h, "/v1/top?order=sideways"); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad order = %d", w.Code)
+	}
+}
+
+func TestDiffEndpoint(t *testing.T) {
+	st := newTestStore(t, 30, 6)
+	h := New(st, Config{}).Handler()
+	var got struct {
+		From    int          `json:"from"`
+		To      int          `json:"to"`
+		Changed []diffChange `json:"changed"`
+	}
+	decode(t, get(t, h, "/v1/diff?from=0&to=5"), &got)
+	want, err := st.Diff(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Changed) != len(want) {
+		t.Fatalf("%d changes, want %d", len(got.Changed), len(want))
+	}
+	for i, c := range got.Changed {
+		if c.ASN != uint32(want[i].ASN) || c.FromScore != want[i].From.Score() || c.ToScore != want[i].To.Score() {
+			t.Fatalf("change %d: %+v vs %+v", i, c, want[i])
+		}
+	}
+	if w := get(t, h, "/v1/diff?from=0&to=99"); w.Code != http.StatusBadRequest {
+		t.Fatalf("out-of-range diff = %d", w.Code)
+	}
+	if w := get(t, h, "/v1/diff?from=x&to=1"); w.Code != http.StatusBadRequest {
+		t.Fatalf("garbage diff = %d", w.Code)
+	}
+}
+
+// TestExportJSONRoundTrip is the shared round-trip contract with
+// internal/export: the endpoint's body must parse with export.ReadJSON and
+// DeepEqual the dataset derived from the stored round, version stamp
+// included.
+func TestExportJSONRoundTrip(t *testing.T) {
+	st := newTestStore(t, 25, 3)
+	h := New(st, Config{}).Handler()
+	w := get(t, h, "/v1/export?round=1")
+	back, err := export.ReadJSON(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Format != export.FormatVersion {
+		t.Fatalf("endpoint emitted format %d, want %d", back.Format, export.FormatVersion)
+	}
+	want := DatasetFromRecord(st.Round(1))
+	if !reflect.DeepEqual(back, want) {
+		t.Fatalf("export round trip not exact:\n got %+v\nwant %+v", back, want)
+	}
+
+	// CSV flavour parses with the shared reader too.
+	wc := get(t, h, "/v1/export?format=csv&round=1")
+	recs, err := export.ReadCSV(wc.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(want.Records) {
+		t.Fatalf("csv rows = %d, want %d", len(recs), len(want.Records))
+	}
+	if w := get(t, h, "/v1/export?format=xml"); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad format = %d", w.Code)
+	}
+}
+
+// TestCacheInvalidationOnAppend is the cache-vs-live-writer contract: hits
+// are served from memory within a generation, and an appended round is
+// visible on the very next request.
+func TestCacheInvalidationOnAppend(t *testing.T) {
+	st := newTestStore(t, 20, 2)
+	srv := New(st, Config{})
+	h := srv.Handler()
+
+	var h1 struct {
+		Rounds int `json:"rounds"`
+	}
+	decode(t, get(t, h, "/healthz"), &h1)
+	if h1.Rounds != 2 {
+		t.Fatalf("healthz rounds = %d", h1.Rounds)
+	}
+
+	first := get(t, h, "/v1/top?n=5")
+	misses := srv.Metrics.CacheMisses.Load()
+	second := get(t, h, "/v1/top?n=5")
+	if srv.Metrics.CacheHits.Load() == 0 {
+		t.Fatal("second identical request must hit the cache")
+	}
+	if srv.Metrics.CacheMisses.Load() != misses {
+		t.Fatal("second identical request must not miss")
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Fatal("cached response differs from computed one")
+	}
+
+	// Append a round with a new top AS: the next read must see it.
+	rec := &store.RoundRecord{Day: 99}
+	rec.Entries = []store.Entry{{ASN: 9999, Centi: 10000, VVPs: 2, TNodesMeasured: 4, TNodesFiltered: 4, Unanimous: true}}
+	if err := st.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	var top struct {
+		Round   uint32               `json:"round"`
+		Records []export.ScoreRecord `json:"records"`
+	}
+	decode(t, get(t, h, "/v1/top?n=5"), &top)
+	if top.Round != 2 || len(top.Records) == 0 || top.Records[0].ASN != 9999 {
+		t.Fatalf("stale response after append: %+v", top)
+	}
+}
+
+func TestRateLimiter(t *testing.T) {
+	st := newTestStore(t, 10, 2)
+	clock := time.Unix(1000, 0)
+	srv := New(st, Config{RateBurst: 3, RateRefill: 1, now: func() time.Time { return clock }})
+	h := srv.Handler()
+
+	req := func(addr string) int {
+		r := httptest.NewRequest(http.MethodGet, "/v1/top", nil)
+		r.RemoteAddr = addr
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		return w.Code
+	}
+	for i := 0; i < 3; i++ {
+		if code := req("198.51.100.7:1000"); code != http.StatusOK {
+			t.Fatalf("request %d = %d", i, code)
+		}
+	}
+	if code := req("198.51.100.7:2000"); code != http.StatusTooManyRequests {
+		t.Fatalf("4th request = %d, want 429 (ports share the client bucket)", code)
+	}
+	if srv.Metrics.RateLimited.Load() != 1 {
+		t.Fatal("rate-limited counter not incremented")
+	}
+	// A different client is unaffected.
+	if code := req("198.51.100.8:1000"); code != http.StatusOK {
+		t.Fatalf("other client = %d", code)
+	}
+	// Refill restores service.
+	clock = clock.Add(2 * time.Second)
+	if code := req("198.51.100.7:3000"); code != http.StatusOK {
+		t.Fatalf("after refill = %d", code)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	st := newTestStore(t, 10, 2)
+	srv := New(st, Config{})
+	h := srv.Handler()
+	get(t, h, "/v1/top")
+	get(t, h, "/v1/top")
+	w := get(t, h, "/metrics")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", w.Code)
+	}
+	body := w.Body.String()
+	if !strings.Contains(body, "rovistad") || !strings.Contains(body, "latency_p99_us") {
+		t.Fatalf("/metrics missing rovistad counters: %s", body)
+	}
+	p50, p99 := srv.Metrics.Quantiles()
+	if p50 < 0 || p99 < p50 {
+		t.Fatalf("quantiles p50=%v p99=%v", p50, p99)
+	}
+	if srv.Metrics.Requests.Load() < 3 {
+		t.Fatal("request counter not advancing")
+	}
+}
+
+func TestPprofWired(t *testing.T) {
+	st := newTestStore(t, 5, 1)
+	h := New(st, Config{}).Handler()
+	w := get(t, h, "/debug/pprof/")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "goroutine") {
+		t.Fatalf("pprof index = %d", w.Code)
+	}
+}
+
+// TestConcurrentAppendQuery drives the full handler stack while the
+// longitudinal writer appends — the serving-path half of the race contract
+// (make race runs this package with -race).
+func TestConcurrentAppendQuery(t *testing.T) {
+	st := newTestStore(t, 20, 2)
+	h := New(st, Config{}).Handler()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	paths := []string{"/v1/top", "/v1/as/1001", "/v1/as/1001/timeseries", "/v1/export", "/v1/rounds", "/healthz"}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				req := httptest.NewRequest(http.MethodGet, paths[(g+i)%len(paths)], nil)
+				req.RemoteAddr = fmt.Sprintf("10.0.0.%d:99", g)
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					t.Errorf("GET %s = %d", paths[(g+i)%len(paths)], w.Code)
+					return
+				}
+				i++
+			}
+		}(g)
+	}
+	for r := 0; r < 25; r++ {
+		rec := &store.RoundRecord{Day: r}
+		rec.Entries = []store.Entry{{ASN: 1001, Centi: uint16(r * 100), VVPs: 2, TNodesMeasured: 5}}
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+}

@@ -1,0 +1,118 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/netsec-lab/rovista/internal/store"
+)
+
+// nullResponseWriter discards the response body without the allocation
+// churn of httptest.ResponseRecorder — the benchmark measures the server,
+// not the recorder.
+type nullResponseWriter struct{ h http.Header }
+
+func (w *nullResponseWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = make(http.Header)
+	}
+	return w.h
+}
+func (w *nullResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nullResponseWriter) WriteHeader(int)             {}
+
+// benchRequests builds the mixed read workload: mostly point lookups, a
+// steady diet of rankings and timeseries, occasional bulk exports and
+// diffs — the shape a public score dashboard plus a few bulk consumers
+// puts on the service.
+func benchRequests(ases, rounds int) []*http.Request {
+	var reqs []*http.Request
+	add := func(n int, pattern string, args ...any) {
+		for i := 0; i < n; i++ {
+			reqs = append(reqs, httptest.NewRequest(http.MethodGet, fmt.Sprintf(pattern, args...), nil))
+		}
+	}
+	for i := 0; i < 40; i++ {
+		add(1, "/v1/as/%d", 1000+(i*37)%ases)
+	}
+	for i := 0; i < 15; i++ {
+		add(1, "/v1/as/%d/timeseries", 1000+(i*53)%ases)
+	}
+	add(15, "/v1/top?n=25")
+	add(5, "/v1/top?n=100&order=unprotected")
+	add(10, "/v1/diff?from=%d&to=%d", rounds/2, rounds-1)
+	add(5, "/v1/export?format=json")
+	add(5, "/v1/export?format=csv")
+	add(5, "/v1/rounds")
+	return reqs
+}
+
+// BenchmarkServeQueries is the serving-path load generator: a mixed read
+// workload against a populated 1k-AS, 50-round store, GOMAXPROCS client
+// goroutines, rate limiting off (the dashboard frontend is a trusted
+// client). Reported metrics: ns/op (wall time per request), qps
+// (aggregate throughput), p50-us/p99-us (per-request latency quantiles).
+func BenchmarkServeQueries(b *testing.B) {
+	st, err := store.Open(b.TempDir(), store.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	const ases, rounds = 1000, 50
+	if err := store.Synthesize(st, store.SynthConfig{ASes: ases, Rounds: rounds, Seed: 7}); err != nil {
+		b.Fatal(err)
+	}
+	h := New(st, Config{RateBurst: 0}).Handler()
+	template := benchRequests(ases, rounds)
+
+	// Warm the generation cache so the steady serving state is measured,
+	// not the first-touch misses.
+	for _, req := range template {
+		w := &nullResponseWriter{}
+		h.ServeHTTP(w, req.Clone(req.Context()))
+	}
+
+	var mu sync.Mutex
+	var lats []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		// Per-goroutine request copies: ServeMux pattern matching writes
+		// into the request, so sharing across goroutines would race.
+		reqs := make([]*http.Request, len(template))
+		for i, req := range template {
+			reqs[i] = req.Clone(req.Context())
+		}
+		w := &nullResponseWriter{}
+		local := make([]float64, 0, 1<<14)
+		i := 0
+		for pb.Next() {
+			t0 := time.Now()
+			h.ServeHTTP(w, reqs[i%len(reqs)])
+			local = append(local, float64(time.Since(t0).Nanoseconds())/1e3)
+			i++
+		}
+		mu.Lock()
+		lats = append(lats, local...)
+		mu.Unlock()
+	})
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	sort.Float64s(lats)
+	q := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(p*float64(len(lats)-1))]
+	}
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "qps")
+	b.ReportMetric(q(0.50), "p50-us")
+	b.ReportMetric(q(0.99), "p99-us")
+}

@@ -1,0 +1,84 @@
+package api
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+)
+
+// genCache is the generation-keyed read-through response cache. Every
+// entry belongs to one store generation; the first lookup after the
+// longitudinal runner appends a round observes the new generation and
+// drops the whole map. That makes invalidation trivial to reason about
+// against a live writer: a response can never outlive the round-set it was
+// computed from (serving a *newer* body under a just-raced key is the only
+// tolerated skew, and it is monotonic).
+type genCache struct {
+	mu      sync.Mutex
+	gen     uint64
+	max     int
+	entries map[string]cacheEntry
+}
+
+type cacheEntry struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+func newGenCache(max int) *genCache {
+	if max <= 0 {
+		max = 4096
+	}
+	return &genCache{max: max, entries: make(map[string]cacheEntry)}
+}
+
+// get returns the cached response for key at store generation gen.
+func (c *genCache) get(gen uint64, key string) (cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		c.gen = gen
+		clear(c.entries)
+		return cacheEntry{}, false
+	}
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+// put stores a response computed while the store was at generation gen.
+// A full cache resets rather than evicting piecemeal: the workload is a
+// small set of hot endpoints, so a reset refills in a few requests.
+func (c *genCache) put(gen uint64, key string, e cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		c.gen = gen
+		clear(c.entries)
+	}
+	if len(c.entries) >= c.max {
+		clear(c.entries)
+	}
+	c.entries[key] = e
+}
+
+// captureWriter tees a handler's response into a buffer so cache misses
+// can be stored as they stream out.
+type captureWriter struct {
+	http.ResponseWriter
+	status int
+	buf    bytes.Buffer
+}
+
+func (w *captureWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *captureWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	w.buf.Write(b)
+	return w.ResponseWriter.Write(b)
+}

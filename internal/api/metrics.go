@@ -1,0 +1,89 @@
+package api
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latWindow is the size of the rolling latency sample window. A power of
+// two so the ring index reduces to a mask.
+const latWindow = 1 << 12
+
+// Metrics is the server's observability surface: request/cache counters
+// plus a rolling latency window from which p50/p99 are derived on demand.
+// All writes are lock-free (hot path); quantile reads copy the window.
+type Metrics struct {
+	Requests    atomic.Int64
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	RateLimited atomic.Int64
+	Errors      atomic.Int64 // 5xx responses
+
+	latN    atomic.Uint64
+	latRing [latWindow]atomic.Int64 // microseconds
+}
+
+// observe records one served request's latency.
+func (m *Metrics) observe(d time.Duration) {
+	i := m.latN.Add(1) - 1
+	m.latRing[i&(latWindow-1)].Store(d.Microseconds())
+}
+
+// Quantiles returns the p50 and p99 request latency (µs) over the rolling
+// window, or zeros before any traffic.
+func (m *Metrics) Quantiles() (p50, p99 float64) {
+	n := m.latN.Load()
+	if n == 0 {
+		return 0, 0
+	}
+	if n > latWindow {
+		n = latWindow
+	}
+	buf := make([]int64, n)
+	for i := range buf {
+		buf[i] = m.latRing[i].Load()
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	q := func(p float64) float64 {
+		idx := int(p * float64(len(buf)-1))
+		return float64(buf[idx])
+	}
+	return q(0.50), q(0.99)
+}
+
+// snapshot renders the metrics as a plain map for expvar.
+func (m *Metrics) snapshot() map[string]any {
+	p50, p99 := m.Quantiles()
+	return map[string]any{
+		"requests":       m.Requests.Load(),
+		"cache_hits":     m.CacheHits.Load(),
+		"cache_misses":   m.CacheMisses.Load(),
+		"rate_limited":   m.RateLimited.Load(),
+		"errors":         m.Errors.Load(),
+		"latency_p50_us": p50,
+		"latency_p99_us": p99,
+	}
+}
+
+// expvar registration: Publish panics on duplicate names, and tests build
+// many servers, so the package publishes a single "rovistad" var that
+// always reflects the most recently constructed server's metrics.
+var (
+	publishOnce    sync.Once
+	currentMetrics atomic.Pointer[Metrics]
+)
+
+func publishMetrics(m *Metrics) {
+	currentMetrics.Store(m)
+	publishOnce.Do(func() {
+		expvar.Publish("rovistad", expvar.Func(func() any {
+			if m := currentMetrics.Load(); m != nil {
+				return m.snapshot()
+			}
+			return nil
+		}))
+	})
+}

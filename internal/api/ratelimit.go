@@ -1,0 +1,93 @@
+package api
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket: each client key (the request's
+// remote IP) holds burst tokens, refilled at refill tokens/second. A
+// request costs one token; an empty bucket means 429. The table is bounded:
+// when it grows past maxClients the stalest buckets are evicted, so an
+// address-rotating scanner cannot grow server memory without bound.
+type rateLimiter struct {
+	burst  float64
+	refill float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+const maxClients = 8192
+
+// newRateLimiter returns a limiter, or nil (meaning "no limiting") when
+// burst is not positive.
+func newRateLimiter(burst int, refill float64) *rateLimiter {
+	if burst <= 0 {
+		return nil
+	}
+	if refill <= 0 {
+		refill = float64(burst)
+	}
+	return &rateLimiter{burst: float64(burst), refill: refill, buckets: make(map[string]*bucket)}
+}
+
+// allow reports whether the client may proceed at time now, consuming one
+// token if so. A nil limiter always allows.
+func (l *rateLimiter) allow(key string, now time.Time) bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= maxClients {
+			l.evictStale(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.refill
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// evictStale drops buckets idle long enough to have refilled completely —
+// forgetting them is indistinguishable from keeping them. Called with the
+// lock held. If everything is fresh (a genuine 8k-client flood), the whole
+// table resets: briefly over-admitting beats unbounded growth.
+func (l *rateLimiter) evictStale(now time.Time) {
+	full := time.Duration(l.burst / l.refill * float64(time.Second))
+	for k, b := range l.buckets {
+		if now.Sub(b.last) >= full {
+			delete(l.buckets, k)
+		}
+	}
+	if len(l.buckets) >= maxClients {
+		clear(l.buckets)
+	}
+}
+
+// clientKey extracts the rate-limit key from a request's remote address
+// (the bare IP, so one client's ports share a bucket).
+func clientKey(remoteAddr string) string {
+	if host, _, err := net.SplitHostPort(remoteAddr); err == nil {
+		return host
+	}
+	return remoteAddr
+}

@@ -1,0 +1,422 @@
+// Package api is rovistad's query layer: an http.Server-ready handler that
+// serves the longitudinal store to dashboards and bulk consumers — per-AS
+// current score and timeseries, top-N rankings, cross-round diffs, and the
+// same CSV/JSON datasets internal/export publishes offline. Reads go
+// through a generation-keyed cache that self-invalidates when the
+// measurement loop appends a round, a per-client token bucket sheds abusive
+// traffic, and /metrics + /debug/pprof expose the serving path itself.
+package api
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/netsec-lab/rovista/internal/export"
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/store"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// RateBurst is the per-client token-bucket size; 0 or negative
+	// disables rate limiting entirely (benchmarks, trusted frontends).
+	RateBurst int
+	// RateRefill is the per-client refill rate in tokens/second
+	// (default: RateBurst per second).
+	RateRefill float64
+	// CacheMaxEntries bounds the response cache (default 4096 entries).
+	CacheMaxEntries int
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// DefaultConfig returns the production defaults: 100-request bursts
+// refilled at 50/s per client, 4096 cached responses.
+func DefaultConfig() Config {
+	return Config{RateBurst: 100, RateRefill: 50, CacheMaxEntries: 4096}
+}
+
+// Server serves ROV queries over a store. Construct with New; the zero
+// value is not usable.
+type Server struct {
+	st      *store.Store
+	mux     *http.ServeMux
+	cache   *genCache
+	limiter *rateLimiter
+	now     func() time.Time
+
+	// Metrics is the server's live counter set (also published through
+	// expvar as "rovistad").
+	Metrics *Metrics
+}
+
+// New builds a Server over st.
+func New(st *store.Store, cfg Config) *Server {
+	s := &Server{
+		st:      st,
+		mux:     http.NewServeMux(),
+		cache:   newGenCache(cfg.CacheMaxEntries),
+		limiter: newRateLimiter(cfg.RateBurst, cfg.RateRefill),
+		now:     cfg.now,
+		Metrics: &Metrics{},
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	publishMetrics(s.Metrics)
+
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", expvar.Handler())
+	s.mux.HandleFunc("GET /v1/as/{asn}", s.handleAS)
+	s.mux.HandleFunc("GET /v1/as/{asn}/timeseries", s.handleTimeseries)
+	s.mux.HandleFunc("GET /v1/top", s.handleTop)
+	s.mux.HandleFunc("GET /v1/diff", s.handleDiff)
+	s.mux.HandleFunc("GET /v1/export", s.handleExport)
+	s.mux.HandleFunc("GET /v1/rounds", s.handleRounds)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the server's root handler: rate limiting, then the
+// read-through cache, then the endpoint mux.
+func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.serve) }
+
+func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
+	start := s.now()
+	s.Metrics.Requests.Add(1)
+	defer func() { s.Metrics.observe(s.now().Sub(start)) }()
+
+	if !s.limiter.allow(clientKey(r.RemoteAddr), start) {
+		s.Metrics.RateLimited.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
+		return
+	}
+
+	// Only the data-plane endpoints go through the cache: health, metrics
+	// and pprof must always reflect the live process.
+	if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/") {
+		gen := s.st.Generation()
+		key := r.URL.RequestURI()
+		if e, ok := s.cache.get(gen, key); ok {
+			s.Metrics.CacheHits.Add(1)
+			w.Header().Set("Content-Type", e.contentType)
+			w.WriteHeader(e.status)
+			w.Write(e.body)
+			return
+		}
+		s.Metrics.CacheMisses.Add(1)
+		cw := &captureWriter{ResponseWriter: w}
+		s.mux.ServeHTTP(cw, r)
+		if cw.status >= 500 {
+			s.Metrics.Errors.Add(1)
+		}
+		if cw.status == http.StatusOK {
+			s.cache.put(gen, key, cacheEntry{
+				status:      cw.status,
+				contentType: cw.Header().Get("Content-Type"),
+				body:        cw.buf.Bytes(),
+			})
+		}
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON / writeError are the response helpers every endpoint uses.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"rounds":     s.st.Rounds(),
+		"generation": s.st.Generation(),
+	})
+}
+
+// parseASN pulls the {asn} path value.
+func parseASN(r *http.Request) (inet.ASN, error) {
+	v, err := strconv.ParseUint(r.PathValue("asn"), 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad asn %q", r.PathValue("asn"))
+	}
+	return inet.ASN(v), nil
+}
+
+// parseRound resolves an optional ?round= parameter ("latest" or absent →
+// the newest round).
+func (s *Server) parseRound(r *http.Request) (int, error) {
+	q := r.URL.Query().Get("round")
+	if q == "" || q == "latest" {
+		return s.st.Rounds() - 1, nil
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil || n < 0 || n >= s.st.Rounds() {
+		return 0, fmt.Errorf("round %q outside history [0, %d)", q, s.st.Rounds())
+	}
+	return n, nil
+}
+
+// asResponse is the per-AS current-score payload.
+type asResponse struct {
+	ASN            uint32  `json:"asn"`
+	Round          uint32  `json:"round"`
+	Day            int     `json:"day"`
+	Score          float64 `json:"rov_protection_score"`
+	VVPs           int     `json:"vvps"`
+	TNodesMeasured int     `json:"tnodes_measured"`
+	TNodesFiltered int     `json:"tnodes_filtered"`
+	Unanimous      bool    `json:"unanimous"`
+	RoundStatus    string  `json:"round_status"`
+}
+
+func (s *Server) handleAS(w http.ResponseWriter, r *http.Request) {
+	asn, err := parseASN(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	p, ok := s.st.Current(asn)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("AS%d was never scored", asn))
+		return
+	}
+	rec := s.st.Round(int(p.Round))
+	e, _ := rec.Entry(asn)
+	writeJSON(w, http.StatusOK, asResponse{
+		ASN:            uint32(asn),
+		Round:          p.Round,
+		Day:            rec.Day,
+		Score:          e.Score(),
+		VVPs:           e.VVPs,
+		TNodesMeasured: e.TNodesMeasured,
+		TNodesFiltered: e.TNodesFiltered,
+		Unanimous:      e.Unanimous,
+		RoundStatus:    rec.Status.String(),
+	})
+}
+
+// seriesPoint mirrors export.SeriesPoint plus the round index.
+type seriesPoint struct {
+	Round uint32  `json:"round"`
+	Day   int     `json:"day"`
+	Score float64 `json:"score"`
+}
+
+func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	asn, err := parseASN(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	hist := s.st.Series(asn)
+	if len(hist) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("AS%d was never scored", asn))
+		return
+	}
+	points := make([]seriesPoint, len(hist))
+	for i, p := range hist {
+		points[i] = seriesPoint{Round: p.Round, Day: s.st.Round(int(p.Round)).Day, Score: p.Score()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"asn": uint32(asn), "points": points})
+}
+
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	latest := s.st.Latest()
+	if latest == nil {
+		writeError(w, http.StatusNotFound, "store is empty")
+		return
+	}
+	n := 25
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad n %q", q))
+			return
+		}
+		n = v
+	}
+	protected := true
+	switch order := r.URL.Query().Get("order"); order {
+	case "", "protected":
+	case "unprotected":
+		protected = false
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad order %q (want protected or unprotected)", order))
+		return
+	}
+	top := s.st.TopN(n, protected)
+	records := make([]export.ScoreRecord, len(top))
+	for i, e := range top {
+		records[i] = scoreRecord(e)
+	}
+	order := "protected"
+	if !protected {
+		order = "unprotected"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"round":   latest.Round,
+		"day":     latest.Day,
+		"order":   order,
+		"records": records,
+	})
+}
+
+// diffChange is one AS's movement between the two requested rounds.
+type diffChange struct {
+	ASN       uint32  `json:"asn"`
+	FromScore float64 `json:"from_score"`
+	ToScore   float64 `json:"to_score"`
+	Appeared  bool    `json:"appeared,omitempty"`
+	Vanished  bool    `json:"vanished,omitempty"`
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	// resolve accepts a round index or "latest"; absence is an error for
+	// from= (a diff needs an explicit baseline) but means latest for to=.
+	resolve := func(v string) (int, error) {
+		if v == "latest" {
+			return s.st.Rounds() - 1, nil
+		}
+		return strconv.Atoi(v)
+	}
+	from, err1 := resolve(q.Get("from"))
+	toStr := q.Get("to")
+	if toStr == "" {
+		toStr = "latest"
+	}
+	to, err2 := resolve(toStr)
+	if err1 != nil || err2 != nil {
+		writeError(w, http.StatusBadRequest, "diff needs from= and to= rounds (integer or \"latest\")")
+		return
+	}
+	diff, err := s.st.Diff(from, to)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	changes := make([]diffChange, len(diff))
+	for i, d := range diff {
+		changes[i] = diffChange{
+			ASN:       uint32(d.ASN),
+			FromScore: d.From.Score(),
+			ToScore:   d.To.Score(),
+			Appeared:  d.Appeared,
+			Vanished:  d.Vanished,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"from": from, "to": to, "changed": changes})
+}
+
+// scoreRecord converts a store entry into the published record shape.
+func scoreRecord(e store.Entry) export.ScoreRecord {
+	return export.ScoreRecord{
+		ASN:            uint32(e.ASN),
+		Score:          e.Score(),
+		VVPs:           e.VVPs,
+		TNodesMeasured: e.TNodesMeasured,
+		TNodesFiltered: e.TNodesFiltered,
+		Unanimous:      e.Unanimous,
+	}
+}
+
+// DatasetFromRecord renders an archived round in the exact dataset shape
+// internal/export publishes offline, canonical ordering included — the
+// bulk endpoint and the CLI exporter must stay byte-compatible.
+func DatasetFromRecord(rec *store.RoundRecord) *export.Dataset {
+	d := &export.Dataset{
+		Format:      export.FormatVersion,
+		Day:         rec.Day,
+		TNodes:      rec.TNodes,
+		Consistency: rec.Consistency(),
+	}
+	d.Records = make([]export.ScoreRecord, len(rec.Entries))
+	for i, e := range rec.Entries {
+		d.Records[i] = scoreRecord(e)
+	}
+	d.Sort()
+	return d
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	round, err := s.parseRound(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rec := s.st.Round(round)
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "store is empty")
+		return
+	}
+	d := DatasetFromRecord(rec)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		if err := d.WriteJSON(w); err != nil {
+			s.Metrics.Errors.Add(1)
+		}
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		if err := d.WriteCSV(w); err != nil {
+			s.Metrics.Errors.Add(1)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad format %q (want json or csv)", format))
+	}
+}
+
+// roundSummary is the provenance view: everything needed to judge whether
+// a round's scores are trustworthy, without the per-AS bulk.
+type roundSummary struct {
+	Round        uint32         `json:"round"`
+	Day          int            `json:"day"`
+	Status       string         `json:"status"`
+	ASes         int            `json:"ases"`
+	TestPrefixes int            `json:"test_prefixes"`
+	TNodes       int            `json:"tnodes"`
+	AllVVPs      int            `json:"all_vvps"`
+	Consistency  float64        `json:"consistency"`
+	Evidence     store.Evidence `json:"evidence"`
+}
+
+func (s *Server) handleRounds(w http.ResponseWriter, r *http.Request) {
+	n := s.st.Rounds()
+	out := make([]roundSummary, n)
+	for i := 0; i < n; i++ {
+		rec := s.st.Round(i)
+		out[i] = roundSummary{
+			Round:        rec.Round,
+			Day:          rec.Day,
+			Status:       rec.Status.String(),
+			ASes:         len(rec.Entries),
+			TestPrefixes: rec.TestPrefixes,
+			TNodes:       rec.TNodes,
+			AllVVPs:      rec.AllVVPs,
+			Consistency:  rec.Consistency(),
+			Evidence:     rec.Evidence,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rounds": out})
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"github.com/netsec-lab/rovista/internal/inet"
@@ -111,5 +112,62 @@ func TestFilterFalseTNodes(t *testing.T) {
 	}
 	if foundShared {
 		t.Fatal("shared-prefix false tNode survived the probe check")
+	}
+}
+
+// TestRunRoundsContext pins the cooperative-cancellation contract the
+// daemon and the CLI's -rounds mode rely on: a cancelled context stops
+// between rounds, returns the completed prefix with a nil error, and a
+// pre-cancelled context yields an empty (not nil) timeline.
+func TestRunRoundsContext(t *testing.T) {
+	cfg := SmallWorldConfig(11)
+	cfg.Days = 30
+	w, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(w, DefaultRunnerConfig(11))
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	tl, err := r.RunRounds(pre, 0, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Snapshots) != 0 {
+		t.Fatalf("pre-cancelled context ran %d rounds", len(tl.Snapshots))
+	}
+
+	// Cancel after the second round via the progress callback.
+	ctx, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	rounds := 0
+	r.Cfg.Progress = func(stage string, done, total int) {
+		if stage == StageScore && done == total {
+			rounds++
+			if rounds == 2 {
+				cancel2()
+			}
+		}
+	}
+	tl, err = r.RunRounds(ctx, 0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Snapshots) != 2 || len(tl.Days) != 2 {
+		t.Fatalf("cancelled run kept %d rounds, want exactly the 2 completed", len(tl.Snapshots))
+	}
+	if tl.Days[0] != 0 || tl.Days[1] != 10 {
+		t.Fatalf("days = %v", tl.Days)
+	}
+
+	// Uncancelled runs clamp at the timeline end instead of erroring.
+	r.Cfg.Progress = nil
+	tl, err = r.RunRounds(context.Background(), 20, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Days) != 3 || tl.Days[2] != 30 {
+		t.Fatalf("clamped days = %v", tl.Days)
 	}
 }

@@ -26,8 +26,17 @@ type ScoreRecord struct {
 	Unanimous      bool    `json:"unanimous"`
 }
 
+// FormatVersion is the current schema version of exported JSON datasets.
+// It is bumped whenever a field changes meaning or shape, so downstream
+// consumers can refuse data newer than they understand. Version history:
+//
+//	0 — legacy, pre-versioned datasets (accepted on read)
+//	1 — format_version field added; otherwise identical to 0
+const FormatVersion = 1
+
 // Dataset is one measurement round's published dataset.
 type Dataset struct {
+	Format      int           `json:"format_version"`
 	Day         int           `json:"day"`
 	TNodes      int           `json:"tnodes"`
 	Consistency float64       `json:"consistency"`
@@ -38,6 +47,7 @@ type Dataset struct {
 // ordered by descending score then ascending ASN.
 func FromSnapshot(snap *core.Snapshot) *Dataset {
 	d := &Dataset{
+		Format:      FormatVersion,
 		Day:         snap.Day,
 		TNodes:      len(snap.TNodes),
 		Consistency: snap.ConsistentPairFraction,
@@ -52,13 +62,20 @@ func FromSnapshot(snap *core.Snapshot) *Dataset {
 			Unanimous:      rep.Unanimous,
 		})
 	}
+	d.Sort()
+	return d
+}
+
+// Sort orders the records canonically: descending score, then ascending
+// ASN. Every producer of a Dataset (FromSnapshot, the rovistad export
+// endpoint) applies the same order so byte-level diffs stay meaningful.
+func (d *Dataset) Sort() {
 	sort.Slice(d.Records, func(i, j int) bool {
 		if d.Records[i].Score != d.Records[j].Score {
 			return d.Records[i].Score > d.Records[j].Score
 		}
 		return d.Records[i].ASN < d.Records[j].ASN
 	})
-	return d
 }
 
 // WriteJSON emits the dataset as indented JSON.
@@ -73,6 +90,9 @@ func ReadJSON(r io.Reader) (*Dataset, error) {
 	var d Dataset
 	if err := json.NewDecoder(r).Decode(&d); err != nil {
 		return nil, fmt.Errorf("export: decoding dataset: %w", err)
+	}
+	if d.Format > FormatVersion {
+		return nil, fmt.Errorf("export: dataset format_version %d is newer than supported version %d", d.Format, FormatVersion)
 	}
 	return &d, nil
 }

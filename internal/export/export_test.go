@@ -2,6 +2,7 @@ package export
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -58,6 +59,43 @@ func TestJSONRoundTrip(t *testing.T) {
 		if back.Records[i] != d.Records[i] {
 			t.Fatalf("record %d differs: %+v vs %+v", i, back.Records[i], d.Records[i])
 		}
+	}
+}
+
+// TestFormatVersionRoundTrip pins the versioned-schema contract: writers
+// stamp the current FormatVersion, readers accept anything up to it (0 is
+// the legacy pre-versioned form) and refuse newer data. The exact
+// export → parse → DeepEqual round trip is shared with rovistad's JSON
+// endpoint, which is tested against the same ReadJSON in internal/api.
+func TestFormatVersionRoundTrip(t *testing.T) {
+	d := FromSnapshot(snapshot(t))
+	if d.Format != FormatVersion {
+		t.Fatalf("FromSnapshot stamped format %d, want %d", d.Format, FormatVersion)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"format_version": 1`) {
+		t.Fatal("serialized JSON missing format_version")
+	}
+	back, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, d) {
+		t.Fatalf("round trip not exact:\n got %+v\nwant %+v", back, d)
+	}
+
+	// Legacy (version 0) data still parses.
+	legacy := `{"day":3,"tnodes":2,"consistency":1,"records":[]}`
+	if _, err := ReadJSON(strings.NewReader(legacy)); err != nil {
+		t.Fatalf("legacy dataset rejected: %v", err)
+	}
+	// Future versions are refused instead of silently misread.
+	future := `{"format_version":99,"day":3,"tnodes":2,"consistency":1}`
+	if _, err := ReadJSON(strings.NewReader(future)); err == nil {
+		t.Fatal("future format_version accepted")
 	}
 }
 

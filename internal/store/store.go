@@ -1,0 +1,399 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"github.com/netsec-lab/rovista/internal/inet"
+)
+
+// Config tunes a store.
+type Config struct {
+	// SegmentRounds is the number of rounds per segment file before the
+	// store rolls to a new one; 0 uses the default (64).
+	SegmentRounds int
+	// Sync fsyncs the active segment after every append. Off by default:
+	// the framing already confines a crash to the tail record, and the
+	// serving daemon's data is regenerable.
+	Sync bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.SegmentRounds <= 0 {
+		c.SegmentRounds = 64
+	}
+	return c
+}
+
+// Store is the longitudinal archive: rounds 0..Rounds()-1, contiguous,
+// append-only. All methods are safe for concurrent use; queries proceed
+// under a read lock while one writer appends. Returned records and slices
+// share the store's memory and must be treated as read-only.
+type Store struct {
+	dir string
+	cfg Config
+
+	mu      sync.RWMutex
+	records []*RoundRecord
+	// hist is the (ASN, round) index: per-AS history points sorted by
+	// round, holding the quantised score so timeseries queries never
+	// touch the full records.
+	hist map[inet.ASN][]HistoryPoint
+	gen  uint64
+
+	active       *os.File
+	activeRounds int // records in the active segment
+}
+
+// HistoryPoint is one (round, score) sample of an AS's history.
+type HistoryPoint struct {
+	Round uint32
+	Centi uint16
+}
+
+// Score returns the point's protection score in [0, 100].
+func (p HistoryPoint) Score() float64 { return float64(p.Centi) / 100 }
+
+// segName names the segment whose first record is round base. Zero-padded
+// so lexical order is round order.
+func segName(base uint32) string { return fmt.Sprintf("seg-%08d.rvs", base) }
+
+// Open opens (creating if needed) a store rooted at dir and reloads every
+// intact round. Reload is crash-safe: a truncated or corrupt tail in a
+// segment ends recovery at the last intact record; the damaged tail — and
+// any later, now-unreachable segment files — are removed so the on-disk
+// state matches the recovered history before the next append.
+func Open(dir string, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, cfg: cfg, hist: make(map[inet.ASN][]HistoryPoint)}
+
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.rvs"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+
+	next := uint32(0)
+	lastPath, lastEnd := "", int64(0)
+	lastRounds := 0
+	orphans := []string{}
+	broken := false
+	for _, path := range names {
+		if broken {
+			orphans = append(orphans, path)
+			continue
+		}
+		recs, validEnd, err := loadSegment(path, next)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading %s: %w", path, err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range recs {
+			s.index(rec)
+		}
+		next += uint32(len(recs))
+		if len(recs) == 0 && validEnd < segHeaderSize {
+			// Nothing recoverable (header lost): discard the file entirely.
+			orphans = append(orphans, path)
+			broken = true
+			continue
+		}
+		lastPath, lastEnd, lastRounds = path, validEnd, len(recs)
+		if validEnd < fi.Size() {
+			// Truncated tail: later segments can no longer be contiguous.
+			broken = true
+		}
+	}
+	for _, path := range orphans {
+		if err := os.Remove(path); err != nil {
+			return nil, fmt.Errorf("store: removing orphaned %s: %w", path, err)
+		}
+	}
+
+	// Reopen the last segment for appending (repairing its tail), unless
+	// it is already full — then the next append starts a fresh segment.
+	if lastPath != "" && lastRounds < cfg.SegmentRounds {
+		if err := os.Truncate(lastPath, lastEnd); err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(lastPath, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		s.active = f
+		s.activeRounds = lastRounds
+	}
+	return s, nil
+}
+
+// index merges one record into the in-memory state (caller holds mu or is
+// still single-threaded in Open).
+func (s *Store) index(rec *RoundRecord) {
+	s.records = append(s.records, rec)
+	for _, e := range rec.Entries {
+		s.hist[e.ASN] = append(s.hist[e.ASN], HistoryPoint{Round: rec.Round, Centi: e.Centi})
+	}
+	s.gen++
+}
+
+// Close flushes and closes the active segment. The store must not be used
+// afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return nil
+	}
+	err := s.active.Close()
+	s.active = nil
+	return err
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Append archives rec as the next round, assigning rec.Round, persisting it
+// to the active segment (rolling to a new segment when full) and merging it
+// into the in-memory index. The store takes ownership of rec.
+func (s *Store) Append(rec *RoundRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec.Round = uint32(len(s.records))
+	sort.Slice(rec.Entries, func(i, j int) bool { return rec.Entries[i].ASN < rec.Entries[j].ASN })
+	for i := 1; i < len(rec.Entries); i++ {
+		if rec.Entries[i].ASN == rec.Entries[i-1].ASN {
+			return fmt.Errorf("store: duplicate ASN %v in round %d", rec.Entries[i].ASN, rec.Round)
+		}
+	}
+
+	if s.active != nil && s.activeRounds >= s.cfg.SegmentRounds {
+		if err := s.active.Close(); err != nil {
+			return err
+		}
+		s.active = nil
+	}
+	if s.active == nil {
+		f, err := os.OpenFile(filepath.Join(s.dir, segName(rec.Round)), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(encodeSegmentHeader(rec.Round)); err != nil {
+			f.Close()
+			return err
+		}
+		s.active = f
+		s.activeRounds = 0
+	}
+	if _, err := writeFramed(s.active, rec); err != nil {
+		return err
+	}
+	if s.cfg.Sync {
+		if err := s.active.Sync(); err != nil {
+			return err
+		}
+	}
+	s.activeRounds++
+	s.index(rec)
+	return nil
+}
+
+// Compact rewrites the whole history into a single segment file and removes
+// the old ones, reclaiming the per-segment overhead and the fragmentation
+// left by small SegmentRounds. Logical content and generation are
+// unchanged; concurrent queries keep working throughout (they read the
+// in-memory index), and appends resume into the compacted segment.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.records) == 0 {
+		return nil
+	}
+	tmp := filepath.Join(s.dir, "compact.tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(encodeSegmentHeader(0)); err != nil {
+		f.Close()
+		return err
+	}
+	for _, rec := range s.records {
+		if _, err := writeFramed(f, rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	old, err := filepath.Glob(filepath.Join(s.dir, "seg-*.rvs"))
+	if err != nil {
+		return err
+	}
+	if s.active != nil {
+		s.active.Close()
+		s.active = nil
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, segName(0))); err != nil {
+		return err
+	}
+	for _, path := range old {
+		if path == filepath.Join(s.dir, segName(0)) {
+			continue
+		}
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+	}
+	a, err := os.OpenFile(filepath.Join(s.dir, segName(0)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.active = a
+	s.activeRounds = len(s.records)
+	return nil
+}
+
+// Generation returns a counter that changes whenever a round is appended.
+// Caches key their contents on it.
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// Rounds returns the number of archived rounds.
+func (s *Store) Rounds() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// Round returns archived round i, or nil when out of range.
+func (s *Store) Round(i int) *RoundRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if i < 0 || i >= len(s.records) {
+		return nil
+	}
+	return s.records[i]
+}
+
+// Latest returns the most recent round, or nil on an empty store.
+func (s *Store) Latest() *RoundRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.records) == 0 {
+		return nil
+	}
+	return s.records[len(s.records)-1]
+}
+
+// Current returns an AS's most recent score and the round it came from.
+func (s *Store) Current(asn inet.ASN) (HistoryPoint, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := s.hist[asn]
+	if len(h) == 0 {
+		return HistoryPoint{}, false
+	}
+	return h[len(h)-1], true
+}
+
+// Series returns an AS's full score history, sorted by round. The slice is
+// shared with the store: read-only.
+func (s *Store) Series(asn inet.ASN) []HistoryPoint {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.hist[asn]
+}
+
+// EntryAt is the (ASN, round) point lookup: the AS's full entry in that
+// round, if it was scored there.
+func (s *Store) EntryAt(asn inet.ASN, round int) (Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if round < 0 || round >= len(s.records) {
+		return Entry{}, false
+	}
+	return s.records[round].Entry(asn)
+}
+
+// TopN returns the n highest-scoring (protected=true) or lowest-scoring
+// entries of the latest round, ties broken by ascending ASN.
+func (s *Store) TopN(n int, protected bool) []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.records) == 0 || n <= 0 {
+		return nil
+	}
+	latest := s.records[len(s.records)-1]
+	out := make([]Entry, len(latest.Entries))
+	copy(out, latest.Entries)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Centi != out[j].Centi {
+			if protected {
+				return out[i].Centi > out[j].Centi
+			}
+			return out[i].Centi < out[j].Centi
+		}
+		return out[i].ASN < out[j].ASN
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// DiffEntry is one AS's change between two rounds.
+type DiffEntry struct {
+	ASN      inet.ASN
+	From, To Entry
+	// Appeared / Vanished flag ASes scored in only one of the rounds
+	// (the zero-valued side's Entry is meaningless then).
+	Appeared, Vanished bool
+}
+
+// Diff returns the per-AS changes from round `from` to round `to`: score
+// movements plus appearances and disappearances, sorted by ASN.
+func (s *Store) Diff(from, to int) ([]DiffEntry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if from < 0 || from >= len(s.records) || to < 0 || to >= len(s.records) {
+		return nil, fmt.Errorf("store: diff rounds (%d, %d) outside history [0, %d)", from, to, len(s.records))
+	}
+	a, b := s.records[from].Entries, s.records[to].Entries
+	var out []DiffEntry
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i].ASN < b[j].ASN):
+			out = append(out, DiffEntry{ASN: a[i].ASN, From: a[i], Vanished: true})
+			i++
+		case i >= len(a) || b[j].ASN < a[i].ASN:
+			out = append(out, DiffEntry{ASN: b[j].ASN, To: b[j], Appeared: true})
+			j++
+		default:
+			if a[i].Centi != b[j].Centi || a[i].Unanimous != b[j].Unanimous {
+				out = append(out, DiffEntry{ASN: a[i].ASN, From: a[i], To: b[j]})
+			}
+			i++
+			j++
+		}
+	}
+	return out, nil
+}

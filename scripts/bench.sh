@@ -1,22 +1,34 @@
 #!/bin/sh
 # Hot-path benchmark runner. Runs the measurement-round benchmarks (serial
 # and parallel) plus the BGP convergence benchmarks with allocation
-# reporting, and distills the results into BENCH_round.json; then runs the
+# reporting, and distills the results into BENCH_round.json; then the
 # paper-scale world benchmarks (10k/50k-AS build and steady-state converge,
-# with peak-RSS reporting) into BENCH_world.json. Both files make perf
+# with peak-RSS reporting) into BENCH_world.json; then the rovistad serving
+# benchmark (mixed read workload against a populated 1k-AS/50-round store,
+# with qps and p50/p99 latency) into BENCH_serve.json. The files make perf
 # regressions diffable across commits.
 #
-# Usage: scripts/bench.sh [round.json [world.json]]
-#        (defaults: BENCH_round.json BENCH_world.json)
+# Usage: scripts/bench.sh [round.json [world.json [serve.json]]]
+#        scripts/bench.sh -serve [serve.json]     # serving benchmark only
+#        (defaults: BENCH_round.json BENCH_world.json BENCH_serve.json)
 set -eu
 
-round_out=${1:-BENCH_round.json}
-world_out=${2:-BENCH_world.json}
+serve_only=
+if [ "${1:-}" = "-serve" ]; then
+    serve_only=1
+    shift
+    serve_out=${1:-BENCH_serve.json}
+else
+    round_out=${1:-BENCH_round.json}
+    world_out=${2:-BENCH_world.json}
+    serve_out=${3:-BENCH_serve.json}
+fi
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 # distill turns `go test -bench` output into a JSON report. Recognizes
-# ns/op, B/op, allocs/op and the scale benchmarks' peakRSS-MB metric.
+# ns/op, B/op, allocs/op, the scale benchmarks' peakRSS-MB metric, and the
+# serving benchmark's qps / p50-us / p99-us metrics.
 distill() {
     awk -v gover="$(go version | awk '{print $3}')" '
 BEGIN { n = 0 }
@@ -25,12 +37,15 @@ BEGIN { n = 0 }
     sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
     iters[n] = $2
     names[n] = name
-    ns[n] = bytes[n] = allocs[n] = rss[n] = "null"
+    ns[n] = bytes[n] = allocs[n] = rss[n] = qps[n] = p50[n] = p99[n] = "null"
     for (i = 3; i < NF; i++) {
         if ($(i+1) == "ns/op")      ns[n] = $i
         if ($(i+1) == "B/op")       bytes[n] = $i
         if ($(i+1) == "allocs/op")  allocs[n] = $i
         if ($(i+1) == "peakRSS-MB") rss[n] = $i
+        if ($(i+1) == "qps")        qps[n] = $i
+        if ($(i+1) == "p50-us")     p50[n] = $i
+        if ($(i+1) == "p99-us")     p99[n] = $i
     }
     n++
 }
@@ -40,11 +55,25 @@ END {
         line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
             names[i], iters[i], ns[i], bytes[i], allocs[i])
         if (rss[i] != "null") line = line sprintf(", \"peak_rss_mb\": %s", rss[i])
+        if (qps[i] != "null") line = line sprintf(", \"qps\": %s", qps[i])
+        if (p50[i] != "null") line = line sprintf(", \"latency_p50_us\": %s", p50[i])
+        if (p99[i] != "null") line = line sprintf(", \"latency_p99_us\": %s", p99[i])
         printf "%s}%s\n", line, (i < n-1 ? "," : "")
     }
     printf "  ]\n}\n"
 }'
 }
+
+serve_bench() {
+    go test -run '^$' -bench 'BenchmarkServeQueries' -benchmem -benchtime 2s ./internal/api/ | tee "$tmp"
+    distill < "$tmp" > "$serve_out"
+    echo "wrote $serve_out"
+}
+
+if [ -n "$serve_only" ]; then
+    serve_bench
+    exit 0
+fi
 
 go test -run '^$' -bench 'BenchmarkMeasureRound' -benchmem -benchtime 5x . | tee "$tmp"
 go test -run '^$' -bench 'BenchmarkConverge' -benchmem ./internal/bgp/ | tee -a "$tmp"
@@ -57,3 +86,5 @@ go test -run '^$' -bench 'BenchmarkWorldBuild|BenchmarkConvergeLarge' \
     -benchmem -benchtime 1x -timeout 30m ./internal/core/ | tee "$tmp"
 distill < "$tmp" > "$world_out"
 echo "wrote $world_out"
+
+serve_bench
