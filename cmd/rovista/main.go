@@ -143,12 +143,20 @@ func main() {
 			return // interrupted before the first round completed: nothing to flush
 		}
 		if *format == "table" {
-			_, fullPct := tl.FullProtectionSeries()
 			fmt.Printf("\n%6s %6s %11s %7s %10s  %s\n", "round", "day", "scored ASes", "full%", "unanimity", "status")
 			for i, s := range tl.Snapshots {
+				// Computed inline per snapshot: FullProtectionSeries skips
+				// empty rounds, so its positional indices drift from the
+				// snapshot indices after any degraded round.
 				full := 0.0
-				if i < len(fullPct) {
-					full = fullPct[i]
+				if len(s.Reports) > 0 {
+					n := 0
+					for _, rep := range s.Reports {
+						if rep.Score >= 100 {
+							n++
+						}
+					}
+					full = 100 * float64(n) / float64(len(s.Reports))
 				}
 				fmt.Printf("%6d %6d %11d %6.1f%% %9.1f%%  %s\n",
 					i, tl.Days[i], len(s.Reports), full, 100*s.ConsistentPairFraction, s.Status)

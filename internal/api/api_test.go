@@ -372,3 +372,63 @@ func TestConcurrentAppendQuery(t *testing.T) {
 	close(done)
 	wg.Wait()
 }
+
+// failingWriter simulates a client that disconnects mid-response: writes
+// succeed for the first `remaining` bytes, then error.
+type failingWriter struct {
+	*httptest.ResponseRecorder
+	remaining int
+}
+
+func (w *failingWriter) Write(b []byte) (int, error) {
+	if w.remaining <= 0 {
+		return 0, fmt.Errorf("client gone")
+	}
+	if len(b) > w.remaining {
+		n, _ := w.ResponseRecorder.Write(b[:w.remaining])
+		w.remaining = 0
+		return n, fmt.Errorf("client gone")
+	}
+	w.remaining -= len(b)
+	return w.ResponseRecorder.Write(b)
+}
+
+// TestClientWriteErrorNotCached guards against cache poisoning: a response
+// truncated by a client write failure must not be stored, so the next
+// request recomputes (and can cache) the full body.
+func TestClientWriteErrorNotCached(t *testing.T) {
+	st := newTestStore(t, 40, 5)
+	s := New(st, Config{})
+	h := s.Handler()
+	const path = "/v1/export"
+
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	req.RemoteAddr = "192.0.2.1:12345"
+	fw := &failingWriter{ResponseRecorder: httptest.NewRecorder(), remaining: 64}
+	h.ServeHTTP(fw, req)
+	if fw.remaining != 0 {
+		t.Fatalf("test broken: response shorter than the failure point (%d bytes left)", fw.remaining)
+	}
+
+	// Same generation, same key: must be a miss, and must serve the full body.
+	w := get(t, h, path)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET %s after failed write = %d", path, w.Code)
+	}
+	var d export.Dataset
+	decode(t, w, &d)
+	if len(d.Records) == 0 {
+		t.Fatal("truncated body served from cache after client write error")
+	}
+	if hits := s.Metrics.CacheHits.Load(); hits != 0 {
+		t.Fatalf("cache hit (%d) on the retry: truncated entry was cached", hits)
+	}
+
+	// The intact response from the retry is cacheable as usual.
+	if w2 := get(t, h, path); w2.Code != http.StatusOK {
+		t.Fatalf("third GET = %d", w2.Code)
+	}
+	if hits := s.Metrics.CacheHits.Load(); hits != 1 {
+		t.Fatalf("intact response not cached: %d hits", hits)
+	}
+}

@@ -63,11 +63,14 @@ func (c *genCache) put(gen uint64, key string, e cacheEntry) {
 }
 
 // captureWriter tees a handler's response into a buffer so cache misses
-// can be stored as they stream out.
+// can be stored as they stream out. wroteErr records any client write
+// failure: a disconnect mid-response leaves the buffer truncated, and a
+// truncated body must never reach the cache.
 type captureWriter struct {
 	http.ResponseWriter
-	status int
-	buf    bytes.Buffer
+	status   int
+	wroteErr bool
+	buf      bytes.Buffer
 }
 
 func (w *captureWriter) WriteHeader(code int) {
@@ -80,5 +83,9 @@ func (w *captureWriter) Write(b []byte) (int, error) {
 		w.status = http.StatusOK
 	}
 	w.buf.Write(b)
-	return w.ResponseWriter.Write(b)
+	n, err := w.ResponseWriter.Write(b)
+	if err != nil {
+		w.wroteErr = true
+	}
+	return n, err
 }

@@ -121,7 +121,7 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
 		if cw.status >= 500 {
 			s.Metrics.Errors.Add(1)
 		}
-		if cw.status == http.StatusOK {
+		if cw.status == http.StatusOK && !cw.wroteErr {
 			s.cache.put(gen, key, cacheEntry{
 				status:      cw.status,
 				contentType: cw.Header().Get("Content-Type"),

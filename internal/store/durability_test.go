@@ -165,3 +165,50 @@ func TestTruncationMultiSegment(t *testing.T) {
 	}
 	must(t, re.Close())
 }
+
+// TestTailRepairWithSmallerSegmentRounds reopens a store whose on-disk
+// segment holds more rounds than the current SegmentRounds allows. The
+// crash-torn tail must still be truncated away even though the segment
+// counts as "full" under the new config — otherwise the next append starts
+// a fresh segment after the debris, and a later reload stops at the torn
+// frame and orphan-deletes that newer, valid segment.
+func TestTailRepairWithSmallerSegmentRounds(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Config{SegmentRounds: 4})
+	must(t, err)
+	for i := 0; i < 4; i++ {
+		must(t, st.Append(testRecord(i, map[inet.ASN]float64{100: float64(i)})))
+	}
+	must(t, st.Close())
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.rvs"))
+	must(t, err)
+	if len(names) != 1 {
+		t.Fatalf("want 1 segment, got %v", names)
+	}
+
+	// Simulate a crash mid-append: torn frame bytes at the segment tail.
+	f, err := os.OpenFile(names[0], os.O_WRONLY|os.O_APPEND, 0o644)
+	must(t, err)
+	_, err = f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x01})
+	must(t, err)
+	must(t, f.Close())
+
+	// Reopen with a smaller SegmentRounds: the segment is over-full under
+	// this config, but the torn tail must be repaired regardless.
+	re, err := Open(dir, Config{SegmentRounds: 2})
+	must(t, err)
+	if re.Rounds() != 4 {
+		t.Fatalf("recovered %d rounds, want 4", re.Rounds())
+	}
+	must(t, re.Append(testRecord(99, map[inet.ASN]float64{100: 7})))
+	must(t, re.Close())
+
+	// The appended round lives in a newer segment; a clean reload must keep
+	// it — before the fix it was orphan-deleted at the torn frame.
+	re2, err := Open(dir, Config{SegmentRounds: 2})
+	must(t, err)
+	if re2.Rounds() != 5 || re2.Round(4).Day != 99 {
+		t.Fatalf("reload lost the post-repair round: %d rounds", re2.Rounds())
+	}
+	must(t, re2.Close())
+}

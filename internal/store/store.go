@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -46,6 +47,11 @@ type Store struct {
 
 	active       *os.File
 	activeRounds int // records in the active segment
+	// appendErr poisons the store after an unrecoverable write failure
+	// (a torn frame that could not be truncated away): further Appends
+	// fail instead of silently writing after garbage that reload would
+	// stop at, dropping everything behind it.
+	appendErr error
 }
 
 // HistoryPoint is one (round, score) sample of an AS's history.
@@ -80,7 +86,7 @@ func Open(dir string, cfg Config) (*Store, error) {
 	sort.Strings(names)
 
 	next := uint32(0)
-	lastPath, lastEnd := "", int64(0)
+	lastPath, lastEnd, lastSize := "", int64(0), int64(0)
 	lastRounds := 0
 	orphans := []string{}
 	broken := false
@@ -107,7 +113,7 @@ func Open(dir string, cfg Config) (*Store, error) {
 			broken = true
 			continue
 		}
-		lastPath, lastEnd, lastRounds = path, validEnd, len(recs)
+		lastPath, lastEnd, lastSize, lastRounds = path, validEnd, fi.Size(), len(recs)
 		if validEnd < fi.Size() {
 			// Truncated tail: later segments can no longer be contiguous.
 			broken = true
@@ -119,12 +125,21 @@ func Open(dir string, cfg Config) (*Store, error) {
 		}
 	}
 
-	// Reopen the last segment for appending (repairing its tail), unless
-	// it is already full — then the next append starts a fresh segment.
-	if lastPath != "" && lastRounds < cfg.SegmentRounds {
+	// Repair the tail unconditionally: whatever follows the last intact
+	// record is crash debris even when the segment counts as full under
+	// the *current* config (on-disk segments may hold more rounds than
+	// cfg.SegmentRounds if the store was written with a larger setting).
+	// Leaving it in place would make a later reload stop at the torn
+	// frame and orphan-delete every newer, valid segment.
+	if lastPath != "" && lastEnd < lastSize {
 		if err := os.Truncate(lastPath, lastEnd); err != nil {
 			return nil, err
 		}
+	}
+
+	// Reopen the last segment for appending, unless it is already full —
+	// then the next append starts a fresh segment.
+	if lastPath != "" && lastRounds < cfg.SegmentRounds {
 		f, err := os.OpenFile(lastPath, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, err
@@ -167,6 +182,9 @@ func (s *Store) Dir() string { return s.dir }
 func (s *Store) Append(rec *RoundRecord) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.appendErr != nil {
+		return s.appendErr
+	}
 	rec.Round = uint32(len(s.records))
 	sort.Slice(rec.Entries, func(i, j int) bool { return rec.Entries[i].ASN < rec.Entries[j].ASN })
 	for i := 1; i < len(rec.Entries); i++ {
@@ -193,17 +211,39 @@ func (s *Store) Append(rec *RoundRecord) error {
 		s.active = f
 		s.activeRounds = 0
 	}
+	// Remember the pre-write end so a partial write (ENOSPC, I/O error)
+	// can be rolled back: a torn frame left in place would make reload
+	// stop there, silently dropping every later round Append reported as
+	// persisted.
+	off, err := s.active.Seek(0, io.SeekEnd)
+	if err != nil {
+		return err
+	}
 	if _, err := writeFramed(s.active, rec); err != nil {
+		s.truncateActive(off)
 		return err
 	}
 	if s.cfg.Sync {
 		if err := s.active.Sync(); err != nil {
+			s.truncateActive(off)
 			return err
 		}
 	}
 	s.activeRounds++
 	s.index(rec)
 	return nil
+}
+
+// truncateActive discards the bytes a failed append left beyond off,
+// restoring the active segment to a clean frame boundary. If even the
+// truncate fails the segment cannot be trusted: close it and poison the
+// store (caller holds mu).
+func (s *Store) truncateActive(off int64) {
+	if err := s.active.Truncate(off); err != nil {
+		s.active.Close()
+		s.active = nil
+		s.appendErr = fmt.Errorf("store: active segment unrecoverable after failed append: %w", err)
+	}
 }
 
 // Compact rewrites the whole history into a single segment file and removes
