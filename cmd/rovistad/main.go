@@ -81,6 +81,10 @@ func run() error {
 	}
 
 	loopDone := make(chan struct{})
+	// convergeStats, when live-measuring, exposes the convergence engine's
+	// counters (events applied, ASes touched, re-converge latency quantiles)
+	// under the "converge" key of the /metrics expvar snapshot.
+	var convergeStats func() map[string]any
 	if *synth != "" {
 		var ases, nRounds int
 		if _, err := fmt.Sscanf(*synth, "%dx%d", &ases, &nRounds); err != nil || ases <= 0 || nRounds <= 0 {
@@ -95,6 +99,10 @@ func run() error {
 		runner, nTotal, err := buildRunner(*size, *seed, *workers, *faultsName, *rounds, *interval)
 		if err != nil {
 			return err
+		}
+		stats := runner.W.Graph.Stats()
+		convergeStats = func() map[string]any {
+			return map[string]any{"converge": stats.Snapshot()}
 		}
 		// The first round runs before the listener opens so the API never
 		// serves an empty store.
@@ -136,6 +144,7 @@ func run() error {
 		Handler: api.New(st, api.Config{
 			RateBurst:  *rateBurst,
 			RateRefill: *rateRefill,
+			Extra:      convergeStats,
 		}).Handler(),
 	}
 	ln, err := net.Listen("tcp", *addr)

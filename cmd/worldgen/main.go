@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	worldgen [-seed N] [-size small|medium|large|10k|50k] [-workers N] [-ranks K]
+//	worldgen [-seed N] [-size small|medium|large|10k|50k|74k] [-workers N] [-ranks K]
 package main
 
 import (
@@ -20,7 +20,7 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
-	size := flag.String("size", "small", "world size: small, medium, large, 10k or 50k")
+	size := flag.String("size", "small", "world size: small, medium, large, 10k, 50k or 74k (alias: full)")
 	workers := flag.Int("workers", 0, "build workers (0 = GOMAXPROCS); any count builds the identical world")
 	ranks := flag.Int("ranks", 15, "print the top K ranked ASes")
 	mrtOut := flag.String("mrt", "", "write the day-0 collector view as an MRT TABLE_DUMP_V2 archive to this file")
@@ -42,6 +42,8 @@ func main() {
 		cfg = core.LargeWorldConfig(*seed, 10_000)
 	case "50k":
 		cfg = core.LargeWorldConfig(*seed, 50_000)
+	case "74k", "full":
+		cfg = core.FullInternetConfig(*seed)
 	default:
 		fmt.Fprintf(os.Stderr, "worldgen: unknown size %q\n", *size)
 		os.Exit(2)

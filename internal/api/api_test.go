@@ -321,6 +321,22 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+func TestMetricsExtraSections(t *testing.T) {
+	st := newTestStore(t, 10, 2)
+	srv := New(st, Config{Extra: func() map[string]any {
+		return map[string]any{"converge": map[string]any{"events_applied": uint64(7)}}
+	}})
+	h := srv.Handler()
+	w := get(t, h, "/metrics")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", w.Code)
+	}
+	body := w.Body.String()
+	if !strings.Contains(body, "converge") || !strings.Contains(body, "events_applied") {
+		t.Fatalf("/metrics missing extra converge section: %s", body)
+	}
+}
+
 func TestPprofWired(t *testing.T) {
 	st := newTestStore(t, 5, 1)
 	h := New(st, Config{}).Handler()

@@ -24,6 +24,11 @@ type Metrics struct {
 
 	latN    atomic.Uint64
 	latRing [latWindow]atomic.Int64 // microseconds
+
+	// extra, when set (Config.Extra), contributes additional sections to
+	// every snapshot — e.g. the convergence engine's counters when the
+	// daemon measures live.
+	extra func() map[string]any
 }
 
 // observe records one served request's latency.
@@ -57,7 +62,7 @@ func (m *Metrics) Quantiles() (p50, p99 float64) {
 // snapshot renders the metrics as a plain map for expvar.
 func (m *Metrics) snapshot() map[string]any {
 	p50, p99 := m.Quantiles()
-	return map[string]any{
+	out := map[string]any{
 		"requests":       m.Requests.Load(),
 		"cache_hits":     m.CacheHits.Load(),
 		"cache_misses":   m.CacheMisses.Load(),
@@ -66,6 +71,12 @@ func (m *Metrics) snapshot() map[string]any {
 		"latency_p50_us": p50,
 		"latency_p99_us": p99,
 	}
+	if m.extra != nil {
+		for k, v := range m.extra() {
+			out[k] = v
+		}
+	}
+	return out
 }
 
 // expvar registration: Publish panics on duplicate names, and tests build

@@ -32,6 +32,12 @@ type Config struct {
 	RateRefill float64
 	// CacheMaxEntries bounds the response cache (default 4096 entries).
 	CacheMaxEntries int
+	// Extra, when set, contributes additional sections to every /metrics
+	// snapshot (keys merged into the "rovistad" expvar map). The daemon
+	// uses it to publish the convergence engine's counters alongside the
+	// serving-path metrics. Called on every snapshot; must be safe for
+	// concurrent use.
+	Extra func() map[string]any
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -69,6 +75,7 @@ func New(st *store.Store, cfg Config) *Server {
 	if s.now == nil {
 		s.now = time.Now
 	}
+	s.Metrics.extra = cfg.Extra
 	publishMetrics(s.Metrics)
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -1,0 +1,57 @@
+package bgp
+
+import (
+	"net/netip"
+
+	"github.com/netsec-lab/rovista/internal/inet"
+)
+
+// Announcement arena chunk sizes. One convergence at paper scale emits a few
+// million announcements; carving them out of large chunks turns two heap
+// allocations per emission (the Announcement and its path slice) into two
+// amortized pointer bumps, which is where the multi-GB per-convergence churn
+// used to come from.
+const (
+	annChunkSize  = 1024
+	pathChunkASNs = 16384
+)
+
+// annArena is a bump allocator for announcements and their AS paths. Each
+// propagation worker owns one (plus one for the serial seeding phase), so
+// allocation needs no locking.
+//
+// Lifetime rule: chunks are never rewritten or reused once full — routes
+// installed in Loc-RIBs, collector snapshots, and traced paths all alias the
+// announcement storage, so recycling a chunk across convergences would
+// corrupt retained state. A superseded chunk simply loses its last reference
+// when the routes pointing into it are reset, and the garbage collector
+// reclaims it; only the index-addressed per-AS tables (Adj-RIB-In cells,
+// Loc-RIB slots, spill pool) are reused in place.
+type annArena struct {
+	anns []Announcement
+	path []inet.ASN
+}
+
+// announcement materializes an announcement whose path is [first, rest...]
+// in arena storage. The returned pointer and its path are immutable.
+func (ar *annArena) announcement(prefix netip.Prefix, first inet.ASN, rest []inet.ASN) *Announcement {
+	need := len(rest) + 1
+	if len(ar.path)+need > cap(ar.path) {
+		size := pathChunkASNs
+		if need > size {
+			size = need
+		}
+		ar.path = make([]inet.ASN, 0, size)
+	}
+	start := len(ar.path)
+	ar.path = append(ar.path, first)
+	ar.path = append(ar.path, rest...)
+	// Full slice expression: later bumps append past this path's capacity,
+	// never into it.
+	p := ar.path[start:len(ar.path):len(ar.path)]
+	if len(ar.anns) == cap(ar.anns) {
+		ar.anns = make([]Announcement, 0, annChunkSize)
+	}
+	ar.anns = append(ar.anns, Announcement{Prefix: prefix, Path: p})
+	return &ar.anns[len(ar.anns)-1]
+}

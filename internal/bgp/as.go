@@ -1,6 +1,7 @@
 package bgp
 
 import (
+	"math/bits"
 	"net/netip"
 	"sort"
 
@@ -25,12 +26,14 @@ func maskKey(addr uint32, plen int) uint64 {
 // adjRoute is one Adj-RIB-In entry: the announcement as received (shared
 // across the sender's whole fan-out and immutable) plus the attributes fixed
 // at import time. Holding the announcement pointer instead of copying
-// prefix+path into a Route shrinks the entry and makes the "did the best
-// route actually change" check a pointer compare in the common case.
+// prefix+path into a Route shrinks the entry to 16 bytes and makes the "did
+// anything change" checks pointer compares in the common case. pref is an
+// int16: effective LocalPrefs live in [-1000, 300] (relationship tiers plus
+// the prefer-valid penalty), and importAnnRel clamps pathological policies.
 type adjRoute struct {
 	ann      *Announcement
 	from     inet.ASN
-	pref     int32
+	pref     int16
 	rel      Relationship
 	validity rpki.Validity
 }
@@ -48,57 +51,132 @@ func adjBetter(r, o *adjRoute) bool {
 	return r.from < o.from
 }
 
-// adjCell is the per-prefix Adj-RIB-In: at most one route per neighbor.
-// The first route lives inline — most (AS, prefix) pairs hear the prefix
-// from a single neighbor — and additional neighbors spill into more, whose
-// backing array is reused across convergence runs. An empty cell has a nil
-// r0.ann.
-type adjCell struct {
-	r0   adjRoute
-	more []adjRoute
+// spillRef addresses a run of adjRoutes inside the owning AS's spill pool:
+// off is the run's start, n the live entries, c the run's capacity.
+type spillRef struct {
+	off  uint32
+	n, c uint16
 }
 
-func (c *adjCell) upsert(r adjRoute) {
-	if c.r0.ann == nil {
+// adjCell is the per-prefix Adj-RIB-In: at most one route per neighbor. The
+// first route lives inline — most (AS, prefix) pairs hear the prefix from a
+// single neighbor — and additional neighbors spill into a run of the AS's
+// slab-allocated spill pool, reused in place across convergence runs. An
+// empty cell has a nil r0.ann; r0 is always populated before the spill.
+type adjCell struct {
+	r0    adjRoute
+	spill spillRef
+}
+
+// spillOf returns the cell's live spill entries.
+func (a *AS) spillOf(c *adjCell) []adjRoute {
+	if c.spill.n == 0 {
+		return nil
+	}
+	return a.spillPool[c.spill.off : c.spill.off+uint32(c.spill.n)]
+}
+
+// upsertCell installs or replaces the entry for r.from in the cell. Spill
+// runs grow by relocation; the outgrown run is recycled through the AS's
+// per-size-class free lists, so a cell climbing 2→4→…→2^k leaves no dead
+// space behind (per-prefix resets reuse runs in place and never relocate).
+func (a *AS) upsertCell(c *adjCell, r adjRoute) {
+	if c.r0.ann == nil || c.r0.from == r.from {
 		c.r0 = r
 		return
 	}
-	if c.r0.from == r.from {
-		c.r0 = r
-		return
-	}
-	for i := range c.more {
-		if c.more[i].from == r.from {
-			c.more[i] = r
+	sp := a.spillOf(c)
+	for i := range sp {
+		if sp[i].from == r.from {
+			sp[i] = r
 			return
 		}
 	}
-	c.more = append(c.more, r)
+	if c.spill.n < c.spill.c {
+		a.spillPool[c.spill.off+uint32(c.spill.n)] = r
+		c.spill.n++
+		return
+	}
+	newCap := c.spill.c * 2
+	if newCap < 2 {
+		newCap = 2
+	}
+	off := a.allocSpill(newCap)
+	run := a.spillPool[off : off+uint32(newCap)]
+	n := copy(run, sp)
+	run[n] = r
+	if c.spill.c > 0 {
+		a.freeSpill(c.spill)
+	}
+	c.spill = spillRef{off: off, n: uint16(n) + 1, c: newCap}
 }
 
-// clearCell empties the cell while keeping the spill array's capacity for
-// the next convergence. Stale entries are zeroed so announcement memory from
-// a previous routing epoch is not pinned.
-func (c *adjCell) clearCell() {
+// allocSpill returns the offset of a zeroed run of exactly capacity entries
+// (a power of two), preferring a same-class run recycled by freeSpill over
+// extending the pool's tail.
+func (a *AS) allocSpill(capacity uint16) uint32 {
+	k := bits.TrailingZeros16(capacity)
+	if head := a.spillFree[k]; head != 0 {
+		off := head - 1
+		a.spillFree[k] = uint32(a.spillPool[off].from)
+		a.spillPool[off].from = 0
+		return off
+	}
+	off := uint32(len(a.spillPool))
+	for range capacity {
+		a.spillPool = append(a.spillPool, adjRoute{})
+	}
+	return off
+}
+
+// freeSpill pushes an outgrown run onto the free list for its size class.
+// The run is cleared first — it must stop pinning announcements the moment
+// it leaves service — and the first entry's from field carries the next-free
+// link. Links and list heads store offset+1 so the zero value means "empty".
+func (a *AS) freeSpill(ref spillRef) {
+	clear(a.spillPool[ref.off : ref.off+uint32(ref.c)])
+	k := bits.TrailingZeros16(ref.c)
+	a.spillPool[ref.off].from = inet.ASN(a.spillFree[k])
+	a.spillFree[k] = ref.off + 1
+}
+
+// clearCell empties the cell, keeping its spill run (zeroed in place) for
+// the next convergence so announcement memory from a previous routing epoch
+// is not pinned and the run needs no reallocation.
+func (a *AS) clearCell(c *adjCell) {
 	c.r0 = adjRoute{}
-	if cap(c.more) > 0 {
-		clear(c.more[:cap(c.more)])
-		c.more = c.more[:0]
+	if c.spill.n > 0 {
+		clear(a.spillPool[c.spill.off : c.spill.off+uint32(c.spill.n)])
+		c.spill.n = 0
 	}
 }
 
 // locRoute is one Loc-RIB slot: the selected route for the prefix whose ID
-// indexes it. set distinguishes "no route" from the zero route; self-
-// originated slots carry a synthesized announcement with a nil path.
+// indexes it. The slot is exactly 16 bytes — at full-Internet scale the dense
+// rib arrays dominate live memory, so the two former booleans are derived
+// instead of stored: a nil ann means "no route" (no separate set flag), and a
+// set slot with an empty announcement path is self-originated (learned
+// announcements always carry their sender in Path[0]; self slots carry a
+// synthesized announcement with a nil path).
 type locRoute struct {
-	ann        *Announcement
-	from       inet.ASN
-	pref       int32
-	rel        Relationship
-	validity   rpki.Validity
-	selfOrigin bool
-	set        bool
+	ann      *Announcement
+	from     inet.ASN
+	pref     int16
+	rel      Relationship
+	validity rpki.Validity
 }
+
+// selfPref is the LocalPref of self-originated slots. Learned prefs clamp to
+// the same ceiling in the pathological-policy case, but a tie there still
+// resolves to the self route: Route.better falls through to shortest path and
+// the self path is empty.
+const selfPref = 32767
+
+// isSet reports whether the slot holds a route.
+func (l *locRoute) isSet() bool { return l.ann != nil }
+
+// isSelf reports whether a set slot is self-originated.
+func (l *locRoute) isSelf() bool { return len(l.ann.Path) == 0 }
 
 // route materializes the public Route view of the slot.
 func (l *locRoute) route() Route {
@@ -109,7 +187,30 @@ func (l *locRoute) route() Route {
 		Rel:         l.rel,
 		Validity:    l.validity,
 		LocalPref:   int(l.pref),
-		selfOrigin:  l.selfOrigin,
+		selfOrigin:  l.isSelf(),
+	}
+}
+
+// exportTarget is one precomputed fan-out destination: the neighbor's dense
+// graph index (so propagation skips the ASN map), its ASN, and the
+// receiver's relationship to this AS (the inverse of this AS's view), which
+// the receiver's import pipeline needs and would otherwise look up per
+// update.
+type exportTarget struct {
+	idx int32
+	asn inet.ASN
+	rel Relationship
+}
+
+// invertRel flips a relationship to the other endpoint's point of view.
+func invertRel(rel Relationship) Relationship {
+	switch rel {
+	case Customer:
+		return Provider
+	case Provider:
+		return Customer
+	default:
+		return Peer
 	}
 }
 
@@ -144,20 +245,29 @@ type AS struct {
 
 	// adjIn and rib are indexed by PrefixID; they grow to tab.Len() during
 	// the serial reset phase of each convergence and are reused (cleared in
-	// place, never reallocated) across runs.
-	adjIn []adjCell
-	rib   []locRoute
+	// place, never reallocated) across runs. spillPool backs the adjIn
+	// cells' multi-neighbor runs; it is truncated on full resets and its
+	// runs are zeroed in place on per-prefix resets.
+	adjIn     []adjCell
+	rib       []locRoute
+	spillPool []adjRoute
+	// spillFree heads the per-size-class free lists of spill runs recycled
+	// by relocation growth; index k holds runs of capacity 1<<k, and values
+	// are offset+1 (0 = empty list).
+	spillFree [16]uint32
 	// lenCount tracks how many FIB entries exist per prefix length, so the
 	// data-plane LPM only probes populated lengths.
 	lenCount [33]int
 
 	// export fan-out lists, precomputed at reset time. exportGen records the
-	// topology generation the lists were built against; resetPrefixes
-	// rebuilds them whenever the neighbor set has changed since.
-	exportAll       []inet.ASN // every neighbor
-	exportCustomers []inet.ASN // customer neighbors only
+	// topology generation the lists were built against and exportIdxGen the
+	// graph AS-index generation; the reset phase rebuilds the lists whenever
+	// either has moved (a link was added, or graph membership re-indexed).
+	exportAll       []exportTarget // every neighbor
+	exportCustomers []exportTarget // customer neighbors only
 	topoGen         uint64
 	exportGen       uint64
+	exportIdxGen    uint64
 }
 
 // NewAS creates an AS with no neighbors.
@@ -167,14 +277,6 @@ func NewAS(asn inet.ASN) *AS {
 		Neighbors: make(map[inet.ASN]Relationship),
 		tab:       NewPrefixTable(),
 	}
-}
-
-// policy returns the effective import policy.
-func (a *AS) policy() ImportPolicy {
-	if a.Policy == nil {
-		return AcceptAll{}
-	}
-	return a.Policy
 }
 
 // validity computes the RFC 6811 outcome of ann under this AS's VRP view.
@@ -209,8 +311,10 @@ func (a *AS) ensureSized() {
 	}
 }
 
-// resetRoutingState clears all learned state (used before a re-convergence).
-func (a *AS) resetRoutingState() {
+// resetRoutingState clears all learned state (used before a full
+// re-convergence). The spill pool is compacted to zero: every cell's run
+// reference dies with the memset of adjIn.
+func (a *AS) resetRoutingState(g *Graph) {
 	if a.tab == nil {
 		a.tab = NewPrefixTable()
 	}
@@ -218,86 +322,83 @@ func (a *AS) resetRoutingState() {
 		a.tab.Intern(p)
 	}
 	a.ensureSized()
-	for i := range a.adjIn {
-		a.adjIn[i].clearCell()
-	}
+	clear(a.adjIn)
 	clear(a.rib)
+	clear(a.spillPool)
+	a.spillPool = a.spillPool[:0]
+	a.spillFree = [16]uint32{}
 	a.lenCount = [33]int{}
 	for _, p := range a.Originated {
 		if id, ok := a.tab.IDOf(p); ok {
 			a.installSelf(id)
 		}
 	}
-	a.rebuildExportLists()
-	a.exportGen = a.topoGen
+	a.rebuildExportLists(g)
 }
 
-// resetPrefixes clears learned state for exactly the prefixes in set and
-// re-installs self routes for any originated prefix in the set. Export
-// fan-out lists are rebuilt when the neighbor set has changed since they
-// were computed (or when they were never built), so a link added after the
-// first full Converge participates in incremental re-convergence.
-func (a *AS) resetPrefixes(set map[PrefixID]bool) {
+// resetPrefixes clears learned state for exactly the given prefixes and
+// re-installs self routes for any originated prefix among them (membership
+// is tested via the graph's mark array at generation gen). Export fan-out
+// lists are rebuilt when stale, so a link added after the first full
+// Converge participates in incremental re-convergence.
+func (a *AS) resetPrefixes(g *Graph, pids []PrefixID, mark []uint32, gen uint32) {
 	a.ensureSized()
-	for id := range set {
-		a.adjIn[id].clearCell()
-		if a.rib[id].set {
+	for _, id := range pids {
+		c := &a.adjIn[id]
+		if c.r0.ann != nil {
+			a.clearCell(c)
+		}
+		if a.rib[id].isSet() {
 			a.rib[id] = locRoute{}
 			a.lenCount[a.tab.plenOf(id)]--
 		}
 	}
 	for _, p := range a.Originated {
-		if id, ok := a.tab.IDOf(p); ok && set[id] {
+		if id, ok := a.tab.IDOf(p); ok && int(id) < len(mark) && mark[id] == gen {
 			a.installSelf(id)
 		}
 	}
-	if a.exportGen != a.topoGen || (len(a.exportAll) == 0 && len(a.Neighbors) > 0) {
-		a.rebuildExportLists()
-		a.exportGen = a.topoGen
+	if a.exportGen != a.topoGen || a.exportIdxGen != g.indexGen ||
+		(len(a.exportAll) == 0 && len(a.Neighbors) > 0) {
+		a.rebuildExportLists(g)
 	}
 }
 
-func (a *AS) rebuildExportLists() {
+func (a *AS) rebuildExportLists(g *Graph) {
 	a.exportAll = a.exportAll[:0]
 	a.exportCustomers = a.exportCustomers[:0]
 	for n, rel := range a.Neighbors {
-		a.exportAll = append(a.exportAll, n)
+		t := exportTarget{idx: g.indexOf(n), asn: n, rel: invertRel(rel)}
+		a.exportAll = append(a.exportAll, t)
 		if rel == Customer {
-			a.exportCustomers = append(a.exportCustomers, n)
+			a.exportCustomers = append(a.exportCustomers, t)
 		}
 	}
-	sort.Slice(a.exportAll, func(i, j int) bool { return a.exportAll[i] < a.exportAll[j] })
-	sort.Slice(a.exportCustomers, func(i, j int) bool { return a.exportCustomers[i] < a.exportCustomers[j] })
+	sort.Slice(a.exportAll, func(i, j int) bool { return a.exportAll[i].asn < a.exportAll[j].asn })
+	sort.Slice(a.exportCustomers, func(i, j int) bool { return a.exportCustomers[i].asn < a.exportCustomers[j].asn })
+	a.exportGen = a.topoGen
+	a.exportIdxGen = g.indexGen
 }
 
 // installSelf installs the self-originated route for an interned prefix.
 func (a *AS) installSelf(id PrefixID) {
-	if !a.rib[id].set {
+	if !a.rib[id].isSet() {
 		a.lenCount[a.tab.plenOf(id)]++
 	}
 	a.rib[id] = locRoute{
-		ann:        &Announcement{Prefix: a.tab.Prefix(id)},
-		from:       a.ASN,
-		pref:       1 << 20, // own routes beat anything learned
-		selfOrigin: true,
-		set:        true,
+		ann:  &Announcement{Prefix: a.tab.Prefix(id)},
+		from: a.ASN,
+		pref: selfPref, // own routes beat anything learned
 	}
 }
 
-// importAnn runs the import pipeline for one announcement from a neighbor.
+// importAnnRel runs the import pipeline for one announcement from a
+// neighbor, with the neighbor relationship already resolved (the sender
+// precomputes it in its export targets, saving the map lookup per update).
 // It returns the announcement's prefix ID and whether the best route for
 // that prefix changed. The announcement (and its path slice) is retained
 // without copying; senders must treat emitted announcements as immutable.
-func (a *AS) importAnn(from inet.ASN, ann *Announcement) (PrefixID, bool) {
-	rel, ok := a.Neighbors[from]
-	if !ok || ann.ContainsAS(a.ASN) {
-		return 0, false
-	}
-	validity := a.validity(ann)
-	dec := a.policy().Evaluate(a.ASN, from, rel, *ann, validity)
-	if !dec.Accept {
-		return 0, false
-	}
+func (a *AS) importAnnRel(from inet.ASN, rel Relationship, ann *Announcement) (PrefixID, bool) {
 	id, ok := a.tab.IDOf(ann.Prefix)
 	if !ok || int(id) >= len(a.adjIn) {
 		// Prefixes reach the import path only via announcements, and every
@@ -307,21 +408,55 @@ func (a *AS) importAnn(from inet.ASN, ann *Announcement) (PrefixID, bool) {
 		return 0, false
 	}
 	c := &a.adjIn[id]
-	c.upsert(adjRoute{
+	// Delta check against the Adj-RIB-In: a sender's whole fan-out shares
+	// one announcement pointer per round, so an identical pointer means
+	// this neighbor re-sent exactly what we already imported.
+	if c.r0.ann == ann && c.r0.from == from {
+		return 0, false
+	}
+	if ann.ContainsAS(a.ASN) {
+		return 0, false
+	}
+	validity := a.validity(ann)
+	pref := int(rel.localPref())
+	if a.Policy != nil {
+		dec := a.Policy.Evaluate(a.ASN, from, rel, *ann, validity)
+		if !dec.Accept {
+			return 0, false
+		}
+		pref += dec.LocalPrefDelta
+		if pref > 32767 {
+			pref = 32767
+		} else if pref < -32768 {
+			pref = -32768
+		}
+	}
+	a.upsertCell(c, adjRoute{
 		ann:      ann,
 		from:     from,
-		pref:     int32(rel.localPref() + dec.LocalPrefDelta),
+		pref:     int16(pref),
 		rel:      rel,
 		validity: validity,
 	})
 	return id, a.selectBest(id, c)
 }
 
+// importAnn is importAnnRel with the relationship resolved from the
+// neighbor table (the non-hot-path entry point; unknown senders are
+// rejected).
+func (a *AS) importAnn(from inet.ASN, ann *Announcement) (PrefixID, bool) {
+	rel, ok := a.Neighbors[from]
+	if !ok {
+		return 0, false
+	}
+	return a.importAnnRel(from, rel, ann)
+}
+
 // selectBest recomputes the best route for an interned prefix, reporting
 // whether the installed best changed.
 func (a *AS) selectBest(id PrefixID, c *adjCell) bool {
 	old := &a.rib[id]
-	if old.set && old.selfOrigin {
+	if old.isSet() && old.isSelf() {
 		return false // own prefixes never lose to learned routes
 	}
 	if c.r0.ann == nil {
@@ -331,16 +466,17 @@ func (a *AS) selectBest(id PrefixID, c *adjCell) bool {
 	// neighbor-ASN tiebreak and each neighbor appears at most once, so the
 	// winner is unique.
 	best := &c.r0
-	for i := range c.more {
-		if adjBetter(&c.more[i], best) {
-			best = &c.more[i]
+	sp := a.spillOf(c)
+	for i := range sp {
+		if adjBetter(&sp[i], best) {
+			best = &sp[i]
 		}
 	}
-	if old.set && old.from == best.from && old.pref == best.pref &&
+	if old.isSet() && old.from == best.from && old.pref == best.pref &&
 		(old.ann == best.ann || pathsEqual(old.ann.Path, best.ann.Path)) {
 		return false
 	}
-	if !old.set {
+	if !old.isSet() {
 		a.lenCount[a.tab.plenOf(id)]++
 	}
 	*old = locRoute{
@@ -349,7 +485,6 @@ func (a *AS) selectBest(id PrefixID, c *adjCell) bool {
 		pref:     best.pref,
 		rel:      best.rel,
 		validity: best.validity,
-		set:      true,
 	}
 	return true
 }
@@ -378,21 +513,11 @@ func routesEqual(x, y Route) bool {
 // routes) go to everyone; routes from peers/providers go to customers only.
 // The neighbor the route was learned from is included — the receiver's
 // AS-path loop check discards the echo — keeping the fan-out lists static.
-func (a *AS) exportTargets(l *locRoute) []inet.ASN {
-	if l.selfOrigin || l.rel == Customer {
+func (a *AS) exportTargets(l *locRoute) []exportTarget {
+	if l.isSelf() || l.rel == Customer {
 		return a.exportAll
 	}
 	return a.exportCustomers
-}
-
-// announcementFor builds the announcement this AS sends for the selected
-// route l. The returned path is freshly allocated and shared by every
-// neighbor copy, so receivers must not mutate it.
-func (a *AS) announcementFor(l *locRoute) *Announcement {
-	path := make([]inet.ASN, 0, len(l.ann.Path)+1)
-	path = append(path, a.ASN)
-	path = append(path, l.ann.Path...)
-	return &Announcement{Prefix: l.ann.Prefix, Path: path}
 }
 
 // Lookup performs the data-plane longest-prefix match for dst. The boolean
@@ -403,7 +528,7 @@ func (a *AS) Lookup(dst netip.Addr) (Route, bool) {
 		if a.lenCount[plen] == 0 {
 			continue
 		}
-		if id, ok := a.tab.idOfKey(maskKey(addr, plen)); ok && int(id) < len(a.rib) && a.rib[id].set {
+		if id, ok := a.tab.idOfKey(maskKey(addr, plen)); ok && int(id) < len(a.rib) && a.rib[id].isSet() {
 			return a.rib[id].route(), true
 		}
 	}
@@ -413,7 +538,7 @@ func (a *AS) Lookup(dst netip.Addr) (Route, bool) {
 // BestRoute returns the selected route for an exact prefix.
 func (a *AS) BestRoute(prefix netip.Prefix) (Route, bool) {
 	id, ok := a.tab.IDOf(prefix)
-	if !ok || int(id) >= len(a.rib) || !a.rib[id].set {
+	if !ok || int(id) >= len(a.rib) || !a.rib[id].isSet() {
 		return Route{}, false
 	}
 	return a.rib[id].route(), true
@@ -421,7 +546,7 @@ func (a *AS) BestRoute(prefix netip.Prefix) (Route, bool) {
 
 // bestLoc returns the Loc-RIB slot for an interned prefix, or nil.
 func (a *AS) bestLoc(id PrefixID) *locRoute {
-	if int(id) >= len(a.rib) || !a.rib[id].set {
+	if int(id) >= len(a.rib) || !a.rib[id].isSet() {
 		return nil
 	}
 	return &a.rib[id]
@@ -431,7 +556,7 @@ func (a *AS) bestLoc(id PrefixID) *locRoute {
 func (a *AS) Routes() []Route {
 	ids := make([]PrefixID, 0, len(a.rib))
 	for id := range a.rib {
-		if a.rib[id].set {
+		if a.rib[id].isSet() {
 			ids = append(ids, PrefixID(id))
 		}
 	}
@@ -447,7 +572,7 @@ func (a *AS) Routes() []Route {
 // injection to model partial tables).
 func (a *AS) DropRoute(prefix netip.Prefix) bool {
 	id, ok := a.tab.IDOf(prefix)
-	if !ok || int(id) >= len(a.rib) || !a.rib[id].set {
+	if !ok || int(id) >= len(a.rib) || !a.rib[id].isSet() {
 		return false
 	}
 	a.lenCount[a.tab.plenOf(id)]--

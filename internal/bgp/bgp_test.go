@@ -218,8 +218,8 @@ func TestDataPathLoopDetection(t *testing.T) {
 	g := NewGraph()
 	g.Link(1, 2, Peer)
 	a1, a2 := g.AS(1), g.AS(2)
-	a1.resetRoutingState()
-	a2.resetRoutingState()
+	a1.resetRoutingState(g)
+	a2.resetRoutingState(g)
 	a1.DefaultRoute, a1.HasDefault = 2, true
 	a2.DefaultRoute, a2.HasDefault = 1, true
 	if _, ok := g.DataPath(1, ip("10.0.0.1")); ok {

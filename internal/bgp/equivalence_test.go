@@ -1,0 +1,308 @@
+package bgp
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/rpki"
+)
+
+// The incremental/full equivalence property: any sequence of RouteEvent
+// batches applied to a converged graph must leave routing state bit-identical
+// — Loc-RIBs including paths, preferences and recorded validity, and the data
+// paths derived from them — to a from-scratch rebuild of the same final
+// world, at any worker count. This is the contract that lets every consumer
+// (day scheduler, hijack injector, fault flaps, the serving daemon) ride the
+// event path without ever re-running a full convergence.
+
+// scriptOp is one generated mutation step: the event batch fed to the
+// incremental graph, plus the out-of-band VRP view swap (the scheduler
+// refreshes validating ASes' views directly and announces the delta as an
+// EvROAChange, so the script reproduces that calling convention).
+type scriptOp struct {
+	evs  []RouteEvent
+	vrps *rpki.VRPSet // when non-nil: new view for every AS with a policy
+}
+
+// genScript builds a deterministic random mutation script against the given
+// converged hierarchy. It tracks the current global VRP view so policy-on
+// events hand out the view a real scheduler would.
+func genScript(g *Graph, seed int64, n int) []scriptOp {
+	rng := rand.New(rand.NewSource(seed))
+	asns := sortedASNsIn(g)
+
+	// Prefix pool: everything originated at build time plus fresh space for
+	// announces, so scripts mix MOAS conflicts, hijacks and novel prefixes.
+	var pool []netip.Prefix
+	for _, asn := range asns {
+		pool = append(pool, g.AS(asn).Originated...)
+	}
+	for i := 0; i < 8; i++ {
+		pool = append(pool, netip.PrefixFrom(inet.V4(uint32(200+i)<<24), 16))
+	}
+
+	mkVRPs := func() ([]rpki.VRP, *rpki.VRPSet) {
+		var vrps []rpki.VRP
+		for _, p := range pool {
+			if rng.Float64() < 0.3 {
+				vrps = append(vrps, rpki.VRP{
+					ASN:       asns[rng.Intn(len(asns))],
+					Prefix:    p,
+					MaxLength: p.Bits(),
+				})
+			}
+		}
+		return vrps, rpki.NewVRPSet(vrps)
+	}
+	curList, curSet := mkVRPs()
+
+	nextStub := inet.ASN(20000)
+	var script []scriptOp
+	for len(script) < n {
+		asn := asns[rng.Intn(len(asns))]
+		p := pool[rng.Intn(len(pool))]
+		switch rng.Intn(8) {
+		case 0, 1: // origination change
+			kind := EvAnnounce
+			if rng.Intn(2) == 0 {
+				kind = EvWithdraw
+			}
+			script = append(script, scriptOp{evs: []RouteEvent{{Kind: kind, AS: asn, Prefix: p}}})
+		case 2: // coalescing flap: withdraw + re-announce in one batch
+			script = append(script, scriptOp{evs: []RouteEvent{
+				{Kind: EvWithdraw, AS: asn, Prefix: p},
+				{Kind: EvAnnounce, AS: asn, Prefix: p},
+			}})
+		case 3: // mixed batch: several independent origination events
+			b := scriptOp{}
+			for k := 0; k < 2+rng.Intn(3); k++ {
+				kind := EvAnnounce
+				if rng.Intn(2) == 0 {
+					kind = EvWithdraw
+				}
+				b.evs = append(b.evs, RouteEvent{
+					Kind: kind, AS: asns[rng.Intn(len(asns))], Prefix: pool[rng.Intn(len(pool))],
+				})
+			}
+			script = append(script, b)
+		case 4: // ROV deployment
+			script = append(script, scriptOp{evs: []RouteEvent{{
+				Kind: EvPolicyChange, AS: asn, Policy: rovDropPolicy{}, VRPs: curSet,
+			}}})
+		case 5: // ROV rollback
+			script = append(script, scriptOp{evs: []RouteEvent{{Kind: EvPolicyChange, AS: asn}}})
+		case 6: // ROA churn: swap every validating AS's view, announce the diff
+			newList, newSet := mkVRPs()
+			changed := map[netip.Prefix]bool{}
+			for _, v := range curList {
+				changed[v.Prefix] = true
+			}
+			for _, v := range newList {
+				changed[v.Prefix] = true
+			}
+			var diff []netip.Prefix
+			for p := range changed {
+				diff = append(diff, p)
+			}
+			sort.Slice(diff, func(i, j int) bool { return diff[i].String() < diff[j].String() })
+			curList, curSet = newList, newSet
+			script = append(script, scriptOp{
+				evs:  []RouteEvent{{Kind: EvROAChange, Prefixes: diff}},
+				vrps: newSet,
+			})
+		case 7: // topology growth: a stub joins and announces fresh space
+			stub := nextStub
+			nextStub++
+			sp := netip.PrefixFrom(inet.V4(uint32(stub)<<8), 24)
+			script = append(script, scriptOp{evs: []RouteEvent{
+				{Kind: EvLinkChange, AS: asn, Peer: stub, Rel: Customer},
+				{Kind: EvAnnounce, AS: stub, Prefix: sp},
+			}})
+		}
+	}
+	return script
+}
+
+// applyIncremental replays one op through the event engine.
+func applyIncremental(t *testing.T, g *Graph, op scriptOp) {
+	t.Helper()
+	swapViews(g, op.vrps)
+	if _, err := g.ApplyEvents(op.evs); err != nil {
+		t.Fatalf("ApplyEvents(%+v): %v", op.evs, err)
+	}
+}
+
+// applyDirect replays one op as raw mutations, no convergence: the reference
+// graph is rebuilt from scratch with one full Converge at the end.
+func applyDirect(t *testing.T, g *Graph, op scriptOp) {
+	t.Helper()
+	swapViews(g, op.vrps)
+	for _, ev := range op.evs {
+		switch ev.Kind {
+		case EvAnnounce:
+			g.AS(ev.AS).setOriginated(ev.Prefix, true)
+		case EvWithdraw:
+			g.AS(ev.AS).setOriginated(ev.Prefix, false)
+		case EvPolicyChange:
+			a := g.AS(ev.AS)
+			a.Policy, a.VRPs = ev.Policy, ev.VRPs
+		case EvROAChange:
+			// view swap already applied by swapViews
+		case EvLinkChange:
+			if err := g.Link(ev.AS, ev.Peer, ev.Rel); err != nil {
+				t.Fatalf("Link(%v, %v): %v", ev.AS, ev.Peer, err)
+			}
+		}
+	}
+}
+
+func swapViews(g *Graph, vrps *rpki.VRPSet) {
+	if vrps == nil {
+		return
+	}
+	for _, a := range g.ASes {
+		if a.Policy != nil {
+			a.VRPs = vrps
+		}
+	}
+}
+
+func sortedASNsIn(g *Graph) []inet.ASN {
+	out := make([]inet.ASN, 0, len(g.ASes))
+	for asn := range g.ASes {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// snapshotWorld captures everything the equivalence property compares:
+// per-AS Loc-RIBs (full Route values, so paths, learned-from, preferences
+// and recorded validity all participate) and a deterministic sample of
+// data-plane paths.
+func snapshotWorld(g *Graph) map[string]any {
+	out := make(map[string]any)
+	asns := sortedASNsIn(g)
+	for _, asn := range asns {
+		out[fmt.Sprintf("rib:%v", asn)] = g.AS(asn).Routes()
+	}
+	var dsts []netip.Addr
+	for _, asn := range asns {
+		for _, p := range g.AS(asn).Originated {
+			dsts = append(dsts, inet.NthAddr(p, 1))
+		}
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i].Less(dsts[j]) })
+	for i, src := range asns {
+		for j := range dsts {
+			if (i+j)%7 != 0 { // deterministic sample, keeps the test fast
+				continue
+			}
+			path, ok := g.DataPath(src, dsts[j])
+			out[fmt.Sprintf("path:%v->%v", src, dsts[j])] = struct {
+				Path []inet.ASN
+				OK   bool
+			}{path, ok}
+		}
+	}
+	return out
+}
+
+func diffWorlds(t *testing.T, label string, want, got map[string]any) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: snapshot key counts differ: %d vs %d", label, len(want), len(got))
+	}
+	for k, w := range want {
+		if !reflect.DeepEqual(w, got[k]) {
+			t.Fatalf("%s: %s differs:\nwant %+v\ngot  %+v", label, k, w, got[k])
+		}
+	}
+}
+
+// TestEventEquivalenceRandomized is the headline property test: for several
+// seeds, a random script of event batches applied incrementally (at worker
+// counts 1 and 4) must leave the graph bit-identical to a from-scratch
+// rebuild of the same final world.
+func TestEventEquivalenceRandomized(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			// Reference: replay mutations raw, then one full convergence.
+			ref := randomHierarchy(seed)
+			script := genScript(ref, seed^0x5eed, 36)
+			for _, op := range script {
+				applyDirect(t, ref, op)
+			}
+			if _, err := ref.Converge(); err != nil {
+				t.Fatal(err)
+			}
+			want := snapshotWorld(ref)
+
+			// Incremental, at two worker counts.
+			for _, procs := range []int{1, 4} {
+				prev := runtime.GOMAXPROCS(procs)
+				inc := randomHierarchy(seed)
+				for _, op := range genScript(inc, seed^0x5eed, 36) {
+					applyIncremental(t, inc, op)
+				}
+				got := snapshotWorld(inc)
+				runtime.GOMAXPROCS(prev)
+				diffWorlds(t, fmt.Sprintf("procs=%d", procs), want, got)
+			}
+		})
+	}
+}
+
+// TestEventFlapCoalesces pins the microsecond-flap contract: a batch that
+// withdraws and re-announces the same origination must coalesce to zero
+// dirty prefixes, run no propagation, and leave the graph version untouched
+// (so not even cache epochs move).
+func TestEventFlapCoalesces(t *testing.T) {
+	g := randomHierarchy(3)
+	asns := sortedASNsIn(g)
+	var origin inet.ASN
+	var p netip.Prefix
+	for _, asn := range asns {
+		if own := g.AS(asn).Originated; len(own) > 0 {
+			origin, p = asn, own[0]
+			break
+		}
+	}
+	before := snapshotWorld(g)
+	verBefore := g.Version()
+
+	res, err := g.ApplyEvents([]RouteEvent{
+		{Kind: EvWithdraw, AS: origin, Prefix: p},
+		{Kind: EvAnnounce, AS: origin, Prefix: p},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirtyPrefixes != 0 || res.Rounds != 0 || res.ASesTouched != 0 {
+		t.Fatalf("flap did not coalesce: %+v", res)
+	}
+	if g.Version() != verBefore {
+		t.Fatalf("flap bumped graph version %d -> %d", verBefore, g.Version())
+	}
+	diffWorlds(t, "flap", before, snapshotWorld(g))
+}
+
+// TestEventBatchErrorReportsNoWork: a batch naming an unknown AS fails
+// without claiming any convergence work.
+func TestEventBatchErrorReportsNoWork(t *testing.T) {
+	g := randomHierarchy(4)
+	res, err := g.ApplyEvents([]RouteEvent{{Kind: EvAnnounce, AS: 999999, Prefix: pfx("10.0.0.0/16")}})
+	if err == nil {
+		t.Fatal("expected error for unknown AS")
+	}
+	if res.DirtyPrefixes != 0 || res.Rounds != 0 {
+		t.Fatalf("failed batch reported work: %+v", res)
+	}
+}

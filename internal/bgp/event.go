@@ -1,0 +1,342 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/rpki"
+)
+
+// EventKind classifies a RouteEvent.
+type EventKind uint8
+
+// Route event kinds.
+const (
+	// EvAnnounce: AS begins originating Prefix.
+	EvAnnounce EventKind = iota
+	// EvWithdraw: AS stops originating Prefix.
+	EvWithdraw
+	// EvPolicyChange: AS's import policy and VRP view are replaced by the
+	// event's Policy and VRPs (both may be nil — an ROV rollback).
+	EvPolicyChange
+	// EvROAChange: the VRP views already assigned to validating ASes changed
+	// for the given ROA Prefixes (issuance, expiry, SLURM edits). The engine
+	// mutates nothing; it re-converges every interned prefix the listed
+	// space overlaps so import-time validation is re-run where it can differ.
+	EvROAChange
+	// EvLinkChange: a new or re-typed adjacency between AS and Peer with
+	// relationship Rel (as Graph.Link). A new edge can shift best paths for
+	// arbitrary prefixes, so this dirties the whole interned prefix set.
+	EvLinkChange
+)
+
+// String returns the kind's wire-ish name.
+func (k EventKind) String() string {
+	switch k {
+	case EvAnnounce:
+		return "announce"
+	case EvWithdraw:
+		return "withdraw"
+	case EvPolicyChange:
+		return "policy-change"
+	case EvROAChange:
+		return "roa-change"
+	case EvLinkChange:
+		return "link-change"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// RouteEvent is one typed routing-state change. Which fields are read
+// depends on Kind:
+//
+//	EvAnnounce/EvWithdraw: AS, Prefix
+//	EvPolicyChange:        AS, Policy, VRPs, and optionally Prefixes as an
+//	                       explicit dirty-scope hint (when empty the engine
+//	                       derives the scope from the old and new VRP views)
+//	EvROAChange:           Prefixes (the changed ROA space)
+//	EvLinkChange:          AS, Peer, Rel
+type RouteEvent struct {
+	Kind   EventKind
+	AS     inet.ASN
+	Peer   inet.ASN
+	Rel    Relationship
+	Prefix netip.Prefix
+	// Prefixes carries multi-prefix scopes (EvROAChange, and the optional
+	// EvPolicyChange hint).
+	Prefixes []netip.Prefix
+	Policy   ImportPolicy
+	VRPs     *rpki.VRPSet
+}
+
+// EventResult summarizes what one ApplyEvents batch did.
+type EventResult struct {
+	// Events is the number of events consumed (before coalescing).
+	Events int
+	// DirtyPrefixes is how many interned prefixes were re-converged; 0 means
+	// the batch coalesced to a no-op (e.g. a withdraw+announce flap) and no
+	// propagation ran.
+	DirtyPrefixes int
+	// Rounds is the number of propagation rounds the re-convergence took.
+	Rounds int
+	// ASesTouched counts ASes whose Loc-RIB changed during propagation.
+	ASesTouched int
+}
+
+// ApplyEvents applies a batch of route events and incrementally re-converges
+// exactly the affected prefixes. It is the single write path of the
+// convergence engine: Converge, ConvergePrefixes, and ApplyEvents all drive
+// the same dirty-set propagation core, so an event batch yields routing
+// state bit-identical to a from-scratch rebuild of the same world (the
+// equivalence property tests pin this down at multiple worker counts).
+//
+// Announce/withdraw events are coalesced per (AS, prefix): only the net
+// origination change is applied, so a transient flap — withdraw immediately
+// followed by re-announce inside one batch — costs microseconds and leaves
+// routing state untouched. Policy, ROA, and link events accumulate their
+// dirty scopes into the same re-convergence, so a batch pays one propagation
+// regardless of how many events it carries.
+//
+// Graph membership and policy mutations are applied in order; the batch is
+// not transactional — on error, events preceding the faulty one may already
+// have been applied (the returned result reports zero work in that case, and
+// callers should treat the graph as needing a full Converge).
+//
+// Converge must have run once before the first event batch, exactly as with
+// ConvergePrefixes.
+func (g *Graph) ApplyEvents(events []RouteEvent) (EventResult, error) {
+	start := time.Now()
+	res := EventResult{Events: len(events)}
+	g.stats.Batches.Add(1)
+	g.stats.EventsApplied.Add(uint64(len(events)))
+	if len(events) == 0 {
+		g.stats.observe(time.Since(start))
+		return res, nil
+	}
+
+	// Pass 1: coalesce origination events into the net desired state and
+	// apply the structural mutations (policy swaps, links), accumulating the
+	// dirty prefix-ID scope as we go.
+	type originKey struct {
+		asn inet.ASN
+		id  PrefixID
+	}
+	var (
+		order   []originKey
+		desired map[originKey]bool
+		dirty   map[PrefixID]struct{}
+	)
+	dirtyAll := false
+	markDirty := func(id PrefixID) {
+		if dirty == nil {
+			dirty = make(map[PrefixID]struct{}, 8)
+		}
+		dirty[id] = struct{}{}
+	}
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case EvAnnounce, EvWithdraw:
+			if g.ASes[ev.AS] == nil {
+				return EventResult{Events: len(events)}, fmt.Errorf("bgp: %s event for unknown AS %v", ev.Kind, ev.AS)
+			}
+			if !ev.Prefix.IsValid() {
+				return EventResult{Events: len(events)}, fmt.Errorf("bgp: %s event for AS %v with invalid prefix", ev.Kind, ev.AS)
+			}
+			k := originKey{ev.AS, g.tab.Intern(ev.Prefix)}
+			if desired == nil {
+				desired = make(map[originKey]bool, 4)
+			}
+			if _, seen := desired[k]; !seen {
+				order = append(order, k)
+			}
+			desired[k] = ev.Kind == EvAnnounce
+		case EvPolicyChange:
+			a := g.ASes[ev.AS]
+			if a == nil {
+				return EventResult{Events: len(events)}, fmt.Errorf("bgp: policy-change event for unknown AS %v", ev.AS)
+			}
+			oldVRPs := a.VRPs
+			a.Policy, a.VRPs = ev.Policy, ev.VRPs
+			if len(ev.Prefixes) > 0 {
+				for _, p := range ev.Prefixes {
+					markDirty(g.tab.Intern(p))
+				}
+				continue
+			}
+			// Import policies discriminate only on validation outcomes, and
+			// an announcement's outcome can differ from NotFound only where
+			// the old or new VRP view covers it — everything else imports
+			// identically under any policy, so the covered prefixes bound
+			// the dirty scope.
+			for id, n := 0, g.tab.Len(); id < n; id++ {
+				p := g.tab.Prefix(PrefixID(id))
+				if (oldVRPs != nil && oldVRPs.CoversPrefix(p)) ||
+					(ev.VRPs != nil && ev.VRPs.CoversPrefix(p)) {
+					markDirty(PrefixID(id))
+				}
+			}
+		case EvROAChange:
+			for _, roa := range ev.Prefixes {
+				for id, n := 0, g.tab.Len(); id < n; id++ {
+					if roa.Overlaps(g.tab.Prefix(PrefixID(id))) {
+						markDirty(PrefixID(id))
+					}
+				}
+			}
+		case EvLinkChange:
+			if err := g.Link(ev.AS, ev.Peer, ev.Rel); err != nil {
+				return EventResult{Events: len(events)}, err
+			}
+			dirtyAll = true
+		default:
+			return EventResult{Events: len(events)}, fmt.Errorf("bgp: unknown event kind %d", ev.Kind)
+		}
+	}
+
+	// Pass 2: apply the net origination changes. Only transitions dirty a
+	// prefix — a flap that withdraws and re-announces inside the batch
+	// coalesces to nothing here.
+	for _, k := range order {
+		if g.ASes[k.asn].setOriginated(g.tab.Prefix(k.id), desired[k]) {
+			markDirty(k.id)
+		}
+	}
+
+	var pids []PrefixID
+	if dirtyAll {
+		pids = make([]PrefixID, g.tab.Len())
+		for id := range pids {
+			pids[id] = PrefixID(id)
+		}
+	} else if len(dirty) > 0 {
+		pids = make([]PrefixID, 0, len(dirty))
+		for id := range dirty {
+			pids = append(pids, id)
+		}
+		sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	}
+	rounds, touched, err := g.convergeDirty(pids)
+	res.DirtyPrefixes = len(pids)
+	res.Rounds = rounds
+	res.ASesTouched = touched
+	if len(pids) > 0 {
+		g.stats.IncrementalConverges.Add(1)
+		g.stats.DirtyPrefixes.Add(uint64(len(pids)))
+		g.stats.Rounds.Add(uint64(rounds))
+		g.stats.ASesTouched.Add(uint64(touched))
+	}
+	g.stats.observe(time.Since(start))
+	return res, err
+}
+
+// SetOriginated adds or removes an originated prefix on the AS, reporting
+// whether the set changed. ApplyEvents uses it to apply net origination
+// changes; direct callers must re-converge the prefix afterwards.
+func (a *AS) setOriginated(p netip.Prefix, active bool) bool {
+	idx := -1
+	for i, own := range a.Originated {
+		if own == p {
+			idx = i
+			break
+		}
+	}
+	switch {
+	case active && idx < 0:
+		a.Originated = append(a.Originated, p)
+		return true
+	case !active && idx >= 0:
+		a.Originated = append(a.Originated[:idx], a.Originated[idx+1:]...)
+		return true
+	}
+	return false
+}
+
+// statsLatRingSize bounds the re-convergence latency reservoir (a power of
+// two so the ring index is a mask).
+const statsLatRingSize = 1 << 10
+
+// ConvergeStats accumulates the convergence engine's observability counters.
+// All fields are atomics: the serving daemon's /metrics endpoint reads them
+// concurrently with the measurement loop's convergences.
+type ConvergeStats struct {
+	// EventsApplied counts RouteEvents consumed; Batches counts ApplyEvents
+	// calls (a batch may coalesce to zero work).
+	EventsApplied atomic.Uint64
+	Batches       atomic.Uint64
+	// IncrementalConverges counts dirty-set propagation runs (event batches
+	// and ConvergePrefixes calls that had work); FullConverges counts
+	// from-scratch Converge runs.
+	IncrementalConverges atomic.Uint64
+	FullConverges        atomic.Uint64
+	// DirtyPrefixes, ASesTouched and Rounds are cumulative over incremental
+	// runs: prefixes re-flooded, ASes whose Loc-RIB changed, and propagation
+	// rounds taken.
+	DirtyPrefixes atomic.Uint64
+	ASesTouched   atomic.Uint64
+	Rounds        atomic.Uint64
+
+	latCount atomic.Uint64
+	latRing  [statsLatRingSize]atomic.Int64 // nanoseconds, sliding reservoir
+}
+
+// observe records one incremental re-convergence latency.
+func (s *ConvergeStats) observe(d time.Duration) {
+	i := s.latCount.Add(1) - 1
+	s.latRing[i&(statsLatRingSize-1)].Store(int64(d))
+}
+
+// LatencyQuantiles returns the p50 and p99 of the recorded re-convergence
+// latencies (over the sliding reservoir; zeros when nothing was recorded).
+func (s *ConvergeStats) LatencyQuantiles() (p50, p99 time.Duration) {
+	n := s.latCount.Load()
+	if n == 0 {
+		return 0, 0
+	}
+	if n > statsLatRingSize {
+		n = statsLatRingSize
+	}
+	lats := make([]int64, n)
+	for i := range lats {
+		lats[i] = s.latRing[i].Load()
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := func(q float64) int64 {
+		i := int(q * float64(len(lats)-1))
+		return lats[i]
+	}
+	return time.Duration(idx(0.50)), time.Duration(idx(0.99))
+}
+
+// Snapshot renders the counters as an expvar-friendly map. Mean ASes touched
+// per event batch and the latency quantiles are derived here so consumers
+// get ready-to-plot numbers.
+func (s *ConvergeStats) Snapshot() map[string]any {
+	p50, p99 := s.LatencyQuantiles()
+	batches := s.Batches.Load()
+	var meanTouched float64
+	if inc := s.IncrementalConverges.Load(); inc > 0 {
+		meanTouched = float64(s.ASesTouched.Load()) / float64(inc)
+	}
+	return map[string]any{
+		"events_applied":        s.EventsApplied.Load(),
+		"event_batches":         batches,
+		"incremental_converges": s.IncrementalConverges.Load(),
+		"full_converges":        s.FullConverges.Load(),
+		"dirty_prefixes":        s.DirtyPrefixes.Load(),
+		"ases_touched":          s.ASesTouched.Load(),
+		"ases_touched_mean":     meanTouched,
+		"rounds":                s.Rounds.Load(),
+		"reconverge_p50_us":     float64(p50) / 1e3,
+		"reconverge_p99_us":     float64(p99) / 1e3,
+	}
+}
+
+// Stats returns the graph's convergence counters (never nil; shared with the
+// engine, so the returned pointer stays live).
+func (g *Graph) Stats() *ConvergeStats { return &g.stats }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/netsec-lab/rovista/internal/bgp"
 	"github.com/netsec-lab/rovista/internal/detect"
 	"github.com/netsec-lab/rovista/internal/faults"
 	"github.com/netsec-lab/rovista/internal/inet"
@@ -248,6 +249,35 @@ func (r *Runner) Measure() *Snapshot {
 	results := make([]detect.PairResult, len(pairs))
 	if r.Cfg.Progress != nil {
 		ex.Progress = func(done, total int) { r.progress(StageMeasurePairs, done, total) }
+	}
+	// Transient origin flaps: withdraw + re-announce batches for routed
+	// prefixes, pushed through the incremental convergence engine. They run
+	// serially before the parallel measure stage (event batches mutate the
+	// graph, which the workers read), and each batch coalesces to a net
+	// no-op, so the routing state the pairs measure against is untouched —
+	// the flaps exercise the event path, not the outcome. Targets derive
+	// from (round seed, StreamRouteFlap, flap index) alone, so any worker
+	// count injects the identical sequence.
+	if fp.RouteFlaps > 0 && w.Graph != nil && w.Topo != nil {
+		type origin struct {
+			asn inet.ASN
+			p   netip.Prefix
+		}
+		var cands []origin
+		for _, asn := range w.Topo.ASNs {
+			if ps := w.Topo.Info[asn].Prefixes; len(ps) > 0 {
+				cands = append(cands, origin{asn, ps[0]})
+			}
+		}
+		for i := 0; i < fp.RouteFlaps && len(cands) > 0; i++ {
+			c := cands[uint64(seedmix.Mix(r.Cfg.Seed, faults.StreamRouteFlap, int64(i)))%uint64(len(cands))]
+			if _, err := w.Graph.ApplyEvents([]bgp.RouteEvent{
+				{Kind: bgp.EvWithdraw, AS: c.asn, Prefix: c.p},
+				{Kind: bgp.EvAnnounce, AS: c.asn, Prefix: c.p},
+			}); err == nil {
+				metrics.Faults.RouteFlaps++
+			}
+		}
 	}
 	// Transient BGP flaps: thrash the forwarding-path cache concurrently
 	// with the workers. The cache is proven result-invariant (the path-cache

@@ -5,6 +5,7 @@ import (
 	"syscall"
 	"testing"
 
+	"github.com/netsec-lab/rovista/internal/bgp"
 	"github.com/netsec-lab/rovista/internal/topology"
 )
 
@@ -19,7 +20,7 @@ func peakRSSMB() float64 {
 	return float64(ru.Maxrss) / 1024
 }
 
-var scaleSizes = []int{10_000, 50_000}
+var scaleSizes = []int{10_000, 50_000, 74_000}
 
 func scaleName(n int) string { return fmt.Sprintf("%dk", n/1000) }
 
@@ -36,6 +37,62 @@ func BenchmarkWorldBuild(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(peakRSSMB(), "peakRSS-MB")
+		})
+	}
+}
+
+// BenchmarkFlapReconverge measures the event path's single-prefix flap cost
+// at paper scale, in two variants:
+//
+//   - coalesced: a withdraw + re-announce of the same origination in ONE
+//     ApplyEvents batch. The engine coalesces it to a net no-op — no dirty
+//     prefixes, no propagation, no version bump — which is the microsecond
+//     path every BGP-speaker-style update interval hits in practice.
+//   - toggle: the same flap split across TWO batches, each a genuine
+//     single-prefix incremental re-convergence (withdraw propagates, then the
+//     re-announce restores the exact pre-flap state). This is the honest
+//     bounded-dirty-set cost: per-prefix reset plus the affected cone.
+func BenchmarkFlapReconverge(b *testing.B) {
+	for _, n := range scaleSizes {
+		b.Run(scaleName(n), func(b *testing.B) {
+			topo := topology.Generate(LargeWorldConfig(1, n).Topology)
+			if _, err := topo.Graph.Converge(); err != nil {
+				b.Fatal(err)
+			}
+			var origin *bgp.AS
+			for _, asn := range topo.ASNs {
+				if a := topo.Graph.AS(asn); len(a.Originated) > 0 {
+					origin = a
+					break
+				}
+			}
+			if origin == nil {
+				b.Fatal("no originating AS")
+			}
+			p := origin.Originated[0]
+			flap := func(evs ...bgp.RouteEvent) {
+				if _, err := topo.Graph.ApplyEvents(evs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			withdraw := bgp.RouteEvent{Kind: bgp.EvWithdraw, AS: origin.ASN, Prefix: p}
+			announce := bgp.RouteEvent{Kind: bgp.EvAnnounce, AS: origin.ASN, Prefix: p}
+
+			b.Run("coalesced", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					flap(withdraw, announce)
+				}
+			})
+			b.Run("toggle", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					flap(withdraw)
+					flap(announce)
+				}
+				b.StopTimer()
+				b.ReportMetric(peakRSSMB(), "peakRSS-MB")
+			})
 		})
 	}
 }

@@ -14,25 +14,34 @@ import (
 func (w *World) MarkDirty(p netip.Prefix) { w.dirty[p.Masked()] = true }
 
 // AddLink inserts a new adjacency mid-timeline (e.g. a content provider
-// becoming a tier-1's customer, the Figure-10 scenario). A new edge can
-// shift best routes for arbitrary prefixes, so the next AdvanceTo performs
-// a full re-convergence.
+// becoming a tier-1's customer, the Figure-10 scenario). Once the world has
+// converged, the edge goes through the event engine immediately: a new link
+// can shift best routes for arbitrary prefixes, so the link-change event
+// dirties the whole interned prefix set and re-converges through the one
+// propagation engine.
 func (w *World) AddLink(a, b inet.ASN, rel bgp.Relationship) error {
-	if err := w.Graph.Link(a, b, rel); err != nil {
-		return err
+	if !w.converged {
+		return w.Graph.Link(a, b, rel)
 	}
-	w.converged = false
-	return nil
+	_, err := w.Graph.ApplyEvents([]bgp.RouteEvent{{Kind: bgp.EvLinkChange, AS: a, Peer: b, Rel: rel}})
+	return err
 }
 
-// AdvanceTo moves the world to the given day: the relying party re-validates
-// the repositories, per-AS ROV policies flip according to the schedule,
-// misconfigured announcements start or stop, and routing re-converges —
-// incrementally when possible.
+// AdvanceTo moves the world to the given day. The relying party re-validates
+// the repositories and every validating AS receives its (possibly
+// SLURM-filtered) view of the day's VRPs; then, instead of re-converging
+// every schedule participant, the day transition is diffed against the last
+// advanced day and only the actual changes — ROV deployments or rollbacks,
+// misconfigured announcements starting or stopping, ROAs whose validity
+// window opened or closed — are applied as RouteEvents in one batch. The
+// first call performs the full from-scratch convergence; repeated calls for
+// the same day (the round driver's steady state) coalesce to nothing.
 func (w *World) AdvanceTo(day int) error {
 	if day < 0 || day > w.Cfg.Days {
 		return fmt.Errorf("core: day %d outside timeline [0, %d]", day, w.Cfg.Days)
 	}
+	prevDay := w.lastDay
+	first := !w.converged
 	w.Day = day
 
 	// Relying-party validation at this day.
@@ -44,60 +53,104 @@ func (w *World) AdvanceTo(day int) error {
 	vrps, _ := rp.Validate(repos)
 	w.VRPs = vrps
 
-	// Apply ROV schedule. Only filtering ASes hold a VRP view: origin
-	// validation at import costs a trie walk per announcement, and
-	// non-validating ASes by definition do not perform it.
+	var events []bgp.RouteEvent
+
+	// ROV schedule. Only filtering ASes hold a VRP view: origin validation
+	// at import costs a trie walk per announcement, and non-validating ASes
+	// by definition do not perform it. Deployment flips travel as
+	// policy-change events (the engine scopes their dirty set to the
+	// VRP-covered prefixes); an AS whose deployment state did not change
+	// just has its view pointer refreshed — the views differ at most by the
+	// day's ROA diff, which the roa-change event below re-validates.
 	for asn, tr := range w.Truth {
 		a := w.Graph.AS(asn)
-		if tr.DeployedAt(day) {
-			a.Policy = tr.Policy
+		deployed := tr.DeployedAt(day)
+		var view *rpki.VRPSet
+		if deployed {
+			view = vrps
 			if tr.SLURMException.IsValid() {
 				// RFC 8416 local exception: VRPs covering the whitelisted
 				// prefix are filtered out of this AS's view, so the route
 				// validates NotFound and passes the filter (§7.1).
 				slurm := &rpki.SLURM{PrefixFilters: []rpki.PrefixFilter{{Prefix: coveringFilter(tr.SLURMException)}}}
-				a.VRPs = slurm.Apply(vrps)
-			} else {
-				a.VRPs = vrps
+				view = slurm.Apply(vrps)
 			}
-		} else {
-			a.Policy = nil
-			a.VRPs = nil
+		}
+		switch {
+		case first:
+			if deployed {
+				a.Policy, a.VRPs = tr.Policy, view
+			} else {
+				a.Policy, a.VRPs = nil, nil
+			}
+		case deployed != tr.DeployedAt(prevDay):
+			if deployed {
+				events = append(events, bgp.RouteEvent{Kind: bgp.EvPolicyChange, AS: asn, Policy: tr.Policy, VRPs: view})
+			} else {
+				events = append(events, bgp.RouteEvent{Kind: bgp.EvPolicyChange, AS: asn})
+			}
+		case deployed:
+			a.VRPs = view
 		}
 	}
 
-	// Apply the invalid-announcement schedule.
-	dirty := make(map[netip.Prefix]bool, len(w.dirty)+len(w.Invalids))
-	for p := range w.dirty {
-		dirty[p] = true
-	}
+	// Misconfigured-announcement schedule: only start/stop transitions
+	// become events; the engine coalesces them with everything else in the
+	// batch.
 	for _, inv := range w.Invalids {
-		active := day >= inv.StartDay && day < inv.EndDay
-		w.setOriginated(inv.Origin, inv.Prefix, active)
-		if inv.Shared {
-			w.setOriginated(inv.Victim, inv.Prefix, active)
+		active := inv.ActiveAt(day)
+		if first {
+			w.setOriginated(inv.Origin, inv.Prefix, active)
+			if inv.Shared {
+				w.setOriginated(inv.Victim, inv.Prefix, active)
+			}
+			continue
 		}
-		dirty[inv.Prefix] = true
+		if active == inv.ActiveAt(prevDay) {
+			continue
+		}
+		kind := bgp.EvWithdraw
+		if active {
+			kind = bgp.EvAnnounce
+		}
+		events = append(events, bgp.RouteEvent{Kind: kind, AS: inv.Origin, Prefix: inv.Prefix})
+		if inv.Shared {
+			events = append(events, bgp.RouteEvent{Kind: kind, AS: inv.Victim, Prefix: inv.Prefix})
+		}
 	}
 
-	// Converge: full the first time, incremental afterwards. Policy
-	// changes only alter import decisions for RPKI-invalid announcements,
-	// and every invalid announcement's prefix is in the dirty set.
-	if !w.converged {
+	// ROA validity windows that opened or closed between the two days, plus
+	// externally marked prefixes, travel as one roa-change event: the engine
+	// re-converges every interned prefix the listed space overlaps, which
+	// re-runs import-time validation exactly where it can differ.
+	var roaDiff []netip.Prefix
+	if !first {
+		for p, d0 := range w.roaDayByPrefix {
+			if (prevDay >= d0) != (day >= d0) {
+				roaDiff = append(roaDiff, p)
+			}
+		}
+		for p := range w.dirty {
+			roaDiff = append(roaDiff, p)
+		}
+	}
+	if len(roaDiff) > 0 {
+		events = append(events, bgp.RouteEvent{Kind: bgp.EvROAChange, Prefixes: roaDiff})
+	}
+
+	// Converge: full the first time, one incremental event batch afterwards.
+	if first {
 		if _, err := w.Graph.Converge(); err != nil {
 			return err
 		}
 		w.converged = true
-	} else {
-		ps := make([]netip.Prefix, 0, len(dirty))
-		for p := range dirty {
-			ps = append(ps, p)
-		}
-		if _, err := w.Graph.ConvergePrefixes(ps); err != nil {
+	} else if len(events) > 0 {
+		if _, err := w.Graph.ApplyEvents(events); err != nil {
 			return err
 		}
 	}
 	w.dirty = make(map[netip.Prefix]bool)
+	w.lastDay = day
 	return nil
 }
 

@@ -184,6 +184,15 @@ func LargeWorldConfig(seed int64, nASes int) WorldConfig {
 	return cfg
 }
 
+// FullInternetConfig returns the full-Internet-scale preset: 74k ASes, the
+// routed AS count the paper measures against. It is LargeWorldConfig at
+// n = 74,000 — the same fixed ~250-prefix routed population, so full-table
+// state stays ASes-linear and a from-scratch convergence plus event-driven
+// incremental re-convergence fit comfortably in memory.
+func FullInternetConfig(seed int64) WorldConfig {
+	return LargeWorldConfig(seed, 74_000)
+}
+
 // Truth is the generator-side ground truth about one AS — what a perfectly
 // informed operator survey would say (§6.3).
 type Truth struct {
@@ -258,7 +267,11 @@ type World struct {
 
 	Day       int
 	converged bool
-	dirty     map[netip.Prefix]bool
+	// lastDay is the day routing state was last advanced to; AdvanceTo
+	// diffs the schedule between lastDay and the target day to emit only
+	// the transition RouteEvents.
+	lastDay int
+	dirty   map[netip.Prefix]bool
 
 	roaDayByPrefix map[netip.Prefix]int
 	rng            *rand.Rand

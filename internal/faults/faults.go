@@ -39,6 +39,9 @@ const (
 	StreamChurn int64 = 0x0fa0174
 	// StreamRequalify seeds the post-round re-qualification scans.
 	StreamRequalify int64 = 0x0fa0175
+	// StreamRouteFlap picks the origin flaps (withdraw + re-announce event
+	// batches) injected through the incremental convergence engine.
+	StreamRouteFlap int64 = 0x0fa0176
 )
 
 // Profile is one named set of fault-injection knobs. The zero value injects
@@ -108,6 +111,14 @@ type Profile struct {
 	// never changes results (the path-cache equivalence property), so these
 	// thrash the cache under load without perturbing outcomes.
 	CacheFlaps int
+	// RouteFlaps is the number of transient origin flaps — a withdraw and
+	// re-announce of one routed prefix, batched the way a BGP speaker's
+	// update interval batches them — the round driver pushes through the
+	// incremental convergence engine before the measure stage. Each batch
+	// coalesces to a net no-op, so scores are unperturbed while the event
+	// path (and its per-prefix cache invalidation protocol) is exercised
+	// under the determinism harness.
+	RouteFlaps int
 }
 
 // Enabled reports whether the profile injects anything at all.
@@ -115,7 +126,7 @@ func (p Profile) Enabled() bool {
 	return p.LinkLossPerHop > 0 || p.ReorderProb > 0 || p.DupProb > 0 ||
 		p.RateLimitPPS > 0 || p.CrossTrafficFactor > 0 || p.CrossBurstProb > 0 ||
 		p.SplitCounterProb > 0 || p.ResetProb > 0 || p.ChurnProb > 0 ||
-		p.FlapProb > 0 || p.CacheFlaps > 0
+		p.FlapProb > 0 || p.CacheFlaps > 0 || p.RouteFlaps > 0
 }
 
 // None returns the empty profile: a clean network.
@@ -147,6 +158,7 @@ func Paper() Profile {
 		FlapDuration:       1.5,
 		FlapSpan:           12,
 		CacheFlaps:         4,
+		RouteFlaps:         3,
 	}
 }
 
@@ -176,6 +188,7 @@ func Harsh() Profile {
 		FlapDuration:       3,
 		FlapSpan:           12,
 		CacheFlaps:         16,
+		RouteFlaps:         12,
 	}
 }
 

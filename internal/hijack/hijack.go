@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net/netip"
 
+	"github.com/netsec-lab/rovista/internal/bgp"
 	"github.com/netsec-lab/rovista/internal/core"
 	"github.com/netsec-lab/rovista/internal/inet"
 )
@@ -98,9 +99,9 @@ func Analyze(w *core.World, scores map[inet.ASN]float64, events []Event) []Repor
 			rep.RPKICovered = w.VRPs.CoversPrefix(ev.Prefix)
 		}
 
-		attacker := w.Graph.AS(ev.Attacker)
-		attacker.Originated = append(attacker.Originated, ev.Prefix)
-		w.Graph.ConvergePrefixes([]netip.Prefix{ev.Prefix})
+		// Inject the hijack as a route event: the engine scopes the
+		// re-convergence to the announced prefix.
+		w.Graph.ApplyEvents([]bgp.RouteEvent{{Kind: bgp.EvAnnounce, AS: ev.Attacker, Prefix: ev.Prefix}})
 
 		// Blast radius: ASes whose best route for the hijacked prefix leads
 		// to the attacker.
@@ -135,9 +136,10 @@ func Analyze(w *core.World, scores map[inet.ASN]float64, events []Event) []Repor
 			break
 		}
 
-		// Withdraw the hijack and restore routing.
-		attacker.Originated = attacker.Originated[:len(attacker.Originated)-1]
-		w.Graph.ConvergePrefixes([]netip.Prefix{ev.Prefix})
+		// Withdraw the hijack and restore routing (the withdraw event
+		// re-converges the same prefix cone back to its pre-hijack state —
+		// the restoration regression test pins bit-identity down).
+		w.Graph.ApplyEvents([]bgp.RouteEvent{{Kind: bgp.EvWithdraw, AS: ev.Attacker, Prefix: ev.Prefix}})
 		out = append(out, rep)
 	}
 	return out

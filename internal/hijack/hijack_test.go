@@ -1,8 +1,10 @@
 package hijack
 
 import (
+	"reflect"
 	"testing"
 
+	"github.com/netsec-lab/rovista/internal/bgp"
 	"github.com/netsec-lab/rovista/internal/core"
 	"github.com/netsec-lab/rovista/internal/inet"
 )
@@ -70,6 +72,68 @@ func TestAnalyzeRestoresRouting(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestHijackRestoresExactState pins the event-path restoration guarantee:
+// after a hijack announce + withdraw pair travels through ApplyEvents, every
+// AS's Loc-RIB — paths, learned-from neighbors, local preferences, validity,
+// the lot — is bit-identical to the pre-hijack snapshot, and sampled data
+// paths re-resolve identically.
+func TestHijackRestoresExactState(t *testing.T) {
+	w := world(t, 5)
+	evs := Generate(w, 8, 5)
+	if len(evs) == 0 {
+		t.Fatal("no events generated")
+	}
+
+	before := make(map[inet.ASN][]bgp.Route, len(w.Topo.ASNs))
+	for _, asn := range w.Topo.ASNs {
+		before[asn] = w.Graph.AS(asn).Routes()
+	}
+	pathsBefore := samplePaths(w)
+
+	for _, ev := range evs {
+		if _, err := w.Graph.ApplyEvents([]bgp.RouteEvent{{Kind: bgp.EvAnnounce, AS: ev.Attacker, Prefix: ev.Prefix}}); err != nil {
+			t.Fatalf("announce: %v", err)
+		}
+		if _, err := w.Graph.ApplyEvents([]bgp.RouteEvent{{Kind: bgp.EvWithdraw, AS: ev.Attacker, Prefix: ev.Prefix}}); err != nil {
+			t.Fatalf("withdraw: %v", err)
+		}
+	}
+
+	for _, asn := range w.Topo.ASNs {
+		if got := w.Graph.AS(asn).Routes(); !reflect.DeepEqual(got, before[asn]) {
+			t.Fatalf("AS %v Loc-RIB changed after hijack announce+withdraw:\nbefore %+v\nafter  %+v",
+				asn, before[asn], got)
+		}
+	}
+	if got := samplePaths(w); !reflect.DeepEqual(got, pathsBefore) {
+		t.Fatalf("data paths changed after hijack announce+withdraw")
+	}
+}
+
+// samplePaths resolves a deterministic sample of origin-to-origin data paths.
+func samplePaths(w *core.World) [][]inet.ASN {
+	var origins []inet.ASN
+	for _, asn := range w.Topo.ASNs {
+		if len(w.Topo.Info[asn].Prefixes) > 0 {
+			origins = append(origins, asn)
+			if len(origins) == 12 {
+				break
+			}
+		}
+	}
+	var out [][]inet.ASN
+	for _, src := range origins {
+		for _, dst := range origins {
+			if src == dst {
+				continue
+			}
+			path, _ := w.Graph.DataPath(src, w.Topo.Info[dst].Prefixes[0].Addr())
+			out = append(out, path)
+		}
+	}
+	return out
 }
 
 func ownsPrefix(w *core.World, asn inet.ASN, p interface{ String() string }) bool {

@@ -330,19 +330,26 @@ type pathKey struct {
 }
 
 // pathEntry is one memoized Graph.DataPath result. The path slice is shared
-// by every cache hit: consumers treat traced paths as immutable.
+// by every cache hit: consumers treat traced paths as immutable. epoch is
+// the graph routing version the entry was computed at; the entry is valid
+// while epoch >= Graph.AffectedEpoch(key's prefix ID).
 type pathEntry struct {
 	path      []inet.ASN
 	delivered bool
+	epoch     uint64
 }
 
 // pathCache memoizes the pure AS-path computation beneath Trace. The BGP
-// data plane is a function of (routing state, srcASN, dst) only, so entries
-// stay valid until the graph re-converges; the graph's routing version keys
-// the whole cache, and a version mismatch drops every entry at once. An
-// RWMutex (rather than sync.Map) keeps the hit path to one read-lock: during
-// the measure-pairs stage the network is read-only and every worker probes
-// the same few (client, vVP, tNode) endpoints, so the cache is written a
+// data plane is a function of (routing state, srcASN, dst) only. Entries are
+// invalidated per prefix ID: each carries the routing version it was
+// computed at and is compared against the graph's AffectedEpoch for its
+// destination prefix, so an incremental re-convergence of a handful of
+// prefixes (an event batch, a hijack, daily ROA churn) only invalidates the
+// paths those prefixes — or their covered more-specifics — can influence,
+// and the rest of the cache survives the version bump untouched. An RWMutex
+// (rather than sync.Map) keeps the hit path to one read-lock: during the
+// measure-pairs stage the network is read-only and every worker probes the
+// same few (client, vVP, tNode) endpoints, so the cache is written a
 // handful of times and read millions.
 type pathCache struct {
 	mu      sync.RWMutex
@@ -354,10 +361,11 @@ type pathCache struct {
 	// the cache is bypassed entirely until the next version.
 	keyable bool
 	m       map[pathKey]pathEntry
-	// dstID memoizes the address → LPM-ID resolution. The intern table only
-	// grows, and growth happens exclusively on the (version-bumping)
-	// convergence path, so entries stay valid for the cache's lifetime.
-	dstID map[netip.Addr]bgp.PrefixID
+	// dstID memoizes the address → LPM-ID resolution, rebuilt only when the
+	// intern table actually grew (dstGen tracks its generation): interning
+	// can move an address to a new, more specific LPM prefix.
+	dstID  map[netip.Addr]bgp.PrefixID
+	dstGen uint64
 }
 
 // lpmID resolves dst to the cache's destination key.
@@ -400,47 +408,47 @@ func (n *Network) dataPath(src inet.ASN, dst netip.Addr) ([]inet.ASN, bool) {
 	ver := n.Graph.Version()
 
 	c.mu.RLock()
-	if c.version == ver {
-		if !c.keyable {
-			c.mu.RUnlock()
-			return n.Graph.DataPath(src, dst)
-		}
-		id, haveID := c.dstID[dst]
-		if haveID {
-			if e, ok := c.m[pathKey{src, id}]; ok {
-				c.mu.RUnlock()
-				return e.path, e.delivered
+	if c.version != ver {
+		// Version transition: re-check the keying invariant and refresh the
+		// address→ID memo if the intern table grew. Entries are NOT dropped —
+		// each is validated per prefix ID against the graph's affected
+		// epochs, so paths untouched by the convergence keep hitting.
+		c.mu.RUnlock()
+		c.mu.Lock()
+		if c.version != ver {
+			c.version = ver
+			c.keyable = n.cacheKeyingSafe()
+			if gen := n.Graph.Prefixes().Gen(); gen != c.dstGen || c.dstID == nil {
+				c.dstGen = gen
+				c.dstID = make(map[netip.Addr]bgp.PrefixID, 256)
+			}
+			if c.m == nil {
+				c.m = make(map[pathKey]pathEntry, 256)
 			}
 		}
-		c.mu.RUnlock()
-		if !haveID {
-			id = lpmID(n.Graph, dst)
-		}
-		path, delivered := n.Graph.DataPath(src, dst)
-		c.mu.Lock()
-		if c.version == ver && c.keyable {
-			c.dstID[dst] = id
-			c.m[pathKey{src, id}] = pathEntry{path: path, delivered: delivered}
-		}
 		c.mu.Unlock()
-		return path, delivered
+		c.mu.RLock()
+	}
+	if c.version != ver || !c.keyable {
+		c.mu.RUnlock()
+		return n.Graph.DataPath(src, dst)
+	}
+	id, haveID := c.dstID[dst]
+	if haveID {
+		if e, ok := c.m[pathKey{src, id}]; ok && e.epoch >= n.Graph.AffectedEpoch(id) {
+			c.mu.RUnlock()
+			return e.path, e.delivered
+		}
 	}
 	c.mu.RUnlock()
-
-	// Version transition: compute outside the lock, then reset the cache for
-	// the new version (re-checking the keying invariant once per version).
-	id := lpmID(n.Graph, dst)
+	if !haveID {
+		id = lpmID(n.Graph, dst)
+	}
 	path, delivered := n.Graph.DataPath(src, dst)
 	c.mu.Lock()
-	if c.version != ver {
-		c.version = ver
-		c.keyable = n.cacheKeyingSafe()
-		c.m = make(map[pathKey]pathEntry, 256)
-		c.dstID = make(map[netip.Addr]bgp.PrefixID, 256)
-	}
-	if c.keyable {
+	if c.version == ver && c.keyable {
 		c.dstID[dst] = id
-		c.m[pathKey{src, id}] = pathEntry{path: path, delivered: delivered}
+		c.m[pathKey{src, id}] = pathEntry{path: path, delivered: delivered, epoch: ver}
 	}
 	c.mu.Unlock()
 	return path, delivered

@@ -51,6 +51,10 @@ type FaultMetrics struct {
 	// PathCacheFlaps counts forwarding-path-cache invalidations injected
 	// concurrently with the measure stage.
 	PathCacheFlaps int
+	// RouteFlaps counts transient origin flaps (coalesced withdraw +
+	// re-announce event batches) pushed through the convergence engine
+	// before the measure stage.
+	RouteFlaps int
 }
 
 // StartStage begins timing a named stage and returns the function that
@@ -95,9 +99,9 @@ func (m *Metrics) String() string {
 	fmt.Fprintf(&b, "workers=%d pairs=%d usable=%d discarded=%d\n",
 		m.Workers, m.PairsMeasured, m.PairsUsable, m.PairsDiscarded)
 	if f := m.Faults; f.Profile != "" && f.Profile != "none" {
-		fmt.Fprintf(&b, "faults=%s retries=%d recovered=%d churned=%d unstable=%d requalified=%d dropped=%d cache-flaps=%d\n",
+		fmt.Fprintf(&b, "faults=%s retries=%d recovered=%d churned=%d unstable=%d requalified=%d dropped=%d cache-flaps=%d route-flaps=%d\n",
 			f.Profile, f.PairRetries, f.PairsRecovered, f.VVPsChurned,
-			f.VVPsUnstable, f.VVPsRequalified, f.VVPsDropped, f.PathCacheFlaps)
+			f.VVPsUnstable, f.VVPsRequalified, f.VVPsDropped, f.PathCacheFlaps, f.RouteFlaps)
 	}
 	width := 0
 	for _, s := range m.Stages {

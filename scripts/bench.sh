@@ -2,8 +2,9 @@
 # Hot-path benchmark runner. Runs the measurement-round benchmarks (serial
 # and parallel) plus the BGP convergence benchmarks with allocation
 # reporting, and distills the results into BENCH_round.json; then the
-# paper-scale world benchmarks (10k/50k-AS build and steady-state converge,
-# with peak-RSS reporting) into BENCH_world.json; then the rovistad serving
+# paper-scale world benchmarks (10k/50k/74k-AS build, steady-state converge
+# and event-path flap re-convergence, with peak-RSS reporting) into
+# BENCH_world.json; then the rovistad serving
 # benchmark (mixed read workload against a populated 1k-AS/50-round store,
 # with qps and p50/p99 latency) into BENCH_serve.json. The files make perf
 # regressions diffable across commits.
@@ -80,10 +81,14 @@ go test -run '^$' -bench 'BenchmarkConverge' -benchmem ./internal/bgp/ | tee -a 
 distill < "$tmp" > "$round_out"
 echo "wrote $round_out"
 
-# Paper-scale tier: one timed pass each (a 50k-AS converge runs ~13s; more
-# iterations would add minutes for little signal).
+# Paper-scale tier: one timed pass each for build/converge (a 50k-AS
+# converge runs for seconds; more iterations would add minutes for little
+# signal). The flap benchmarks are microsecond-scale, so they get the default
+# benchtime for stable numbers.
 go test -run '^$' -bench 'BenchmarkWorldBuild|BenchmarkConvergeLarge' \
     -benchmem -benchtime 1x -timeout 30m ./internal/core/ | tee "$tmp"
+go test -run '^$' -bench 'BenchmarkFlapReconverge' \
+    -benchmem -timeout 30m ./internal/core/ | tee -a "$tmp"
 distill < "$tmp" > "$world_out"
 echo "wrote $world_out"
 
