@@ -8,15 +8,20 @@ package rovista
 
 import (
 	"io"
+	"net/netip"
 	"testing"
 
+	"github.com/netsec-lab/rovista/internal/bgp"
 	"github.com/netsec-lab/rovista/internal/experiments"
+	"github.com/netsec-lab/rovista/internal/inet"
 )
 
 // benchmarkMeasureRound times one full measurement round (all five pipeline
 // stages) against a prebuilt small world; the world build and convergence
 // sit outside the timer, and a warm-up round outside the timer fills the
-// vVP cache so iterations compare the measurement itself.
+// vVP cache so iterations compare the measurement itself. The incremental
+// result cache is off here — this is the from-scratch round cost that the
+// incremental benchmarks below are measured against.
 func benchmarkMeasureRound(b *testing.B, workers int) {
 	w, err := BuildWorld(SmallWorldConfig(7))
 	if err != nil {
@@ -27,6 +32,7 @@ func benchmarkMeasureRound(b *testing.B, workers int) {
 	}
 	cfg := DefaultRunnerConfig(7)
 	cfg.Workers = workers
+	cfg.Incremental = false
 	r := NewRunner(w, cfg)
 	if snap := r.Measure(); len(snap.Reports) == 0 {
 		b.Fatal("no reports")
@@ -43,6 +49,75 @@ func benchmarkMeasureRound(b *testing.B, workers int) {
 // wall-clock differs, proportional to available cores.
 func BenchmarkMeasureRoundSerial(b *testing.B)   { benchmarkMeasureRound(b, 1) }
 func BenchmarkMeasureRoundParallel(b *testing.B) { benchmarkMeasureRound(b, 0) }
+
+// benchmarkMeasureRoundIncremental times an incremental round after churning
+// the given fraction of routed prefixes: each iteration withdraws then
+// re-announces ceil(churn·origins) prefixes as two separate converged event
+// batches (so forwarding epochs genuinely move, unlike the coalesced
+// fault-injection flaps) and then runs one round, so ns/op is the steady-state
+// cost of a round at that churn rate. The cold cache-filling round sits
+// outside the timer. Compare against BenchmarkMeasureRoundSerial for the
+// speedup: zero churn re-measures nothing, and the 1%/10% variants re-measure
+// only the pairs whose three destinations route through the flapped origins.
+func benchmarkMeasureRoundIncremental(b *testing.B, churn float64) {
+	w, err := BuildWorld(SmallWorldConfig(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.AdvanceTo(0); err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultRunnerConfig(7)
+	cfg.Workers = 1
+	r := NewRunner(w, cfg)
+	if snap := r.Measure(); len(snap.Reports) == 0 {
+		b.Fatal("no reports")
+	}
+	type origin struct {
+		asn inet.ASN
+		p   netip.Prefix
+	}
+	var origins []origin
+	for _, asn := range w.Topo.ASNs {
+		if ps := w.Topo.Info[asn].Prefixes; len(ps) > 0 {
+			origins = append(origins, origin{asn, ps[0]})
+		}
+	}
+	k := 0
+	if churn > 0 {
+		if k = int(churn * float64(len(origins))); k < 1 {
+			k = 1
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < k; j++ {
+			o := origins[(i*k+j)%len(origins)]
+			if _, err := w.Graph.ApplyEvents([]bgp.RouteEvent{{Kind: bgp.EvWithdraw, AS: o.asn, Prefix: o.p}}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := w.Graph.ApplyEvents([]bgp.RouteEvent{{Kind: bgp.EvAnnounce, AS: o.asn, Prefix: o.p}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		snap := r.Measure()
+		if m := snap.Metrics; churn == 0 && m.PairsRemeasured != 0 {
+			b.Fatalf("zero-churn round re-measured %d pairs", m.PairsRemeasured)
+		} else if churn > 0 && i == 0 && m.PairsReused == 0 {
+			b.Fatal("churn round reused nothing; cache is not engaging")
+		}
+	}
+}
+
+func BenchmarkMeasureRoundIncrementalChurn0(b *testing.B) {
+	benchmarkMeasureRoundIncremental(b, 0)
+}
+func BenchmarkMeasureRoundIncrementalChurn1pct(b *testing.B) {
+	benchmarkMeasureRoundIncremental(b, 0.01)
+}
+func BenchmarkMeasureRoundIncrementalChurn10pct(b *testing.B) {
+	benchmarkMeasureRoundIncremental(b, 0.10)
+}
 
 func BenchmarkFig1ROACoverage(b *testing.B) {
 	for i := 0; i < b.N; i++ {

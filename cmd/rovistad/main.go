@@ -10,7 +10,14 @@
 //	rovistad [-addr :8080] [-store DIR] [-seed N] [-size small|smoke|medium|large]
 //	         [-rounds N] [-interval D] [-period DUR] [-workers N]
 //	         [-faults none|paper|harsh] [-rate-burst N] [-rate-refill R]
-//	         [-compact-every N] [-synth AxR]
+//	         [-compact-every N] [-synth AxR] [-incremental] [-full-every N]
+//
+// Rounds are incremental by default: pair results whose routing context is
+// unchanged since the previous round are reused (epoch-keyed cache), so a
+// low-churn round costs O(churn) rather than O(pairs). Every -full-every
+// rounds the daemon forces a from-scratch round as a self-check; cumulative
+// pairs_reused / pairs_remeasured / full_rounds_forced counters are exposed
+// under the "rounds" key of /metrics.
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: the measurement loop
 // stops at the next round boundary, in-flight requests drain, the store is
@@ -27,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -58,6 +66,8 @@ func run() error {
 	rateRefill := flag.Float64("rate-refill", 50, "per-client rate-limit refill tokens/sec")
 	compactEvery := flag.Int("compact-every", 0, "compact the store every N appended rounds (0 = never)")
 	synth := flag.String("synth", "", "skip measurement: pre-populate the store with AxR synthetic ASes×rounds (e.g. 1000x50) and serve that")
+	incremental := flag.Bool("incremental", true, "reuse unchanged pair results between rounds (epoch-keyed cache)")
+	fullEvery := flag.Int("full-every", 10, "force a from-scratch round every N rounds (0 = never)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -100,14 +110,19 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		runner.Cfg.Incremental = *incremental
+		rstats := &roundStats{fullEvery: *fullEvery}
 		stats := runner.W.Graph.Stats()
 		convergeStats = func() map[string]any {
-			return map[string]any{"converge": stats.Snapshot()}
+			return map[string]any{
+				"converge": stats.Snapshot(),
+				"rounds":   rstats.snapshot(),
+			}
 		}
 		// The first round runs before the listener opens so the API never
 		// serves an empty store.
 		if st.Rounds() == 0 {
-			if err := measureRound(runner, st, 0, *interval); err != nil {
+			if err := measureRound(runner, st, 0, *interval, rstats); err != nil {
 				return err
 			}
 		}
@@ -123,7 +138,7 @@ func run() error {
 				} else if ctx.Err() != nil {
 					return
 				}
-				if err := measureRound(runner, st, r, *interval); err != nil {
+				if err := measureRound(runner, st, r, *interval, rstats); err != nil {
 					log.Printf("measurement loop: %v", err)
 					return
 				}
@@ -175,8 +190,28 @@ func run() error {
 	return st.Close()
 }
 
+// roundStats accumulates the measurement loop's incremental-round counters.
+// The loop goroutine writes while /metrics handlers read, so every counter
+// is atomic.
+type roundStats struct {
+	fullEvery                                              int
+	rounds, pairsReused, pairsRemeasured, fullRoundsForced atomic.Int64
+}
+
+func (s *roundStats) snapshot() map[string]any {
+	return map[string]any{
+		"measured":           s.rounds.Load(),
+		"pairs_reused":       s.pairsReused.Load(),
+		"pairs_remeasured":   s.pairsRemeasured.Load(),
+		"full_rounds_forced": s.fullRoundsForced.Load(),
+	}
+}
+
 // measureRound advances the world to round r's day, measures, and appends.
-func measureRound(runner *core.Runner, st *store.Store, r, interval int) error {
+// Every stats.fullEvery rounds it forces a from-scratch round, so a stale
+// cache entry (which the equivalence tests say cannot exist) could never
+// persist in the archive for more than fullEvery-1 rounds.
+func measureRound(runner *core.Runner, st *store.Store, r, interval int, stats *roundStats) error {
 	day := r * interval
 	if day > runner.W.Cfg.Days {
 		day = runner.W.Cfg.Days
@@ -184,11 +219,19 @@ func measureRound(runner *core.Runner, st *store.Store, r, interval int) error {
 	if err := runner.W.AdvanceTo(day); err != nil {
 		return err
 	}
+	if stats.fullEvery > 0 && r > 0 && r%stats.fullEvery == 0 {
+		runner.ForceFullRound()
+		stats.fullRoundsForced.Add(1)
+	}
 	snap := runner.Measure()
 	if err := st.Append(store.FromSnapshot(snap)); err != nil {
 		return err
 	}
-	log.Printf("round %d (day %d): %d ASes scored, status=%s", r, day, len(snap.Reports), snap.Status)
+	stats.rounds.Add(1)
+	stats.pairsReused.Add(int64(snap.Metrics.PairsReused))
+	stats.pairsRemeasured.Add(int64(snap.Metrics.PairsRemeasured))
+	log.Printf("round %d (day %d): %d ASes scored, status=%s, pairs reused=%d remeasured=%d",
+		r, day, len(snap.Reports), snap.Status, snap.Metrics.PairsReused, snap.Metrics.PairsRemeasured)
 	return nil
 }
 

@@ -161,6 +161,23 @@ func (g *Graph) AffectedEpoch(id PrefixID) uint64 {
 	return g.affectedFloor
 }
 
+// ForwardingEpoch resolves dst to its most-specific interned prefix and
+// returns both the prefix's id and the routing version at which forwarding
+// toward it last changed (AffectedEpoch). Together the two values form a
+// complete validity stamp for any state derived from dst's forwarding paths:
+// the paths changed iff the epoch moved, and the destination was repointed
+// at different routes iff the id changed (interning a more specific prefix
+// can do that without any epoch movement). The measurement-round result
+// cache keys on exactly this pair, per destination a pair measurement
+// touches.
+func (g *Graph) ForwardingEpoch(dst netip.Addr) (PrefixID, uint64) {
+	id, ok := g.tab.LPM(dst)
+	if !ok {
+		id = NoPrefixID
+	}
+	return id, g.AffectedEpoch(id)
+}
+
 // bumpAffected records that the given prefixes changed at the current
 // version, propagating to their interned descendants (whose data paths can
 // traverse the changed routes).

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"github.com/netsec-lab/rovista/internal/bgp"
+	"github.com/netsec-lab/rovista/internal/faults"
+	"github.com/netsec-lab/rovista/internal/inet"
+)
+
+// worldPair builds two worlds from the same config so one can run the
+// incremental runner and the other the from-scratch reference; any
+// evolution applied to one must be applied to the other.
+func worldPair(t *testing.T, seed int64) (*World, *World) {
+	t.Helper()
+	build := func() *World {
+		w, err := BuildWorld(SmallWorldConfig(seed))
+		if err != nil {
+			t.Fatalf("BuildWorld: %v", err)
+		}
+		if err := w.AdvanceTo(0); err != nil {
+			t.Fatalf("AdvanceTo: %v", err)
+		}
+		return w
+	}
+	return build(), build()
+}
+
+// routedOrigins lists (AS, prefix) pairs suitable for withdraw/announce
+// event batches, deterministically ordered.
+func routedOrigins(w *World) (asns []inet.ASN, prefixes []netip.Prefix) {
+	for _, asn := range w.Topo.ASNs {
+		if ps := w.Topo.Info[asn].Prefixes; len(ps) > 0 {
+			asns = append(asns, asn)
+			prefixes = append(prefixes, ps[0])
+		}
+	}
+	return
+}
+
+// flapOrigins withdraws then re-announces origin k as two separate event
+// batches, so the withdrawal converges (and moves forwarding epochs) before
+// the route comes back — real churn, unlike the coalesced fault-injection
+// flaps.
+func flapOrigins(t *testing.T, w *World, asns []inet.ASN, prefixes []netip.Prefix, picks []int) {
+	t.Helper()
+	var wd, ann []bgp.RouteEvent
+	for _, k := range picks {
+		wd = append(wd, bgp.RouteEvent{Kind: bgp.EvWithdraw, AS: asns[k], Prefix: prefixes[k]})
+		ann = append(ann, bgp.RouteEvent{Kind: bgp.EvAnnounce, AS: asns[k], Prefix: prefixes[k]})
+	}
+	if _, err := w.Graph.ApplyEvents(wd); err != nil {
+		t.Fatalf("withdraw batch: %v", err)
+	}
+	if _, err := w.Graph.ApplyEvents(ann); err != nil {
+		t.Fatalf("announce batch: %v", err)
+	}
+}
+
+// TestIncrementalRoundEquivalence is the tentpole's contract, tested as a
+// randomized property: across a sequence of rounds interleaved with route
+// churn, timeline advances, host additions, and fault-profile flips, an
+// incremental runner's Snapshot must be bit-identical to a from-scratch
+// runner's at every round and worker count — the cache may only change how
+// much work a round does, never what it produces. The two runners drive
+// separate but identically-built and identically-evolved worlds, because a
+// round's discovery scans advance live host state.
+func TestIncrementalRoundEquivalence(t *testing.T) {
+	const seed, rounds = 21, 8
+	wInc, wRef := worldPair(t, seed)
+	asns, prefixes := routedOrigins(wInc)
+	if len(asns) == 0 {
+		t.Fatal("no routed origins to churn; property is vacuous")
+	}
+
+	cfgInc := DefaultRunnerConfig(seed)
+	cfgInc.Workers = 4
+	cfgInc.RecordPairs = true
+	cfgRef := cfgInc
+	cfgRef.Workers = 1
+	cfgRef.Incremental = false
+	rInc := NewRunner(wInc, cfgInc)
+	rRef := NewRunner(wRef, cfgRef)
+
+	profiles := []faults.Profile{faults.None(), faults.Paper(), faults.Harsh()}
+	rng := rand.New(rand.NewSource(seed)) // drives the schedule, not the measurement
+	day := 0
+	for round := 0; round < rounds; round++ {
+		// Evolve both worlds identically.
+		switch rng.Intn(4) {
+		case 0: // route churn: flap a few random origins
+			picks := make([]int, 1+rng.Intn(3))
+			for i := range picks {
+				picks[i] = rng.Intn(len(asns))
+			}
+			flapOrigins(t, wInc, asns, prefixes, picks)
+			flapOrigins(t, wRef, asns, prefixes, picks)
+		case 1: // timeline advance: ROA/ROV churn via the convergence engine
+			day += 1 + rng.Intn(5)
+			if err := wInc.AdvanceTo(day); err != nil {
+				t.Fatalf("AdvanceTo(%d): %v", day, err)
+			}
+			if err := wRef.AdvanceTo(day); err != nil {
+				t.Fatalf("AdvanceTo(%d): %v", day, err)
+			}
+		case 2: // host-population churn
+			asn := asns[rng.Intn(len(asns))]
+			wInc.AddCandidateHosts(asn, 2)
+			wRef.AddCandidateHosts(asn, 2)
+		case 3: // no evolution: the max-reuse round
+		}
+		// Occasionally flip the fault profile (flushes via fingerprint).
+		if rng.Intn(3) == 0 {
+			p := profiles[rng.Intn(len(profiles))]
+			rInc.Cfg.Faults = p
+			rRef.Cfg.Faults = p
+		}
+
+		got := rInc.Measure()
+		want := rRef.Measure()
+		if got.Metrics.FullRound {
+			t.Fatalf("round %d: incremental runner reported a full round", round)
+		}
+		if want.Metrics.PairsRemeasured != want.Metrics.PairsMeasured {
+			t.Fatalf("round %d: reference runner reused results", round)
+		}
+		got.Metrics, want.Metrics = nil, nil
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: incremental snapshot diverged from scratch", round)
+		}
+	}
+
+	hits, _, _ := rInc.PairCacheStats()
+	if hits == 0 {
+		t.Fatal("incremental runner never reused a pair; property is vacuous")
+	}
+}
+
+// TestIncrementalZeroChurnReusesEverything: with no evolution between two
+// clean rounds, the second round must reuse the entire grid.
+func TestIncrementalZeroChurnReusesEverything(t *testing.T) {
+	w, err := BuildWorld(SmallWorldConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AdvanceTo(0); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultRunnerConfig(7)
+	cfg.Workers = 1
+	r := NewRunner(w, cfg)
+
+	first := r.Measure().Metrics
+	if first.PairsRemeasured != first.PairsMeasured || first.PairsReused != 0 {
+		t.Fatalf("cold round: %+v", first)
+	}
+	second := r.Measure().Metrics
+	if second.PairsMeasured == 0 {
+		t.Fatal("no pairs measured; check is vacuous")
+	}
+	if second.PairsReused != second.PairsMeasured || second.PairsRemeasured != 0 {
+		t.Fatalf("zero-churn round re-measured pairs: reused=%d remeasured=%d of %d",
+			second.PairsReused, second.PairsRemeasured, second.PairsMeasured)
+	}
+}
+
+// TestForceFullRoundBypassesCache: ForceFullRound must make exactly the next
+// round measure everything, then re-arm the cache.
+func TestForceFullRoundBypassesCache(t *testing.T) {
+	w, err := BuildWorld(SmallWorldConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AdvanceTo(0); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(w, DefaultRunnerConfig(7))
+	r.Measure()
+	r.ForceFullRound()
+	m := r.Measure().Metrics
+	if !m.FullRound || m.PairsReused != 0 || m.PairsRemeasured != m.PairsMeasured {
+		t.Fatalf("forced round still reused: %+v", m)
+	}
+	m = r.Measure().Metrics
+	if m.FullRound || m.PairsReused != m.PairsMeasured {
+		t.Fatalf("round after forced full did not reuse: %+v", m)
+	}
+}
+
+// TestIncrementalDisabledNeverCaches pins the opt-out: with Cfg.Incremental
+// false every round is a full round.
+func TestIncrementalDisabledNeverCaches(t *testing.T) {
+	w, err := BuildWorld(SmallWorldConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AdvanceTo(0); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultRunnerConfig(7)
+	cfg.Incremental = false
+	r := NewRunner(w, cfg)
+	r.Measure()
+	m := r.Measure().Metrics
+	if !m.FullRound || m.PairsReused != 0 || m.PairsRemeasured != m.PairsMeasured {
+		t.Fatalf("non-incremental round reused results: %+v", m)
+	}
+}

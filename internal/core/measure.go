@@ -83,6 +83,107 @@ func (m isolatedPairMeasurer) MeasurePair(p pipeline.Pair) detect.PairResult {
 	return res
 }
 
+// roundFingerprint captures every measurement input that is not part of a
+// pair's identity or routing/liveness stamp: if any field changes between
+// rounds, no cached result is reusable and the result cache flushes. It is
+// a comparable struct (compared with ==), deliberately NOT a hash — a
+// collision would silently splice a stale result into the grid and break
+// the bit-identical contract.
+type roundFingerprint struct {
+	seed       int64
+	detect     detect.Config
+	retries    int
+	backoff    float64
+	requalify  bool
+	faults     faults.Profile
+	faultSeed  int64
+	netGen     uint64
+	clientAddr netip.Addr
+}
+
+// resultCache returns the runner's pair-result cache when the incremental
+// path applies: Cfg.Incremental set, the world-backed measurer in place (a
+// custom Measurer stage has inputs the epoch model cannot see), and a
+// routed network to derive epochs from.
+func (r *Runner) resultCache() *pipeline.ResultCache {
+	if !r.Cfg.Incremental || r.Measurer != nil || r.W.Net == nil || r.W.Graph == nil {
+		return nil
+	}
+	if r.pairCache == nil {
+		r.pairCache = pipeline.NewResultCache()
+	}
+	return r.pairCache
+}
+
+// roundFingerprint builds the current round's fingerprint. Must run after
+// ArmFaults (the network's fault state and generation are part of it).
+func (r *Runner) currentFingerprint() roundFingerprint {
+	return roundFingerprint{
+		seed:       r.Cfg.Seed,
+		detect:     r.Cfg.Detect,
+		retries:    r.Cfg.PairRetries,
+		backoff:    r.Cfg.RetryBackoff,
+		requalify:  r.Cfg.RequalifyVVPs,
+		faults:     r.W.Net.Faults,
+		faultSeed:  r.W.Net.FaultSeed,
+		netGen:     r.W.Net.Generation(),
+		clientAddr: r.W.ClientA.Addr,
+	}
+}
+
+// pairStamper derives each pair's validity stamp, memoizing the per-address
+// (LPM id, affected epoch) resolution: a round touches only a few hundred
+// distinct addresses while laying out tens of thousands of pairs.
+type pairStamper struct {
+	w    *World
+	memo map[netip.Addr]addrStamp
+}
+
+type addrStamp struct {
+	id    uint32
+	epoch uint64
+}
+
+func newPairStamper(w *World) *pairStamper {
+	return &pairStamper{w: w, memo: make(map[netip.Addr]addrStamp, 64)}
+}
+
+func (s *pairStamper) addr(a netip.Addr) addrStamp {
+	if st, ok := s.memo[a]; ok {
+		return st
+	}
+	id, epoch := s.w.Net.PathEpoch(a)
+	st := addrStamp{id: uint32(id), epoch: epoch}
+	s.memo[a] = st
+	return st
+}
+
+// stamp computes the pair's Stamp. A pair measurement exchanges packets
+// toward exactly three destinations — the client, the vVP, and the tNode —
+// so the stamp folds those destinations' forwarding epochs and LPM ids
+// with the two measured hosts' churn state; nothing else outside the round
+// fingerprint can change the measurement's outcome.
+func (s *pairStamper) stamp(p *pipeline.Pair) pipeline.Stamp {
+	cl := s.addr(s.w.ClientA.Addr)
+	vvp := s.addr(p.VVP.Addr)
+	tn := s.addr(p.TNode.Addr)
+	epoch := cl.epoch
+	if vvp.epoch > epoch {
+		epoch = vvp.epoch
+	}
+	if tn.epoch > epoch {
+		epoch = tn.epoch
+	}
+	return pipeline.Stamp{
+		Epoch:         epoch,
+		ClientID:      cl.id,
+		VVPID:         vvp.id,
+		TNodeID:       tn.id,
+		VVPVanished:   s.w.Net.IsVanished(p.VVP.Addr),
+		TNodeVanished: s.w.Net.IsVanished(p.TNode.Addr),
+	}
+}
+
 // Stage accessors: the override field when set, the world-backed default
 // otherwise.
 
@@ -296,7 +397,48 @@ func (r *Runner) Measure() *Snapshot {
 			}
 		}()
 	}
-	ex.ForEach(len(pairs), func(i int) { results[i] = measurer.MeasurePair(pairs[i]) })
+	// Incremental skip path: splice cached results for pairs whose identity
+	// and stamp are unchanged since the last round and re-measure only the
+	// misses. Stamps are computed after the origin-flap batches above (an
+	// uncoalesced flap moves an epoch and forces a re-measure, never the
+	// other way round) and while the churn vanished-set is active, so a
+	// vanished vVP's dead-column result is cached under its vanished bit.
+	cache := r.resultCache()
+	if cache == nil {
+		metrics.FullRound = true
+		metrics.PairsRemeasured = len(pairs)
+		ex.ForEach(len(pairs), func(i int) { results[i] = measurer.MeasurePair(pairs[i]) })
+	} else {
+		cache.BeginRound(r.currentFingerprint())
+		if r.fullRound {
+			r.fullRound = false
+			metrics.FullRound = true
+			cache.Flush()
+		}
+		stamper := newPairStamper(w)
+		stamps := make([]pipeline.Stamp, len(pairs))
+		miss := make([]int, 0, len(pairs))
+		for i := range pairs {
+			stamps[i] = stamper.stamp(&pairs[i])
+			if res, ok := cache.Lookup(pipeline.IdentityFor(pairs[i]), stamps[i]); ok {
+				results[i] = res
+			} else {
+				miss = append(miss, i)
+			}
+		}
+		ex.ForEach(len(miss), func(k int) {
+			i := miss[k]
+			results[i] = measurer.MeasurePair(pairs[i])
+		})
+		// Store the raw results before the re-qualification pass below can
+		// mutate the grid in place; a later splice must reproduce the raw
+		// measurement, not this round's post-processed view of it.
+		for _, i := range miss {
+			cache.Store(pipeline.IdentityFor(pairs[i]), stamps[i], results[i])
+		}
+		metrics.PairsReused = len(pairs) - len(miss)
+		metrics.PairsRemeasured = len(miss)
+	}
 	flapWG.Wait()
 	stop()
 	for _, res := range results {

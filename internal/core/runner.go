@@ -56,6 +56,19 @@ type RunnerConfig struct {
 	// measurement column came back mostly unusable, and discards the column
 	// when the vVP no longer qualifies (churned or unstable counter).
 	RequalifyVVPs bool
+
+	// Incremental enables the epoch-keyed pair-result cache: each measured
+	// pair is stored under its identity (AS, grid coordinates, endpoint
+	// addresses), the round fingerprint (seed, detect config, retry policy,
+	// fault profile, host-population generation), and a routing/liveness
+	// stamp (the affected epochs and LPM ids of the three destinations the
+	// measurement touches, plus churn state). The next round re-measures
+	// only pairs whose key changed and splices cached results into the flat
+	// grid — the Snapshot stays bit-identical to a from-scratch round at
+	// any worker count, but a zero-churn round costs O(stages) instead of
+	// O(pairs). The cache disables itself when a custom Measurer stage is
+	// installed (its inputs are unknown to the epoch model).
+	Incremental bool
 }
 
 // DefaultRunnerConfig returns the standard pipeline settings.
@@ -66,6 +79,7 @@ func DefaultRunnerConfig(seed int64) RunnerConfig {
 		MaxVVPsPerAS:     3,
 		MinTNodes:        3,
 		Seed:             seed,
+		Incremental:      true,
 	}
 }
 
@@ -171,6 +185,14 @@ type Runner struct {
 	// vVP scans.
 	vvps    []scan.VVP
 	vvpsGen uint64
+
+	// pairCache memoizes raw per-pair results across rounds when
+	// Cfg.Incremental is set (see measure.go). fullRound forces the next
+	// round to bypass lookups and re-measure everything (refreshing the
+	// cache), the periodic safety net rovistad schedules between
+	// incremental rounds.
+	pairCache *pipeline.ResultCache
+	fullRound bool
 }
 
 // NewRunner creates a Runner.
@@ -209,8 +231,32 @@ func (r *Runner) DiscoverVVPs() []scan.VVP {
 // InvalidateVVPCache forces rediscovery on the next round. Host-population
 // changes are detected automatically (the cache keys on the network's
 // generation counter); this remains for callers that mutate host *state*
-// in ways discovery should re-observe.
-func (r *Runner) InvalidateVVPCache() { r.vvps = nil }
+// in ways discovery should re-observe. Host-state mutations the generation
+// counter cannot see also invalidate cached pair results, so the result
+// cache is flushed alongside.
+func (r *Runner) InvalidateVVPCache() {
+	r.vvps = nil
+	r.pairCache.Flush()
+}
+
+// InvalidatePairCache drops every cached pair result, forcing the next
+// round to re-measure the full grid. Routing changes (ApplyEvents,
+// AdvanceTo, hijacks — anything moving the graph's affected epochs), host
+// population changes, and config changes are detected automatically; this
+// exists for callers that mutate measurement-relevant state outside those
+// channels.
+func (r *Runner) InvalidatePairCache() { r.pairCache.Flush() }
+
+// ForceFullRound makes the next Measure bypass the result cache: every
+// pair is re-measured and the cache repopulated. rovistad uses it to run a
+// periodic full round between continuous incremental rounds.
+func (r *Runner) ForceFullRound() { r.fullRound = true }
+
+// PairCacheStats returns the result cache's cumulative (hits, misses,
+// flushes) counters; all zero when incremental rounds never ran.
+func (r *Runner) PairCacheStats() (hits, misses, flushes uint64) {
+	return r.pairCache.Stats()
+}
 
 // filterFalseTNodes implements the §4.1 mitigation: the paper used RIPE
 // Atlas probes in ten ASes whose ROV status it had confirmed out-of-band.

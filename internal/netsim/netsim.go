@@ -289,6 +289,14 @@ func (n *Network) ArmFaults(p faults.Profile, seed int64) {
 // must not race it against running simulations.
 func (n *Network) SetVanished(addr netip.Addr) { n.vanished[addr] = true }
 
+// IsVanished reports whether addr is currently marked as churned away. The
+// incremental measurement round folds this into each cached pair's validity
+// stamp: a result measured against a live host must not be reused while the
+// host is vanished, and vice versa.
+func (n *Network) IsVanished(addr netip.Addr) bool {
+	return len(n.vanished) > 0 && n.vanished[addr]
+}
+
 // ClearVanished restores every churned host.
 func (n *Network) ClearVanished() {
 	for a := range n.vanished {
@@ -452,6 +460,17 @@ func (n *Network) dataPath(src inet.ASN, dst netip.Addr) ([]inet.ASN, bool) {
 	}
 	c.mu.Unlock()
 	return path, delivered
+}
+
+// PathEpoch returns the validity stamp governing every forwarding path
+// toward dst: the destination's interned LPM prefix id and the routing
+// version at which forwarding toward that prefix last changed. This is the
+// same per-prefix epoch the forwarding-path cache validates its entries
+// against — exposed so higher layers (the measurement round's result cache)
+// can reuse work across routing changes instead of invalidating blanketly
+// on every version bump.
+func (n *Network) PathEpoch(dst netip.Addr) (bgp.PrefixID, uint64) {
+	return n.Graph.ForwardingEpoch(dst)
 }
 
 // InvalidatePathCache drops every memoized forwarding path. Routing

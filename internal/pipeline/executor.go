@@ -31,10 +31,12 @@ func (e *Executor) PoolSize() int {
 }
 
 // ForEach runs fn(i) for every i in [0, n), each exactly once. With one
-// worker the items run in index order on the calling goroutine; with more,
-// workers pull indices from a shared counter, so items run in arbitrary
-// order and concurrently — fn must be safe for that (the PairMeasurer
-// purity contract). ForEach returns after every item has finished.
+// worker the items run in index order on the calling goroutine — no
+// goroutines, no atomics, and (without Progress) zero allocations, so a
+// one-worker pool costs exactly what a plain loop costs; with more, workers
+// pull indices from a shared counter, so items run in arbitrary order and
+// concurrently — fn must be safe for that (the PairMeasurer purity
+// contract). ForEach returns after every item has finished.
 func (e *Executor) ForEach(n int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -44,13 +46,31 @@ func (e *Executor) ForEach(n int, fn func(i int)) {
 		workers = n
 	}
 	if workers == 1 {
+		// Kept free of any reference the pool path's goroutine closure
+		// captures: sharing a variable with it would move the variable to
+		// the heap and cost this path an allocation per call.
+		if e == nil || e.Progress == nil {
+			for i := 0; i < n; i++ {
+				fn(i)
+			}
+			return
+		}
 		for i := 0; i < n; i++ {
 			fn(i)
-			e.report(i+1, n)
+			e.Progress(i+1, n)
 		}
 		return
 	}
+	e.forEachPool(n, workers, fn)
+}
 
+// forEachPool is the multi-worker body of ForEach, split out so its
+// goroutine closure cannot force heap allocations onto the inline path.
+func (e *Executor) forEachPool(n, workers int, fn func(i int)) {
+	var progress func(done, total int)
+	if e != nil {
+		progress = e.Progress
+	}
 	var next, done atomic.Int64
 	var mu sync.Mutex // serializes Progress callbacks
 	var wg sync.WaitGroup
@@ -64,21 +84,15 @@ func (e *Executor) ForEach(n int, fn func(i int)) {
 					return
 				}
 				fn(i)
-				d := int(done.Add(1))
-				if e != nil && e.Progress != nil {
-					mu.Lock()
-					e.Progress(d, n)
-					mu.Unlock()
+				if progress == nil {
+					continue // skip the done counter entirely
 				}
+				d := int(done.Add(1))
+				mu.Lock()
+				progress(d, n)
+				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
-}
-
-// report invokes Progress from the serial path.
-func (e *Executor) report(done, total int) {
-	if e != nil && e.Progress != nil {
-		e.Progress(done, total)
-	}
 }

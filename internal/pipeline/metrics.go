@@ -26,6 +26,15 @@ type Metrics struct {
 	// PairsUsable the subset that passed the Appendix-A FP/FN gate;
 	// PairsDiscarded the rest.
 	PairsMeasured, PairsUsable, PairsDiscarded int
+	// PairsReused counts pairs served from the incremental result cache
+	// this round; PairsRemeasured the pairs actually executed. On a
+	// non-incremental round PairsReused is 0 and PairsRemeasured equals
+	// PairsMeasured. The reuse ratio PairsReused/PairsMeasured is the
+	// round's effective O(churn) factor.
+	PairsReused, PairsRemeasured int
+	// FullRound marks a round that deliberately bypassed the result cache
+	// (a forced periodic full round, or caching disabled/inapplicable).
+	FullRound bool
 	// Faults holds the fault/retry/discard counters for the round.
 	Faults FaultMetrics
 }
@@ -98,6 +107,11 @@ func (m *Metrics) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "workers=%d pairs=%d usable=%d discarded=%d\n",
 		m.Workers, m.PairsMeasured, m.PairsUsable, m.PairsDiscarded)
+	if m.PairsReused > 0 || (m.PairsRemeasured > 0 && m.PairsRemeasured != m.PairsMeasured) {
+		fmt.Fprintf(&b, "incremental: reused=%d remeasured=%d (%.1f%% reuse)\n",
+			m.PairsReused, m.PairsRemeasured,
+			100*float64(m.PairsReused)/float64(m.PairsMeasured))
+	}
 	if f := m.Faults; f.Profile != "" && f.Profile != "none" {
 		fmt.Fprintf(&b, "faults=%s retries=%d recovered=%d churned=%d unstable=%d requalified=%d dropped=%d cache-flaps=%d route-flaps=%d\n",
 			f.Profile, f.PairRetries, f.PairsRecovered, f.VVPsChurned,

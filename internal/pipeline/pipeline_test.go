@@ -169,6 +169,35 @@ func TestExecutorZeroItems(t *testing.T) {
 	(&Executor{Workers: 4}).ForEach(0, func(int) { t.Fatal("fn must not run") })
 }
 
+// TestExecutorSingleWorkerZeroAlloc pins the Workers=1 fast path: without a
+// Progress callback a one-worker ForEach must cost exactly what a plain loop
+// costs — no goroutine, no WaitGroup, no allocations.
+func TestExecutorSingleWorkerZeroAlloc(t *testing.T) {
+	e := &Executor{Workers: 1}
+	sink := 0
+	fn := func(i int) { sink += i }
+	if allocs := testing.AllocsPerRun(100, func() { e.ForEach(64, fn) }); allocs != 0 {
+		t.Fatalf("single-worker ForEach allocated %.0f times per run, want 0", allocs)
+	}
+	if sink == 0 {
+		t.Fatal("fn never ran")
+	}
+}
+
+// TestExecutorNilReceiver: a nil *Executor resolves to the default pool and
+// must still run every item (the progress hoist must not dereference it).
+func TestExecutorNilReceiver(t *testing.T) {
+	var e *Executor
+	n := 100
+	out := make([]int, n)
+	e.ForEach(n, func(i int) { out[i] = 1 })
+	for i, v := range out {
+		if v != 1 {
+			t.Fatalf("item %d not run by nil executor", i)
+		}
+	}
+}
+
 func TestMetricsStageTimings(t *testing.T) {
 	m := &Metrics{}
 	stop := m.StartStage("discover")

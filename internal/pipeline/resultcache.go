@@ -1,0 +1,145 @@
+package pipeline
+
+import (
+	"net/netip"
+
+	"github.com/netsec-lab/rovista/internal/detect"
+	"github.com/netsec-lab/rovista/internal/inet"
+	"github.com/netsec-lab/rovista/internal/scan"
+)
+
+// PairIdentity names one (vVP, tNode) measurement independently of when it
+// runs: the AS, the grid coordinates (which feed the pair's derived seed),
+// and the concrete endpoints measured at those coordinates. Two rounds that
+// lay out the same identity at the same coordinates run byte-identical
+// measurements — provided the round-level inputs (seed, detect config,
+// fault profile: the ResultCache fingerprint) and the per-pair routing and
+// liveness context (the Stamp) also match.
+type PairIdentity struct {
+	ASN              inet.ASN
+	TNodeIdx, VVPIdx int
+	TNode            scan.TNode
+	VVPAddr          netip.Addr
+}
+
+// IdentityFor extracts a Pair's cache identity.
+func IdentityFor(p Pair) PairIdentity {
+	return PairIdentity{ASN: p.ASN, TNodeIdx: p.TNodeIdx, VVPIdx: p.VVPIdx, TNode: p.TNode, VVPAddr: p.VVP.Addr}
+}
+
+// Stamp is the per-pair validity context a cached result was measured
+// under. A pair measurement exchanges packets toward exactly three
+// destinations — the measurement client, the vVP, and the tNode — so its
+// outcome can only change when forwarding toward one of them changes
+// (captured by Epoch, the max of the three destinations' affected routing
+// epochs), when a destination is repointed at a different most-specific
+// prefix (the three interned LPM ids — a table can grow a more specific
+// prefix without moving any epoch), or when the measured hosts' liveness
+// flips (the vanished bits). Epochs only ever increase, so two equal Stamps
+// mean nothing relevant changed between the two rounds.
+type Stamp struct {
+	Epoch                      uint64
+	ClientID, VVPID, TNodeID   uint32
+	VVPVanished, TNodeVanished bool
+}
+
+// cached is one stored result plus the stamp it is valid for.
+type cached struct {
+	res   detect.PairResult
+	stamp Stamp
+}
+
+// ResultCache memoizes per-pair measurement results across rounds so an
+// incremental round re-measures only the pairs whose identity, stamp, or
+// round fingerprint changed — O(churned pairs) instead of O(pairs). It
+// stores raw results (before any post-measurement mutation such as vVP
+// re-qualification discards), and splicing a hit into the flat grid is
+// bit-identical to re-measuring: the measurement is a pure function of
+// (identity, fingerprint, stamp), which together enumerate every input.
+//
+// The cache is written only from the round driver between stages, never
+// from executor workers, so it needs no locking.
+type ResultCache struct {
+	fingerprint any
+	m           map[PairIdentity]cached
+
+	// Cumulative counters across the cache's lifetime (monotonic; rovistad
+	// exposes them under /metrics).
+	hits, misses, flushes uint64
+}
+
+// NewResultCache returns an empty cache.
+func NewResultCache() *ResultCache {
+	return &ResultCache{m: make(map[PairIdentity]cached)}
+}
+
+// Len returns the number of cached pair results.
+func (c *ResultCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.m)
+}
+
+// Flush drops every cached result (the forced-full-round path).
+func (c *ResultCache) Flush() {
+	if c == nil {
+		return
+	}
+	if len(c.m) > 0 {
+		c.flushes++
+	}
+	clear(c.m)
+}
+
+// BeginRound installs the round fingerprint — a comparable value capturing
+// every measurement input that is not part of a pair's identity or stamp
+// (round seed, detect config, retry policy, fault profile and seed, network
+// host-population generation, vVP selection knobs). When it differs from the
+// previous round's, every cached result is conservatively invalid and the
+// cache is flushed. Returns true when the cache survived (reuse possible).
+func (c *ResultCache) BeginRound(fingerprint any) bool {
+	if c == nil {
+		return false
+	}
+	if c.fingerprint != fingerprint {
+		c.Flush()
+		c.fingerprint = fingerprint
+		return false
+	}
+	return true
+}
+
+// Lookup returns the cached result for the identity when one exists with
+// exactly the given stamp.
+func (c *ResultCache) Lookup(id PairIdentity, st Stamp) (detect.PairResult, bool) {
+	if c == nil {
+		return detect.PairResult{}, false
+	}
+	e, ok := c.m[id]
+	if !ok || e.stamp != st {
+		c.misses++
+		return detect.PairResult{}, false
+	}
+	c.hits++
+	return e.res, true
+}
+
+// Store records a freshly measured raw result under its identity and stamp,
+// replacing any stale entry. Callers must store the result before any
+// post-measurement stage mutates it (the re-qualification discard pass), so
+// the next round's splice reproduces the raw grid exactly.
+func (c *ResultCache) Store(id PairIdentity, st Stamp, res detect.PairResult) {
+	if c == nil {
+		return
+	}
+	c.m[id] = cached{res: res, stamp: st}
+}
+
+// Stats returns the cumulative (hits, misses, flushes) counters.
+func (c *ResultCache) Stats() (hits, misses, flushes uint64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	return c.hits, c.misses, c.flushes
+}

@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"github.com/netsec-lab/rovista/internal/detect"
+	"github.com/netsec-lab/rovista/internal/scan"
+)
+
+func testIdentity(last byte) PairIdentity {
+	return IdentityFor(Pair{
+		ASN:      100,
+		TNodeIdx: 1,
+		VVPIdx:   2,
+		TNode:    scan.TNode{Addr: netip.AddrFrom4([4]byte{192, 0, 2, last}), Port: 443},
+		VVP:      scan.VVP{Addr: netip.AddrFrom4([4]byte{198, 51, 100, last}), ASN: 100},
+	})
+}
+
+func TestResultCacheHitRequiresExactStamp(t *testing.T) {
+	c := NewResultCache()
+	c.BeginRound("fp")
+	id := testIdentity(1)
+	st := Stamp{Epoch: 7, ClientID: 1, VVPID: 2, TNodeID: 3}
+	res := detect.PairResult{Usable: true, Attempts: 2}
+	c.Store(id, st, res)
+
+	if got, ok := c.Lookup(id, st); !ok || !reflect.DeepEqual(got, res) {
+		t.Fatalf("exact stamp must hit: ok=%v got=%+v", ok, got)
+	}
+	for name, bad := range map[string]Stamp{
+		"epoch":         {Epoch: 8, ClientID: 1, VVPID: 2, TNodeID: 3},
+		"lpm-id":        {Epoch: 7, ClientID: 1, VVPID: 9, TNodeID: 3},
+		"vvp-vanished":  {Epoch: 7, ClientID: 1, VVPID: 2, TNodeID: 3, VVPVanished: true},
+		"tn-vanished":   {Epoch: 7, ClientID: 1, VVPID: 2, TNodeID: 3, TNodeVanished: true},
+		"client-lpm-id": {Epoch: 7, ClientID: 5, VVPID: 2, TNodeID: 3},
+	} {
+		if _, ok := c.Lookup(id, bad); ok {
+			t.Fatalf("stale %s stamp must miss", name)
+		}
+	}
+	if _, ok := c.Lookup(testIdentity(2), st); ok {
+		t.Fatal("unknown identity must miss")
+	}
+}
+
+func TestResultCacheFingerprintFlush(t *testing.T) {
+	c := NewResultCache()
+	id, st := testIdentity(1), Stamp{Epoch: 1}
+
+	if c.BeginRound("fp-a") {
+		t.Fatal("first round cannot report a surviving cache")
+	}
+	c.Store(id, st, detect.PairResult{Usable: true})
+	if !c.BeginRound("fp-a") {
+		t.Fatal("unchanged fingerprint must keep the cache")
+	}
+	if _, ok := c.Lookup(id, st); !ok {
+		t.Fatal("entry lost across an unchanged-fingerprint round")
+	}
+	if c.BeginRound("fp-b") {
+		t.Fatal("changed fingerprint must flush")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache not empty after fingerprint change: %d entries", c.Len())
+	}
+	if _, ok := c.Lookup(id, st); ok {
+		t.Fatal("entry survived a fingerprint change")
+	}
+}
+
+func TestResultCacheStatsAndFlush(t *testing.T) {
+	c := NewResultCache()
+	c.BeginRound(1)
+	id, st := testIdentity(1), Stamp{Epoch: 1}
+	c.Lookup(id, st) // miss: unknown identity
+	c.Store(id, st, detect.PairResult{})
+	c.Lookup(id, st)              // hit
+	c.Lookup(id, Stamp{Epoch: 2}) // miss: stale stamp
+	c.Flush()                     // counted: cache was non-empty
+	c.Flush()                     // not counted: already empty
+	hits, misses, flushes := c.Stats()
+	if hits != 1 || misses != 2 || flushes != 1 {
+		t.Fatalf("stats = (%d, %d, %d), want (1, 2, 1)", hits, misses, flushes)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len after flush = %d", c.Len())
+	}
+}
+
+func TestResultCacheNilReceiver(t *testing.T) {
+	var c *ResultCache
+	if c.BeginRound("fp") {
+		t.Fatal("nil cache cannot survive a round")
+	}
+	c.Store(testIdentity(1), Stamp{}, detect.PairResult{})
+	if _, ok := c.Lookup(testIdentity(1), Stamp{}); ok {
+		t.Fatal("nil cache cannot hit")
+	}
+	c.Flush()
+	if h, m, f := c.Stats(); h != 0 || m != 0 || f != 0 {
+		t.Fatal("nil cache stats must be zero")
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache Len must be zero")
+	}
+}

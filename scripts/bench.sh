@@ -1,7 +1,9 @@
 #!/bin/sh
-# Hot-path benchmark runner. Runs the measurement-round benchmarks (serial
-# and parallel) plus the BGP convergence benchmarks with allocation
-# reporting, and distills the results into BENCH_round.json; then the
+# Hot-path benchmark runner. Runs the measurement-round benchmarks (serial,
+# parallel, and the incremental 0%/1%/10%-churn variants — the incremental
+# ns/op over the serial ns/op is the reuse speedup) plus the BGP convergence
+# benchmarks with allocation reporting, and distills the results into
+# BENCH_round.json; then the
 # paper-scale world benchmarks (10k/50k/74k-AS build, steady-state converge
 # and event-path flap re-convergence, with peak-RSS reporting) into
 # BENCH_world.json; then the rovistad serving

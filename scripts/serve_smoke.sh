@@ -92,4 +92,26 @@ pid=
 [ "$rc" = "0" ] || fail "daemon exited $rc on SIGINT (want 0)"
 grep -q "stopped cleanly" "$logf" || fail "daemon log lacks clean-shutdown line"
 
+# Incremental rounds: with -interval 0 the second round has zero churn, so
+# it must be served entirely from the pair-result cache and /metrics must
+# report the reuse under rovistad.rounds.
+store2=$(mktemp -d)
+"$bin/rovistad" -addr "127.0.0.1:$port" -store "$store2" \
+    -size smoke -rounds 2 -interval 0 -seed 42 >"$logf" 2>&1 &
+pid=$!
+i=0
+until curl -s "$base/metrics" 2>/dev/null | grep -q '"pairs_reused": *[1-9]'; do
+    i=$((i + 1))
+    [ "$i" -ge 120 ] && { rm -rf "$store2"; fail "no pair reuse reported within 60s"; }
+    kill -0 "$pid" 2>/dev/null || { rm -rf "$store2"; fail "daemon exited before reuse round"; }
+    sleep 0.5
+done
+echo "ok: zero-churn round reused pairs"
+kill -INT "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=
+rm -rf "$store2"
+[ "$rc" = "0" ] || fail "incremental daemon exited $rc on SIGINT (want 0)"
+
 echo "serve-smoke: PASS"
