@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke robustness cover bench serve-bench serve-smoke clean
+.PHONY: check vet build test race fuzz-smoke robustness cover bench serve-bench serve-smoke loadgen-smoke clean
 
 check: vet build test race fuzz-smoke
 
@@ -49,9 +49,10 @@ cover:
 bench:
 	sh scripts/bench.sh
 
-# Serving-path benchmark only: the rovistad mixed read workload against a
-# populated 1k-AS/50-round store, distilled into BENCH_serve.json with qps
-# and p50/p99 request latency.
+# Serving-path benchmarks only: the rovistad mixed read workload against a
+# populated 1k-AS/50-round store in serial, parallel, and append-storm
+# variants, distilled into BENCH_serve.json with qps, qps-parallel, and
+# p50/p99/p999 request latency.
 serve-bench:
 	sh scripts/bench.sh -serve
 
@@ -60,6 +61,12 @@ serve-bench:
 # clean exit (mirrors CI's serve-smoke job).
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Load-harness smoke: cmd/loadgen against a 200-AS/10k-client in-process
+# target with the append storm on; asserts nonzero qps and zero errors
+# (mirrors CI's loadgen-smoke job).
+loadgen-smoke:
+	sh scripts/loadgen_smoke.sh
 
 clean:
 	$(GO) clean ./...

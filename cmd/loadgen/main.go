@@ -1,0 +1,124 @@
+// Command loadgen drives the serving path with a realistic multi-client
+// workload and reports throughput and tail latency. By default it builds a
+// synthetic store in a temp directory, constructs the API server, and
+// drives its handler in-process with one million simulated client
+// connection contexts issuing a Zipf-mixed query stream (hot AS lookups,
+// cold timeseries, rankings, diffs, bulk exports) while a background
+// writer appends rounds mid-load. With -url it drives a live daemon over
+// HTTP instead.
+//
+// Usage:
+//
+//	loadgen [-clients 1000000] [-workers N] [-duration 5s | -requests N]
+//	        [-ases 1000] [-rounds 50] [-zipf 1.1] [-seed 1]
+//	        [-append-every 250ms] [-rate-burst 0] [-url http://host:port]
+//	        [-json]
+//
+// Example:
+//
+//	$ go run ./cmd/loadgen -duration 3s
+//	1234567 requests in 3.00s → 411522 qps
+//	latency p50 1.2µs  p99 8.4µs  p999 31.0µs
+//	errors 0  rate-limited 0  appends 12  allocs/req 6.1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/netsec-lab/rovista/internal/api"
+	"github.com/netsec-lab/rovista/internal/loadharness"
+	"github.com/netsec-lab/rovista/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+
+	var (
+		clients     = flag.Int("clients", 1_000_000, "simulated client connection contexts (distinct source IPs)")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent driver goroutines")
+		duration    = flag.Duration("duration", 5*time.Second, "run length (ignored when -requests is set)")
+		requests    = flag.Int64("requests", 0, "stop after this many requests instead of -duration")
+		ases        = flag.Int("ases", 1000, "AS population in the synthetic store")
+		rounds      = flag.Int("rounds", 50, "measurement rounds in the synthetic store")
+		zipfS       = flag.Float64("zipf", 1.1, "Zipf skew for hot-AS and hot-client selection (> 1)")
+		seed        = flag.Int64("seed", 1, "workload seed (deterministic per worker)")
+		appendEvery = flag.Duration("append-every", 250*time.Millisecond, "background append period (0 disables the storm; in-process only)")
+		rateBurst   = flag.Int("rate-burst", 0, "per-client rate-limit burst on the in-process server (0 disables)")
+		url         = flag.String("url", "", "drive a live daemon at this base URL instead of in-process")
+		jsonOut     = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+
+	cfg := loadharness.Config{
+		Clients:  *clients,
+		Workers:  *workers,
+		Duration: *duration,
+		Requests: *requests,
+		ZipfS:    *zipfS,
+		ASes:     *ases,
+		Rounds:   *rounds,
+		Seed:     *seed,
+	}
+
+	var (
+		rep loadharness.Report
+		err error
+	)
+	if *url != "" {
+		rep, err = loadharness.RunHTTP(*url, cfg)
+	} else {
+		dir, derr := os.MkdirTemp("", "loadgen-*")
+		if derr != nil {
+			log.Fatal(derr)
+		}
+		defer os.RemoveAll(dir)
+		st, serr := store.Open(dir, store.Config{})
+		if serr != nil {
+			log.Fatal(serr)
+		}
+		defer st.Close()
+		log.Printf("synthesizing %d ASes × %d rounds...", *ases, *rounds)
+		if err := store.Synthesize(st, store.SynthConfig{ASes: *ases, Rounds: *rounds, Seed: *seed}); err != nil {
+			log.Fatal(err)
+		}
+		srv := api.New(st, api.Config{RateBurst: *rateBurst})
+		var stormSeed atomic.Int64
+		stormSeed.Store(*seed)
+		cfg.AppendEvery = *appendEvery
+		cfg.Append = func() error {
+			return store.Synthesize(st, store.SynthConfig{
+				ASes: *ases, Rounds: 1, Seed: stormSeed.Add(1),
+			})
+		}
+		log.Printf("driving %d clients × %d workers for %s...", cfg.Clients, cfg.Workers, runLabel(cfg))
+		rep, err = loadharness.Run(srv.Handler(), cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Println(rep)
+}
+
+func runLabel(cfg loadharness.Config) string {
+	if cfg.Requests > 0 {
+		return fmt.Sprintf("%d requests", cfg.Requests)
+	}
+	return cfg.Duration.String()
+}

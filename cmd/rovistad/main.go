@@ -11,6 +11,7 @@
 //	         [-rounds N] [-interval D] [-period DUR] [-workers N]
 //	         [-faults none|paper|harsh] [-rate-burst N] [-rate-refill R]
 //	         [-compact-every N] [-synth AxR] [-incremental] [-full-every N]
+//	         [-contention-profile]
 //
 // Rounds are incremental by default: pair results whose routing context is
 // unchanged since the previous round are reused (epoch-keyed cache), so a
@@ -34,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -68,7 +70,17 @@ func run() error {
 	synth := flag.String("synth", "", "skip measurement: pre-populate the store with AxR synthetic ASes×rounds (e.g. 1000x50) and serve that")
 	incremental := flag.Bool("incremental", true, "reuse unchanged pair results between rounds (epoch-keyed cache)")
 	fullEvery := flag.Int("full-every", 10, "force a from-scratch round every N rounds (0 = never)")
+	contention := flag.Bool("contention-profile", false, "record mutex and block profiles (view at /debug/pprof via expvar tooling; small steady-state cost)")
 	flag.Parse()
+
+	if *contention {
+		// Full-rate sampling: the serving path is designed to take zero
+		// locks on cached reads, so an empty mutex/block profile under load
+		// is the claim being verified, not an artifact of sampling.
+		runtime.SetMutexProfileFraction(1)
+		runtime.SetBlockProfileRate(1)
+		log.Printf("contention profiling on (mutex fraction 1, block rate 1ns)")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

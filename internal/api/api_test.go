@@ -6,8 +6,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -381,6 +383,183 @@ func TestConcurrentAppendQuery(t *testing.T) {
 	for r := 0; r < 25; r++ {
 		rec := &store.RoundRecord{Day: r}
 		rec.Entries = []store.Entry{{ASN: 1001, Centi: uint16(r * 100), VVPs: 2, TNodesMeasured: 5}}
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+// shardKeys generates n distinct keys that all hash into the same cache
+// shard, so segmented-eviction behaviour can be exercised deterministically.
+func shardKeys(c *genCache, n int) []string {
+	keys := make([]string, 0, n)
+	for i := 0; len(keys) < n; i++ {
+		k := fmt.Sprintf("/v1/as/%d", i)
+		if hashString(k)&c.shardMask == 0 {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// TestCacheHotKeysSurviveOverflow pins the segmented-eviction contract: a
+// capacity overflow rotates the hot segment to cold instead of clearing
+// the shard, so keys that were hot before the overflow are still served
+// from cache — no miss storm under a diverse key mix.
+func TestCacheHotKeysSurviveOverflow(t *testing.T) {
+	c := newGenCache(1, nil, nil) // floor: perShard = 8
+	per := c.perShard
+	keys := shardKeys(c, 2*per)
+	entry := func(i int) cacheEntry {
+		return cacheEntry{status: 200, contentType: "t", body: []byte{byte(i)}}
+	}
+	for i, k := range keys[:per] {
+		c.put(1, k, entry(i))
+	}
+	for i, k := range keys[:per] {
+		if e, ok := c.get(1, k); !ok || e.body[0] != byte(i) {
+			t.Fatalf("pre-overflow key %q missing", k)
+		}
+	}
+	// Overflow the shard with a second wave of distinct keys.
+	for i, k := range keys[per:] {
+		c.put(1, k, entry(per + i))
+	}
+	for i, k := range keys[:per] {
+		if e, ok := c.get(1, k); !ok || e.body[0] != byte(i) {
+			t.Fatalf("hot key %q evicted by capacity overflow (wholesale clear regression)", k)
+		}
+	}
+	for i, k := range keys[per:] {
+		if e, ok := c.get(1, k); !ok || e.body[0] != byte(per+i) {
+			t.Fatalf("fresh key %q missing after insert", k)
+		}
+	}
+}
+
+// TestCacheGenerationReset pins the lazy invalidation contract: a get at a
+// newer generation misses, the following put resets the shard (counted),
+// and entries from the old generation are gone.
+func TestCacheGenerationReset(t *testing.T) {
+	var resets, rotations atomic.Int64
+	c := newGenCache(0, &resets, &rotations)
+	// Shard generations are independent, so both keys must share a shard.
+	keys := shardKeys(c, 2)
+	k0, k1 := keys[0], keys[1]
+	c.put(1, k0, cacheEntry{status: 200, body: []byte("old")})
+	if _, ok := c.get(1, k0); !ok {
+		t.Fatal("warm entry missing")
+	}
+	if _, ok := c.get(2, k0); ok {
+		t.Fatal("newer generation must miss")
+	}
+	c.put(2, k0, cacheEntry{status: 200, body: []byte("new")})
+	if e, ok := c.get(2, k0); !ok || string(e.body) != "new" {
+		t.Fatalf("post-reset entry = %+v ok=%v", e, ok)
+	}
+	if _, ok := c.get(1, k0); ok {
+		t.Fatal("old generation served after reset")
+	}
+	if resets.Load() == 0 {
+		t.Fatal("shard reset not counted")
+	}
+	// A put whose generation is older than the shard's must be dropped,
+	// not resurrect the old generation in the now-newer shard.
+	c.put(1, k1, cacheEntry{status: 200, body: []byte("zombie")})
+	if _, ok := c.get(2, k1); ok {
+		t.Fatal("stale-generation put leaked into the current generation")
+	}
+}
+
+// TestCachedReadPathLockFree is the contention-free serving guard: once a
+// client and its hot responses are warm, a cached read (store view + cache
+// hit + rate-limit check) must acquire zero locks. Every mutex on the
+// serving path is a countedMutex feeding lockCount; the store's writer
+// mutex has its own counter.
+func TestCachedReadPathLockFree(t *testing.T) {
+	st := newTestStore(t, 40, 5)
+	srv := New(st, Config{RateBurst: 1 << 20, RateRefill: 1 << 20})
+	h := srv.Handler()
+	paths := []string{"/v1/as/1000", "/v1/as/1011/timeseries", "/v1/top?n=25", "/v1/rounds"}
+	for _, p := range paths {
+		if w := get(t, h, p); w.Code != http.StatusOK {
+			t.Fatalf("warm GET %s = %d", p, w.Code)
+		}
+	}
+
+	baseLocks := lockCount.Load()
+	baseStore := st.WriterLockAcquisitions()
+	hits := srv.Metrics.CacheHits.Load()
+	const n = 500
+	for i := 0; i < n; i++ {
+		if w := get(t, h, paths[i%len(paths)]); w.Code != http.StatusOK {
+			t.Fatalf("cached GET = %d", w.Code)
+		}
+	}
+	if got := srv.Metrics.CacheHits.Load() - hits; got != n {
+		t.Fatalf("expected %d cache hits, got %d — the guard must measure the hit path", n, got)
+	}
+	if got := lockCount.Load(); got != baseLocks {
+		t.Fatalf("cached read path acquired %d front-end locks", got-baseLocks)
+	}
+	if got := st.WriterLockAcquisitions(); got != baseStore {
+		t.Fatalf("cached read path acquired %d store writer locks", got-baseStore)
+	}
+}
+
+// TestGenerationConsistencyUnderAppends pins the advertised-generation
+// contract while a writer bumps the generation mid-flight: every /v1/
+// response carries X-Rovista-Generation, and because a synthesized store's
+// generation equals its round count, a /v1/rounds body must list exactly
+// that many rounds — a response can never be older (or newer) than its
+// advertised generation.
+func TestGenerationConsistencyUnderAppends(t *testing.T) {
+	st := newTestStore(t, 20, 2)
+	h := New(st, Config{}).Handler()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				req := httptest.NewRequest(http.MethodGet, "/v1/rounds", nil)
+				req.RemoteAddr = fmt.Sprintf("10.1.0.%d:99", g)
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					t.Errorf("GET /v1/rounds = %d", w.Code)
+					return
+				}
+				gen, err := strconv.ParseUint(w.Header().Get(generationHeader), 10, 64)
+				if err != nil {
+					t.Errorf("bad %s header %q", generationHeader, w.Header().Get(generationHeader))
+					return
+				}
+				var body struct {
+					Rounds []json.RawMessage `json:"rounds"`
+				}
+				if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+					t.Errorf("bad body: %v", err)
+					return
+				}
+				if uint64(len(body.Rounds)) != gen {
+					t.Errorf("response advertises generation %d but lists %d rounds", gen, len(body.Rounds))
+					return
+				}
+			}
+		}(g)
+	}
+	for r := 0; r < 30; r++ {
+		rec := &store.RoundRecord{Day: 100 + r}
+		rec.Entries = []store.Entry{{ASN: 1001, Centi: uint16(r * 50), VVPs: 2, TNodesMeasured: 5}}
 		if err := st.Append(rec); err != nil {
 			t.Fatal(err)
 		}

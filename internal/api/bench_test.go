@@ -52,12 +52,17 @@ func benchRequests(ases, rounds int) []*http.Request {
 	return reqs
 }
 
-// BenchmarkServeQueries is the serving-path load generator: a mixed read
-// workload against a populated 1k-AS, 50-round store, GOMAXPROCS client
-// goroutines, rate limiting off (the dashboard frontend is a trusted
-// client). Reported metrics: ns/op (wall time per request), qps
-// (aggregate throughput), p50-us/p99-us (per-request latency quantiles).
-func BenchmarkServeQueries(b *testing.B) {
+// benchServe drives the mixed read workload against a populated 1k-AS,
+// 50-round store with rate limiting off (the dashboard frontend is a
+// trusted client). parallel runs GOMAXPROCS client goroutines via
+// RunParallel; storm runs a background writer appending a round every few
+// milliseconds during the timed region, so the measured path includes
+// generation bumps and the cache-invalidation misses they force.
+// Reported metrics: ns/op (wall time per request), qps (aggregate
+// throughput; duplicated as qps-parallel for the parallel variant so the
+// distilled report can compare serial vs parallel directly), and
+// p50-us/p99-us/p999-us per-request latency quantiles.
+func benchServe(b *testing.B, parallel, storm bool) {
 	st, err := store.Open(b.TempDir(), store.Config{})
 	if err != nil {
 		b.Fatal(err)
@@ -71,10 +76,35 @@ func BenchmarkServeQueries(b *testing.B) {
 	template := benchRequests(ases, rounds)
 
 	// Warm the generation cache so the steady serving state is measured,
-	// not the first-touch misses.
+	// not the first-touch misses (the storm variant re-dirties it anyway;
+	// that is the point).
 	for _, req := range template {
 		w := &nullResponseWriter{}
 		h.ServeHTTP(w, req.Clone(req.Context()))
+	}
+
+	if storm {
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			tick := time.NewTicker(5 * time.Millisecond)
+			defer tick.Stop()
+			seed := int64(100)
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					seed++
+					if err := store.Synthesize(st, store.SynthConfig{ASes: ases, Rounds: 1, Seed: seed}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+		}()
+		defer func() { close(stop); <-done }()
 	}
 
 	var mu sync.Mutex
@@ -82,26 +112,41 @@ func BenchmarkServeQueries(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
-	b.RunParallel(func(pb *testing.PB) {
-		// Per-goroutine request copies: ServeMux pattern matching writes
-		// into the request, so sharing across goroutines would race.
+	if parallel {
+		b.RunParallel(func(pb *testing.PB) {
+			// Per-goroutine request copies: ServeMux pattern matching
+			// writes into the request, so sharing across goroutines would
+			// race.
+			reqs := make([]*http.Request, len(template))
+			for i, req := range template {
+				reqs[i] = req.Clone(req.Context())
+			}
+			w := &nullResponseWriter{}
+			local := make([]float64, 0, 1<<14)
+			i := 0
+			for pb.Next() {
+				t0 := time.Now()
+				h.ServeHTTP(w, reqs[i%len(reqs)])
+				local = append(local, float64(time.Since(t0).Nanoseconds())/1e3)
+				i++
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		})
+	} else {
 		reqs := make([]*http.Request, len(template))
 		for i, req := range template {
 			reqs[i] = req.Clone(req.Context())
 		}
 		w := &nullResponseWriter{}
-		local := make([]float64, 0, 1<<14)
-		i := 0
-		for pb.Next() {
+		lats = make([]float64, 0, b.N)
+		for i := 0; i < b.N; i++ {
 			t0 := time.Now()
 			h.ServeHTTP(w, reqs[i%len(reqs)])
-			local = append(local, float64(time.Since(t0).Nanoseconds())/1e3)
-			i++
+			lats = append(lats, float64(time.Since(t0).Nanoseconds())/1e3)
 		}
-		mu.Lock()
-		lats = append(lats, local...)
-		mu.Unlock()
-	})
+	}
 	elapsed := time.Since(start)
 	b.StopTimer()
 
@@ -112,7 +157,27 @@ func BenchmarkServeQueries(b *testing.B) {
 		}
 		return lats[int(p*float64(len(lats)-1))]
 	}
-	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "qps")
+	qps := float64(b.N) / elapsed.Seconds()
+	b.ReportMetric(qps, "qps")
+	if parallel {
+		b.ReportMetric(qps, "qps-parallel")
+	}
 	b.ReportMetric(q(0.50), "p50-us")
 	b.ReportMetric(q(0.99), "p99-us")
+	b.ReportMetric(q(0.999), "p999-us")
 }
+
+// BenchmarkServeQueriesSerial is the single-client baseline.
+func BenchmarkServeQueriesSerial(b *testing.B) { benchServe(b, false, false) }
+
+// BenchmarkServeQueriesParallel is the contention probe: GOMAXPROCS client
+// goroutines against one server. With the lock-free read path, aggregate
+// qps should scale with cores (at GOMAXPROCS=1 it can only show parity
+// with the serial baseline).
+func BenchmarkServeQueriesParallel(b *testing.B) { benchServe(b, true, false) }
+
+// BenchmarkServeQueriesAppendStorm is the parallel probe with a writer
+// appending a round every 5ms mid-load — each append bumps the store
+// generation, forcing cache-shard resets and re-renders while reads
+// continue against the previous immutable snapshot.
+func BenchmarkServeQueriesAppendStorm(b *testing.B) { benchServe(b, true, true) }

@@ -3,21 +3,85 @@ package api
 import (
 	"bytes"
 	"net/http"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// genCache is the generation-keyed read-through response cache. Every
-// entry belongs to one store generation; the first lookup after the
-// longitudinal runner appends a round observes the new generation and
-// drops the whole map. That makes invalidation trivial to reason about
-// against a live writer: a response can never outlive the round-set it was
-// computed from (serving a *newer* body under a just-raced key is the only
-// tolerated skew, and it is monotonic).
+// lockCount counts every mutex acquisition the serving path's shared
+// front-end structures make (cache shard fills, rate-limiter client
+// registration). The contention-free guard test asserts a warmed cached
+// read acquires zero — the lock-count analogue of an AllocsPerRun guard.
+var lockCount atomic.Int64
+
+// countedMutex is a sync.Mutex whose acquisitions feed lockCount.
+type countedMutex struct{ sync.Mutex }
+
+func (m *countedMutex) Lock() {
+	lockCount.Add(1)
+	m.Mutex.Lock()
+}
+
+// hashString is FNV-1a over the key bytes: allocation-free, good spread on
+// URI and dotted-quad strings, cheap enough for the per-request path.
+func hashString(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// shardCount picks the front-end shard count: a power of two scaled to the
+// core count, so independent clients land on independent shards with high
+// probability and the shard mask stays a single AND.
+func shardCount() int {
+	n := runtime.GOMAXPROCS(0) * 4
+	if n < 8 {
+		n = 8
+	}
+	if n > 128 {
+		n = 128
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// genCache is the generation-keyed read-through response cache, sharded by
+// key hash. Every entry belongs to one store generation; a shard lazily
+// resets when a writer observes a newer generation, so a response can
+// never outlive the round-set it was computed from.
+//
+// Reads are lock-free: each shard publishes its two segments as immutable
+// maps behind atomic pointers, and the shard generation is an atomic whose
+// store is ordered *after* the segment resets — a reader that sees the new
+// generation therefore cannot see pre-reset entries. Writers (cache fills,
+// i.e. response misses) take the shard mutex and republish copy-on-write.
+//
+// Capacity uses segmented (two-generation) eviction instead of a wholesale
+// clear: when the hot segment fills, it rotates to cold and a fresh hot
+// segment starts. Hot keys stay servable from the cold segment across the
+// overflow — a diverse key flood can evict the long tail but costs the hot
+// set at most one recompute every two rotations, not a miss storm.
 type genCache struct {
-	mu      sync.Mutex
-	gen     uint64
-	max     int
-	entries map[string]cacheEntry
+	perShard  int
+	shardMask uint32
+	shards    []cacheShard
+
+	// resets / rotations are observability hooks (Metrics): generation
+	// resets and capacity rotations per shard.
+	resets    *atomic.Int64
+	rotations *atomic.Int64
+}
+
+type cacheShard struct {
+	gen  atomic.Uint64
+	hot  atomic.Pointer[map[string]cacheEntry]
+	cold atomic.Pointer[map[string]cacheEntry]
+	mu   countedMutex
 }
 
 type cacheEntry struct {
@@ -26,40 +90,91 @@ type cacheEntry struct {
 	body        []byte
 }
 
-func newGenCache(max int) *genCache {
+func newGenCache(max int, resets, rotations *atomic.Int64) *genCache {
 	if max <= 0 {
 		max = 4096
 	}
-	return &genCache{max: max, entries: make(map[string]cacheEntry)}
+	n := shardCount()
+	per := max / n
+	if per < 8 {
+		per = 8
+	}
+	return &genCache{
+		perShard:  per,
+		shardMask: uint32(n - 1),
+		shards:    make([]cacheShard, n),
+		resets:    resets,
+		rotations: rotations,
+	}
 }
 
-// get returns the cached response for key at store generation gen.
+// get returns the cached response for key at store generation gen. It is
+// lock-free: a generation mismatch is simply a miss (the reset happens on
+// the subsequent put), and segment lookups read immutable maps.
 func (c *genCache) get(gen uint64, key string) (cacheEntry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if gen != c.gen {
-		c.gen = gen
-		clear(c.entries)
+	sh := &c.shards[hashString(key)&c.shardMask]
+	if sh.gen.Load() != gen {
 		return cacheEntry{}, false
 	}
-	e, ok := c.entries[key]
-	return e, ok
+	if m := sh.hot.Load(); m != nil {
+		if e, ok := (*m)[key]; ok {
+			return e, true
+		}
+	}
+	if m := sh.cold.Load(); m != nil {
+		if e, ok := (*m)[key]; ok {
+			return e, true
+		}
+	}
+	return cacheEntry{}, false
 }
 
 // put stores a response computed while the store was at generation gen.
-// A full cache resets rather than evicting piecemeal: the workload is a
-// small set of hot endpoints, so a reset refills in a few requests.
+// Runs on the miss path only, under the shard mutex; the hot segment is
+// republished copy-on-write so concurrent readers never see a mutating
+// map.
 func (c *genCache) put(gen uint64, key string, e cacheEntry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if gen != c.gen {
-		c.gen = gen
-		clear(c.entries)
+	sh := &c.shards[hashString(key)&c.shardMask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	switch cur := sh.gen.Load(); {
+	case cur > gen:
+		// A newer generation owns the shard: this response is already
+		// stale, drop it.
+		return
+	case cur < gen:
+		// Lazy generation reset: clear both segments, then advance the
+		// generation. Readers order their loads gen-first, so seeing the
+		// new generation implies seeing the cleared segments.
+		sh.hot.Store(nil)
+		sh.cold.Store(nil)
+		sh.gen.Store(gen)
+		if c.resets != nil {
+			c.resets.Add(1)
+		}
 	}
-	if len(c.entries) >= c.max {
-		clear(c.entries)
+	hot := sh.hot.Load()
+	var next map[string]cacheEntry
+	switch {
+	case hot == nil:
+		next = map[string]cacheEntry{key: e}
+	case len(*hot) >= c.perShard:
+		// Segmented eviction: the full hot segment becomes the cold one
+		// (dropping the previous cold), and the new entry seeds a fresh
+		// hot segment. No copying, and recently hot keys stay servable.
+		sh.cold.Store(hot)
+		next = map[string]cacheEntry{key: e}
+		if c.rotations != nil {
+			c.rotations.Add(1)
+		}
+	default:
+		next = make(map[string]cacheEntry, len(*hot)+1)
+		for k, v := range *hot {
+			next[k] = v
+		}
+		next[key] = e
 	}
-	c.entries[key] = e
+	sh.hot.Store(&next)
 }
 
 // captureWriter tees a handler's response into a buffer so cache misses

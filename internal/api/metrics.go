@@ -22,8 +22,19 @@ type Metrics struct {
 	RateLimited atomic.Int64
 	Errors      atomic.Int64 // 5xx responses
 
+	// CacheShardResets counts cache shards dropped on observing a newer
+	// store generation; CacheShardRotations counts capacity overflows
+	// that rotated a hot segment to cold. Together they make invalidation
+	// storms visible under load.
+	CacheShardResets    atomic.Int64
+	CacheShardRotations atomic.Int64
+
 	latN    atomic.Uint64
 	latRing [latWindow]atomic.Int64 // microseconds
+
+	// storePublishes reports the store's snapshot-publication counter
+	// (set by New; nil in bare Metrics).
+	storePublishes func() uint64
 
 	// extra, when set (Config.Extra), contributes additional sections to
 	// every snapshot — e.g. the convergence engine's counters when the
@@ -63,13 +74,18 @@ func (m *Metrics) Quantiles() (p50, p99 float64) {
 func (m *Metrics) snapshot() map[string]any {
 	p50, p99 := m.Quantiles()
 	out := map[string]any{
-		"requests":       m.Requests.Load(),
-		"cache_hits":     m.CacheHits.Load(),
-		"cache_misses":   m.CacheMisses.Load(),
-		"rate_limited":   m.RateLimited.Load(),
-		"errors":         m.Errors.Load(),
-		"latency_p50_us": p50,
-		"latency_p99_us": p99,
+		"requests":              m.Requests.Load(),
+		"cache_hits":            m.CacheHits.Load(),
+		"cache_misses":          m.CacheMisses.Load(),
+		"rate_limited":          m.RateLimited.Load(),
+		"errors":                m.Errors.Load(),
+		"cache_shard_resets":    m.CacheShardResets.Load(),
+		"cache_shard_rotations": m.CacheShardRotations.Load(),
+		"latency_p50_us":        p50,
+		"latency_p99_us":        p99,
+	}
+	if m.storePublishes != nil {
+		out["store_snapshot_publishes"] = m.storePublishes()
 	}
 	if m.extra != nil {
 		for k, v := range m.extra() {

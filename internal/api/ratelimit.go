@@ -2,26 +2,48 @@ package api
 
 import (
 	"net"
-	"sync"
+	"strings"
+	"sync/atomic"
 	"time"
 )
 
-// rateLimiter is a per-client token bucket: each client key (the request's
-// remote IP) holds burst tokens, refilled at refill tokens/second. A
-// request costs one token; an empty bucket means 429. The table is bounded:
-// when it grows past maxClients the stalest buckets are evicted, so an
-// address-rotating scanner cannot grow server memory without bound.
+// rateLimiter is a per-client rate limiter with token-bucket semantics
+// (burst tokens, refilled at refill tokens/second; a request costs one
+// token, an empty bucket means 429), implemented as GCRA so each client's
+// whole state is a single atomic word and the steady-state check is a
+// lock-free CAS.
+//
+// GCRA keeps one value per client: the theoretical arrival time (TAT), in
+// nanoseconds. A request at time `now` conforms iff now >= TAT - tau where
+// tau = (burst-1) * interval and interval = 1s / refill; on conformance
+// TAT advances to max(now, TAT) + interval. That is exactly the token
+// bucket: a fresh client gets `burst` back-to-back requests, then one more
+// per interval. Denials touch nothing, so a flood of rejected requests
+// does not even contend on the CAS.
+//
+// The client table is sharded by IP hash; each shard publishes an
+// immutable map behind an atomic pointer, so the lookup is lock-free too.
+// Only first-contact registration (and the eviction it may trigger) takes
+// the shard mutex and republishes copy-on-write. The table is bounded:
+// when a shard grows past its capacity the fully-refilled (stale) clients
+// are dropped — forgetting them is indistinguishable from keeping them —
+// and if everything is fresh (a genuine flood of distinct addresses) the
+// shard resets: briefly over-admitting beats unbounded growth.
 type rateLimiter struct {
-	burst  float64
-	refill float64
-
-	mu      sync.Mutex
-	buckets map[string]*bucket
+	interval  int64 // ns per token (1e9 / refill)
+	tau       int64 // burst tolerance: (burst-1) * interval
+	perShard  int
+	shardMask uint32
+	shards    []rlShard
 }
 
-type bucket struct {
-	tokens float64
-	last   time.Time
+type rlShard struct {
+	clients atomic.Pointer[map[string]*rlClient]
+	mu      countedMutex
+}
+
+type rlClient struct {
+	tat atomic.Int64
 }
 
 const maxClients = 8192
@@ -35,52 +57,89 @@ func newRateLimiter(burst int, refill float64) *rateLimiter {
 	if refill <= 0 {
 		refill = float64(burst)
 	}
-	return &rateLimiter{burst: float64(burst), refill: refill, buckets: make(map[string]*bucket)}
+	n := shardCount()
+	per := maxClients / n
+	if per < 8 {
+		per = 8
+	}
+	interval := int64(float64(time.Second) / refill)
+	if interval < 1 {
+		interval = 1
+	}
+	return &rateLimiter{
+		interval:  interval,
+		tau:       int64(burst-1) * interval,
+		perShard:  per,
+		shardMask: uint32(n - 1),
+		shards:    make([]rlShard, n),
+	}
 }
 
 // allow reports whether the client may proceed at time now, consuming one
-// token if so. A nil limiter always allows.
+// token if so. A nil limiter always allows. Known clients never lock.
 func (l *rateLimiter) allow(key string, now time.Time) bool {
 	if l == nil {
 		return true
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	b, ok := l.buckets[key]
-	if !ok {
-		if len(l.buckets) >= maxClients {
-			l.evictStale(now)
-		}
-		b = &bucket{tokens: l.burst, last: now}
-		l.buckets[key] = b
-	} else {
-		b.tokens += now.Sub(b.last).Seconds() * l.refill
-		if b.tokens > l.burst {
-			b.tokens = l.burst
-		}
-		b.last = now
+	sh := &l.shards[hashString(key)&l.shardMask]
+	var c *rlClient
+	if m := sh.clients.Load(); m != nil {
+		c = (*m)[key]
 	}
-	if b.tokens < 1 {
-		return false
+	if c == nil {
+		c = sh.register(l, key, now)
 	}
-	b.tokens--
-	return true
+	nowNs := now.UnixNano()
+	for {
+		tat := c.tat.Load()
+		if tat-l.tau > nowNs {
+			return false
+		}
+		next := tat
+		if nowNs > next {
+			next = nowNs
+		}
+		next += l.interval
+		if c.tat.CompareAndSwap(tat, next) {
+			return true
+		}
+	}
 }
 
-// evictStale drops buckets idle long enough to have refilled completely —
-// forgetting them is indistinguishable from keeping them. Called with the
-// lock held. If everything is fresh (a genuine 8k-client flood), the whole
-// table resets: briefly over-admitting beats unbounded growth.
-func (l *rateLimiter) evictStale(now time.Time) {
-	full := time.Duration(l.burst / l.refill * float64(time.Second))
-	for k, b := range l.buckets {
-		if now.Sub(b.last) >= full {
-			delete(l.buckets, k)
+// register adds a first-contact client under the shard mutex, evicting
+// stale clients (fully refilled, i.e. TAT at or before now) when the shard
+// is at capacity. Republishes the shard map copy-on-write.
+func (sh *rlShard) register(l *rateLimiter, key string, now time.Time) *rlClient {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old := sh.clients.Load()
+	if old != nil {
+		if c := (*old)[key]; c != nil {
+			return c // raced with another registration
 		}
 	}
-	if len(l.buckets) >= maxClients {
-		clear(l.buckets)
+	next := make(map[string]*rlClient, l.perShard)
+	if old != nil {
+		if len(*old) >= l.perShard {
+			nowNs := now.UnixNano()
+			for k, c := range *old {
+				if c.tat.Load() > nowNs {
+					next[k] = c
+				}
+			}
+			if len(next) >= l.perShard {
+				clear(next) // all-fresh flood: reset the shard
+			}
+		} else {
+			for k, c := range *old {
+				next[k] = c
+			}
+		}
 	}
+	c := &rlClient{}
+	next[strings.Clone(key)] = c
+	sh.clients.Store(&next)
+	return c
 }
 
 // clientKey extracts the rate-limit key from a request's remote address

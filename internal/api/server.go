@@ -8,6 +8,7 @@
 package api
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/netsec-lab/rovista/internal/export"
@@ -57,9 +59,19 @@ type Server struct {
 	limiter *rateLimiter
 	now     func() time.Time
 
+	// genHdr caches the rendered X-Rovista-Generation header value for
+	// the current generation, so the cached read path stays free of
+	// integer formatting allocations.
+	genHdr atomic.Pointer[genHeader]
+
 	// Metrics is the server's live counter set (also published through
 	// expvar as "rovistad").
 	Metrics *Metrics
+}
+
+type genHeader struct {
+	gen  uint64
+	vals []string
 }
 
 // New builds a Server over st.
@@ -67,15 +79,16 @@ func New(st *store.Store, cfg Config) *Server {
 	s := &Server{
 		st:      st,
 		mux:     http.NewServeMux(),
-		cache:   newGenCache(cfg.CacheMaxEntries),
 		limiter: newRateLimiter(cfg.RateBurst, cfg.RateRefill),
 		now:     cfg.now,
 		Metrics: &Metrics{},
 	}
+	s.cache = newGenCache(cfg.CacheMaxEntries, &s.Metrics.CacheShardResets, &s.Metrics.CacheShardRotations)
 	if s.now == nil {
 		s.now = time.Now
 	}
 	s.Metrics.extra = cfg.Extra
+	s.Metrics.storePublishes = st.SnapshotPublishes
 	publishMetrics(s.Metrics)
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -98,6 +111,36 @@ func New(st *store.Store, cfg Config) *Server {
 // read-through cache, then the endpoint mux.
 func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.serve) }
 
+// viewCtxKey carries the request's store.View through the mux so every
+// handler resolves against the same generation the front end advertised.
+type viewCtxKey struct{}
+
+// viewOf returns the request's pinned store view, or a fresh one for the
+// uncached endpoints (healthz) that are not routed through the cache path.
+func (s *Server) viewOf(r *http.Request) store.View {
+	if v, ok := r.Context().Value(viewCtxKey{}).(store.View); ok {
+		return v
+	}
+	return s.st.View()
+}
+
+// genHeaderVals returns the pre-rendered X-Rovista-Generation value slice
+// for gen, reformatting only when the generation moved.
+func (s *Server) genHeaderVals(gen uint64) []string {
+	if h := s.genHdr.Load(); h != nil && h.gen == gen {
+		return h.vals
+	}
+	h := &genHeader{gen: gen, vals: []string{strconv.FormatUint(gen, 10)}}
+	s.genHdr.Store(h)
+	return h.vals
+}
+
+// generationHeader is the response header advertising the store generation
+// a /v1/ response was computed from. The view-pinning contract makes it
+// exact: the body always reflects precisely this generation — never an
+// older one, and (unlike the pre-snapshot code) never a newer one either.
+const generationHeader = "X-Rovista-Generation"
+
 func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
 	start := s.now()
 	s.Metrics.Requests.Add(1)
@@ -113,8 +156,13 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
 	// Only the data-plane endpoints go through the cache: health, metrics
 	// and pprof must always reflect the live process.
 	if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/") {
-		gen := s.st.Generation()
+		// One atomic load pins the whole request to a consistent
+		// snapshot: the generation used as the cache key and the data
+		// the handlers read cannot disagree.
+		view := s.st.View()
+		gen := view.Generation()
 		key := r.URL.RequestURI()
+		w.Header()[generationHeader] = s.genHeaderVals(gen)
 		if e, ok := s.cache.get(gen, key); ok {
 			s.Metrics.CacheHits.Add(1)
 			w.Header().Set("Content-Type", e.contentType)
@@ -124,7 +172,7 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
 		}
 		s.Metrics.CacheMisses.Add(1)
 		cw := &captureWriter{ResponseWriter: w}
-		s.mux.ServeHTTP(cw, r)
+		s.mux.ServeHTTP(cw, r.WithContext(context.WithValue(r.Context(), viewCtxKey{}, view)))
 		if cw.status >= 500 {
 			s.Metrics.Errors.Add(1)
 		}
@@ -154,10 +202,11 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	view := s.viewOf(r)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
-		"rounds":     s.st.Rounds(),
-		"generation": s.st.Generation(),
+		"rounds":     view.Rounds(),
+		"generation": view.Generation(),
 	})
 }
 
@@ -171,15 +220,15 @@ func parseASN(r *http.Request) (inet.ASN, error) {
 }
 
 // parseRound resolves an optional ?round= parameter ("latest" or absent →
-// the newest round).
-func (s *Server) parseRound(r *http.Request) (int, error) {
+// the newest round) against the request's pinned view.
+func parseRound(view store.View, r *http.Request) (int, error) {
 	q := r.URL.Query().Get("round")
 	if q == "" || q == "latest" {
-		return s.st.Rounds() - 1, nil
+		return view.Rounds() - 1, nil
 	}
 	n, err := strconv.Atoi(q)
-	if err != nil || n < 0 || n >= s.st.Rounds() {
-		return 0, fmt.Errorf("round %q outside history [0, %d)", q, s.st.Rounds())
+	if err != nil || n < 0 || n >= view.Rounds() {
+		return 0, fmt.Errorf("round %q outside history [0, %d)", q, view.Rounds())
 	}
 	return n, nil
 }
@@ -203,12 +252,13 @@ func (s *Server) handleAS(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	p, ok := s.st.Current(asn)
+	view := s.viewOf(r)
+	p, ok := view.Current(asn)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("AS%d was never scored", asn))
 		return
 	}
-	rec := s.st.Round(int(p.Round))
+	rec := view.Round(int(p.Round))
 	e, _ := rec.Entry(asn)
 	writeJSON(w, http.StatusOK, asResponse{
 		ASN:            uint32(asn),
@@ -236,20 +286,22 @@ func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	hist := s.st.Series(asn)
+	view := s.viewOf(r)
+	hist := view.Series(asn)
 	if len(hist) == 0 {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("AS%d was never scored", asn))
 		return
 	}
 	points := make([]seriesPoint, len(hist))
 	for i, p := range hist {
-		points[i] = seriesPoint{Round: p.Round, Day: s.st.Round(int(p.Round)).Day, Score: p.Score()}
+		points[i] = seriesPoint{Round: p.Round, Day: view.Round(int(p.Round)).Day, Score: p.Score()}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"asn": uint32(asn), "points": points})
 }
 
 func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
-	latest := s.st.Latest()
+	view := s.viewOf(r)
+	latest := view.Latest()
 	if latest == nil {
 		writeError(w, http.StatusNotFound, "store is empty")
 		return
@@ -272,7 +324,7 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad order %q (want protected or unprotected)", order))
 		return
 	}
-	top := s.st.TopN(n, protected)
+	top := view.TopN(n, protected)
 	records := make([]export.ScoreRecord, len(top))
 	for i, e := range top {
 		records[i] = scoreRecord(e)
@@ -299,12 +351,13 @@ type diffChange struct {
 }
 
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	view := s.viewOf(r)
 	q := r.URL.Query()
 	// resolve accepts a round index or "latest"; absence is an error for
 	// from= (a diff needs an explicit baseline) but means latest for to=.
 	resolve := func(v string) (int, error) {
 		if v == "latest" {
-			return s.st.Rounds() - 1, nil
+			return view.Rounds() - 1, nil
 		}
 		return strconv.Atoi(v)
 	}
@@ -318,7 +371,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "diff needs from= and to= rounds (integer or \"latest\")")
 		return
 	}
-	diff, err := s.st.Diff(from, to)
+	diff, err := view.Diff(from, to)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -367,12 +420,13 @@ func DatasetFromRecord(rec *store.RoundRecord) *export.Dataset {
 }
 
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
-	round, err := s.parseRound(r)
+	view := s.viewOf(r)
+	round, err := parseRound(view, r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	rec := s.st.Round(round)
+	rec := view.Round(round)
 	if rec == nil {
 		writeError(w, http.StatusNotFound, "store is empty")
 		return
@@ -409,10 +463,11 @@ type roundSummary struct {
 }
 
 func (s *Server) handleRounds(w http.ResponseWriter, r *http.Request) {
-	n := s.st.Rounds()
+	view := s.viewOf(r)
+	n := view.Rounds()
 	out := make([]roundSummary, n)
 	for i := 0; i < n; i++ {
-		rec := s.st.Round(i)
+		rec := view.Round(i)
 		out[i] = roundSummary{
 			Round:        rec.Round,
 			Day:          rec.Day,

@@ -1,0 +1,156 @@
+package loadharness
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/netsec-lab/rovista/internal/api"
+	"github.com/netsec-lab/rovista/internal/store"
+)
+
+func newTarget(t *testing.T, burst int) (*api.Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := store.Synthesize(st, store.SynthConfig{ASes: 200, Rounds: 10, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	return api.New(st, api.Config{RateBurst: burst}), st
+}
+
+func TestRunMixedLoad(t *testing.T) {
+	srv, _ := newTarget(t, 0) // no rate limiting: every request must succeed
+	rep, err := Run(srv.Handler(), Config{
+		Clients:  1000,
+		Workers:  2,
+		Requests: 4000,
+		ASes:     200,
+		Rounds:   10,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 4000 {
+		t.Fatalf("Requests = %d, want 4000", rep.Requests)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("Errors = %d, want 0", rep.Errors)
+	}
+	if rep.RateLimited != 0 {
+		t.Fatalf("RateLimited = %d with limiting disabled", rep.RateLimited)
+	}
+	if rep.QPS <= 0 {
+		t.Fatalf("QPS = %v, want > 0", rep.QPS)
+	}
+	if !(rep.P50us <= rep.P99us && rep.P99us <= rep.P999us) {
+		t.Fatalf("quantiles not monotone: p50=%v p99=%v p999=%v", rep.P50us, rep.P99us, rep.P999us)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestRunAppendStorm(t *testing.T) {
+	srv, st := newTarget(t, 0)
+	rounds := st.Rounds()
+	var appended int
+	rep, err := Run(srv.Handler(), Config{
+		Clients:     1000,
+		Workers:     2,
+		Duration:    200 * time.Millisecond,
+		ASes:        200,
+		Rounds:      rounds,
+		Seed:        1,
+		AppendEvery: 10 * time.Millisecond,
+		Append: func() error {
+			appended++
+			return store.Synthesize(st, store.SynthConfig{ASes: 200, Rounds: 1, Seed: int64(100 + appended)})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("Errors = %d, want 0 (queries must survive mid-load appends)", rep.Errors)
+	}
+	if st.Rounds() <= rounds || rep.Appends == 0 {
+		t.Fatalf("append storm did not land: rounds %d→%d, appends=%d", rounds, st.Rounds(), rep.Appends)
+	}
+}
+
+func TestRunRateLimited(t *testing.T) {
+	srv, _ := newTarget(t, 2) // tiny burst: hot clients must hit 429s
+	rep, err := Run(srv.Handler(), Config{
+		Clients:  50,
+		Workers:  2,
+		Requests: 2000,
+		ASes:     200,
+		Rounds:   10,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RateLimited == 0 {
+		t.Fatal("expected 429s with burst=2 and 50 hot clients")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("Errors = %d, want 0 (429s are not errors)", rep.Errors)
+	}
+}
+
+func TestRunDurationBound(t *testing.T) {
+	srv, _ := newTarget(t, 0)
+	rep, err := Run(srv.Handler(), Config{
+		Clients:  100,
+		Workers:  1,
+		Duration: 50 * time.Millisecond,
+		ASes:     200,
+		Rounds:   10,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("duration-bound run served no requests")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("Errors = %d, want 0", rep.Errors)
+	}
+}
+
+func TestQuantilesMonotone(t *testing.T) {
+	h := &latHistogram{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		h.record(time.Duration(rng.Intn(1_000_000)) * time.Nanosecond)
+	}
+	h.record(time.Hour) // overflow path
+	p50, p99, p999 := quantiles([]*latHistogram{h})
+	if !(p50 > 0 && p50 <= p99 && p99 <= p999) {
+		t.Fatalf("quantiles not monotone: %v %v %v", p50, p99, p999)
+	}
+}
+
+func TestClientAddrs(t *testing.T) {
+	addrs := clientAddrs(300)
+	if addrs[0] != "10.0.0.0:4242" {
+		t.Fatalf("addrs[0] = %q", addrs[0])
+	}
+	if addrs[257] != "10.0.1.1:4242" {
+		t.Fatalf("addrs[257] = %q", addrs[257])
+	}
+	seen := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		if seen[a] {
+			t.Fatalf("duplicate client address %q", a)
+		}
+		seen[a] = true
+	}
+}

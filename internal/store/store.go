@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/netsec-lab/rovista/internal/inet"
 )
@@ -30,21 +31,29 @@ func (c Config) withDefaults() Config {
 }
 
 // Store is the longitudinal archive: rounds 0..Rounds()-1, contiguous,
-// append-only. All methods are safe for concurrent use; queries proceed
-// under a read lock while one writer appends. Returned records and slices
-// share the store's memory and must be treated as read-only.
+// append-only. All methods are safe for concurrent use. Reads are
+// lock-free: the read state (rounds, per-AS history index, generation) is
+// an immutable snapshot behind an atomic pointer, so queries proceed at
+// memory speed regardless of writer activity. Append/Compact serialize on
+// a writer mutex, build the successor snapshot copy-on-write, and publish
+// it atomically. Returned records and slices share the store's memory and
+// must be treated as read-only.
 type Store struct {
 	dir string
 	cfg Config
 
-	mu      sync.RWMutex
-	records []*RoundRecord
-	// hist is the (ASN, round) index: per-AS history points sorted by
-	// round, holding the quantised score so timeseries queries never
-	// touch the full records.
-	hist map[inet.ASN][]HistoryPoint
-	gen  uint64
+	// state is the published read snapshot; see viewState for the
+	// immutability contract.
+	state atomic.Pointer[viewState]
+	// publishes counts snapshot publications (observability: exposed by
+	// the API under /metrics as store_snapshot_publishes).
+	publishes atomic.Uint64
+	// writerLocks counts writer-mutex acquisitions. The read path never
+	// touches mu, and the lock-count guard test pins exactly that: any
+	// query sequence leaves this counter unchanged.
+	writerLocks atomic.Uint64
 
+	mu           sync.Mutex // writer lock: Append, Compact, Close
 	active       *os.File
 	activeRounds int // records in the active segment
 	// appendErr poisons the store after an unrecoverable write failure
@@ -77,7 +86,8 @@ func Open(dir string, cfg Config) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, cfg: cfg, hist: make(map[inet.ASN][]HistoryPoint)}
+	s := &Store{dir: dir, cfg: cfg}
+	st := &viewState{hist: make(map[inet.ASN][]HistoryPoint)}
 
 	names, err := filepath.Glob(filepath.Join(dir, "seg-*.rvs"))
 	if err != nil {
@@ -104,7 +114,7 @@ func Open(dir string, cfg Config) (*Store, error) {
 			return nil, err
 		}
 		for _, rec := range recs {
-			s.index(rec)
+			indexInto(st, rec)
 		}
 		next += uint32(len(recs))
 		if len(recs) == 0 && validEnd < segHeaderSize {
@@ -147,23 +157,52 @@ func Open(dir string, cfg Config) (*Store, error) {
 		s.active = f
 		s.activeRounds = lastRounds
 	}
+	s.publish(st)
 	return s, nil
 }
 
-// index merges one record into the in-memory state (caller holds mu or is
-// still single-threaded in Open).
-func (s *Store) index(rec *RoundRecord) {
-	s.records = append(s.records, rec)
+// indexInto merges one record into a snapshot still under construction
+// (Open's single-threaded reload; never a published snapshot).
+func indexInto(st *viewState, rec *RoundRecord) {
+	st.records = append(st.records, rec)
 	for _, e := range rec.Entries {
-		s.hist[e.ASN] = append(s.hist[e.ASN], HistoryPoint{Round: rec.Round, Centi: e.Centi})
+		st.hist[e.ASN] = append(st.hist[e.ASN], HistoryPoint{Round: rec.Round, Centi: e.Centi})
 	}
-	s.gen++
+	st.gen++
 }
+
+// publish makes st the store's current read snapshot.
+func (s *Store) publish(st *viewState) {
+	s.state.Store(st)
+	s.publishes.Add(1)
+}
+
+// lockWriter takes the writer mutex, counting the acquisition for the
+// lock-count guard.
+func (s *Store) lockWriter() {
+	s.writerLocks.Add(1)
+	s.mu.Lock()
+}
+
+// View returns the current immutable read view. All Store query methods
+// are shorthands for a fresh View call; callers needing several queries
+// against one consistent generation (e.g. the API's cached read path)
+// should take a View once and reuse it.
+func (s *Store) View() View { return View{s.state.Load()} }
+
+// SnapshotPublishes returns the number of read-snapshot publications since
+// Open (Open's initial load counts as one).
+func (s *Store) SnapshotPublishes() uint64 { return s.publishes.Load() }
+
+// WriterLockAcquisitions returns the number of writer-mutex acquisitions.
+// Reads never acquire it; tests pin that by sampling this around query
+// storms.
+func (s *Store) WriterLockAcquisitions() uint64 { return s.writerLocks.Load() }
 
 // Close flushes and closes the active segment. The store must not be used
 // afterwards.
 func (s *Store) Close() error {
-	s.mu.Lock()
+	s.lockWriter()
 	defer s.mu.Unlock()
 	if s.active == nil {
 		return nil
@@ -177,15 +216,17 @@ func (s *Store) Close() error {
 func (s *Store) Dir() string { return s.dir }
 
 // Append archives rec as the next round, assigning rec.Round, persisting it
-// to the active segment (rolling to a new segment when full) and merging it
-// into the in-memory index. The store takes ownership of rec.
+// to the active segment (rolling to a new segment when full), building the
+// successor read snapshot copy-on-write and publishing it atomically. The
+// store takes ownership of rec.
 func (s *Store) Append(rec *RoundRecord) error {
-	s.mu.Lock()
+	s.lockWriter()
 	defer s.mu.Unlock()
 	if s.appendErr != nil {
 		return s.appendErr
 	}
-	rec.Round = uint32(len(s.records))
+	old := s.state.Load()
+	rec.Round = uint32(len(old.records))
 	sort.Slice(rec.Entries, func(i, j int) bool { return rec.Entries[i].ASN < rec.Entries[j].ASN })
 	for i := 1; i < len(rec.Entries); i++ {
 		if rec.Entries[i].ASN == rec.Entries[i-1].ASN {
@@ -230,7 +271,23 @@ func (s *Store) Append(rec *RoundRecord) error {
 		}
 	}
 	s.activeRounds++
-	s.index(rec)
+
+	// Build and publish the successor snapshot. The records slice is
+	// copied (full-slice append) so the published header is frozen; the
+	// hist map header is copied, per-AS slices extended by append (safe:
+	// any in-place growth writes beyond every published reader's length).
+	next := &viewState{
+		records: append(old.records[:len(old.records):len(old.records)], rec),
+		hist:    make(map[inet.ASN][]HistoryPoint, len(old.hist)+len(rec.Entries)),
+		gen:     old.gen + 1,
+	}
+	for asn, h := range old.hist {
+		next.hist[asn] = h
+	}
+	for _, e := range rec.Entries {
+		next.hist[e.ASN] = append(next.hist[e.ASN], HistoryPoint{Round: rec.Round, Centi: e.Centi})
+	}
+	s.publish(next)
 	return nil
 }
 
@@ -249,12 +306,13 @@ func (s *Store) truncateActive(off int64) {
 // Compact rewrites the whole history into a single segment file and removes
 // the old ones, reclaiming the per-segment overhead and the fragmentation
 // left by small SegmentRounds. Logical content and generation are
-// unchanged; concurrent queries keep working throughout (they read the
-// in-memory index), and appends resume into the compacted segment.
+// unchanged — the read snapshot is not republished — so concurrent queries
+// keep working throughout, and appends resume into the compacted segment.
 func (s *Store) Compact() error {
-	s.mu.Lock()
+	s.lockWriter()
 	defer s.mu.Unlock()
-	if len(s.records) == 0 {
+	records := s.state.Load().records
+	if len(records) == 0 {
 		return nil
 	}
 	tmp := filepath.Join(s.dir, "compact.tmp")
@@ -266,7 +324,7 @@ func (s *Store) Compact() error {
 		f.Close()
 		return err
 	}
-	for _, rec := range s.records {
+	for _, rec := range records {
 		if _, err := writeFramed(f, rec); err != nil {
 			f.Close()
 			return err
@@ -304,100 +362,38 @@ func (s *Store) Compact() error {
 		return err
 	}
 	s.active = a
-	s.activeRounds = len(s.records)
+	s.activeRounds = len(records)
 	return nil
 }
 
 // Generation returns a counter that changes whenever a round is appended.
-// Caches key their contents on it.
-func (s *Store) Generation() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.gen
-}
+// Caches key their contents on it. For multi-query consistency against one
+// generation, use View.
+func (s *Store) Generation() uint64 { return s.View().Generation() }
 
 // Rounds returns the number of archived rounds.
-func (s *Store) Rounds() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.records)
-}
+func (s *Store) Rounds() int { return s.View().Rounds() }
 
 // Round returns archived round i, or nil when out of range.
-func (s *Store) Round(i int) *RoundRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if i < 0 || i >= len(s.records) {
-		return nil
-	}
-	return s.records[i]
-}
+func (s *Store) Round(i int) *RoundRecord { return s.View().Round(i) }
 
 // Latest returns the most recent round, or nil on an empty store.
-func (s *Store) Latest() *RoundRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if len(s.records) == 0 {
-		return nil
-	}
-	return s.records[len(s.records)-1]
-}
+func (s *Store) Latest() *RoundRecord { return s.View().Latest() }
 
 // Current returns an AS's most recent score and the round it came from.
-func (s *Store) Current(asn inet.ASN) (HistoryPoint, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	h := s.hist[asn]
-	if len(h) == 0 {
-		return HistoryPoint{}, false
-	}
-	return h[len(h)-1], true
-}
+func (s *Store) Current(asn inet.ASN) (HistoryPoint, bool) { return s.View().Current(asn) }
 
 // Series returns an AS's full score history, sorted by round. The slice is
 // shared with the store: read-only.
-func (s *Store) Series(asn inet.ASN) []HistoryPoint {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.hist[asn]
-}
+func (s *Store) Series(asn inet.ASN) []HistoryPoint { return s.View().Series(asn) }
 
 // EntryAt is the (ASN, round) point lookup: the AS's full entry in that
 // round, if it was scored there.
-func (s *Store) EntryAt(asn inet.ASN, round int) (Entry, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if round < 0 || round >= len(s.records) {
-		return Entry{}, false
-	}
-	return s.records[round].Entry(asn)
-}
+func (s *Store) EntryAt(asn inet.ASN, round int) (Entry, bool) { return s.View().EntryAt(asn, round) }
 
 // TopN returns the n highest-scoring (protected=true) or lowest-scoring
 // entries of the latest round, ties broken by ascending ASN.
-func (s *Store) TopN(n int, protected bool) []Entry {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if len(s.records) == 0 || n <= 0 {
-		return nil
-	}
-	latest := s.records[len(s.records)-1]
-	out := make([]Entry, len(latest.Entries))
-	copy(out, latest.Entries)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Centi != out[j].Centi {
-			if protected {
-				return out[i].Centi > out[j].Centi
-			}
-			return out[i].Centi < out[j].Centi
-		}
-		return out[i].ASN < out[j].ASN
-	})
-	if n < len(out) {
-		out = out[:n]
-	}
-	return out
-}
+func (s *Store) TopN(n int, protected bool) []Entry { return s.View().TopN(n, protected) }
 
 // DiffEntry is one AS's change between two rounds.
 type DiffEntry struct {
@@ -410,30 +406,4 @@ type DiffEntry struct {
 
 // Diff returns the per-AS changes from round `from` to round `to`: score
 // movements plus appearances and disappearances, sorted by ASN.
-func (s *Store) Diff(from, to int) ([]DiffEntry, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if from < 0 || from >= len(s.records) || to < 0 || to >= len(s.records) {
-		return nil, fmt.Errorf("store: diff rounds (%d, %d) outside history [0, %d)", from, to, len(s.records))
-	}
-	a, b := s.records[from].Entries, s.records[to].Entries
-	var out []DiffEntry
-	i, j := 0, 0
-	for i < len(a) || j < len(b) {
-		switch {
-		case j >= len(b) || (i < len(a) && a[i].ASN < b[j].ASN):
-			out = append(out, DiffEntry{ASN: a[i].ASN, From: a[i], Vanished: true})
-			i++
-		case i >= len(a) || b[j].ASN < a[i].ASN:
-			out = append(out, DiffEntry{ASN: b[j].ASN, To: b[j], Appeared: true})
-			j++
-		default:
-			if a[i].Centi != b[j].Centi || a[i].Unanimous != b[j].Unanimous {
-				out = append(out, DiffEntry{ASN: a[i].ASN, From: a[i], To: b[j]})
-			}
-			i++
-			j++
-		}
-	}
-	return out, nil
-}
+func (s *Store) Diff(from, to int) ([]DiffEntry, error) { return s.View().Diff(from, to) }

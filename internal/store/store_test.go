@@ -311,6 +311,107 @@ func TestConcurrentAppendQuery(t *testing.T) {
 	}
 }
 
+// TestQueryPathLockFree is the contention-free-read guard: the writer
+// mutex is the only lock in the package, and no query may acquire it. Any
+// regression that reintroduces locking on the read path (a helper that
+// grabs mu, a delegate that forgets the snapshot) trips the counter.
+func TestQueryPathLockFree(t *testing.T) {
+	st, err := Open(t.TempDir(), Config{})
+	must(t, err)
+	defer st.Close()
+	must(t, Synthesize(st, SynthConfig{ASes: 50, Rounds: 8, Seed: 3}))
+
+	base := st.WriterLockAcquisitions()
+	for i := 0; i < 1000; i++ {
+		asn := inet.ASN(1000 + i%50)
+		st.Generation()
+		st.Rounds()
+		st.Round(i % 8)
+		st.Latest()
+		st.Current(asn)
+		st.Series(asn)
+		st.EntryAt(asn, i%8)
+		st.TopN(10, i%2 == 0)
+		if _, err := st.Diff(0, 7); err != nil {
+			t.Fatal(err)
+		}
+		v := st.View()
+		v.Current(asn)
+		v.TopN(5, true)
+	}
+	if got := st.WriterLockAcquisitions(); got != base {
+		t.Fatalf("query path acquired %d locks (writer-lock count %d → %d); reads must be lock-free", got-base, base, got)
+	}
+}
+
+// TestSnapshotConsistencyUnderAppendCompact is the torn-index guard for
+// the lock-free read path: while one writer appends and compacts, readers
+// grab Views and assert every publication is complete and
+// generation-consistent — the generation equals the round count, the
+// latest record's index matches, and the history index agrees with the
+// records for an AS present in every round. Runs under `make race`.
+func TestSnapshotConsistencyUnderAppendCompact(t *testing.T) {
+	st, err := Open(t.TempDir(), Config{SegmentRounds: 4})
+	must(t, err)
+	defer st.Close()
+	must(t, st.Append(testRecord(0, map[inet.ASN]float64{1000: 10, 1001: 50})))
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				v := st.View()
+				n := v.Rounds()
+				if got := v.Generation(); got != uint64(n) {
+					t.Errorf("torn snapshot: generation %d with %d rounds", got, n)
+					return
+				}
+				latest := v.Latest()
+				if latest == nil || latest.Round != uint32(n-1) {
+					t.Errorf("torn snapshot: latest %+v with %d rounds", latest, n)
+					return
+				}
+				// AS 1000 is in every appended round: its history must
+				// track the round count exactly, ending at the latest
+				// round with the latest round's score.
+				hist := v.Series(1000)
+				if len(hist) != n {
+					t.Errorf("torn index: %d history points for 1000 with %d rounds", len(hist), n)
+					return
+				}
+				last := hist[len(hist)-1]
+				if last.Round != uint32(n-1) {
+					t.Errorf("torn index: history ends at round %d, latest is %d", last.Round, n-1)
+					return
+				}
+				if e, ok := latest.Entry(1000); !ok || e.Centi != last.Centi {
+					t.Errorf("torn index: history score %d, record score %+v ok=%v", last.Centi, e, ok)
+					return
+				}
+			}
+		}()
+	}
+	for r := 1; r < 40; r++ {
+		must(t, st.Append(testRecord(r, map[inet.ASN]float64{1000: float64(r % 100), 1001: 50, inet.ASN(2000 + r): 75})))
+		if r%10 == 0 {
+			must(t, st.Compact())
+		}
+	}
+	close(done)
+	wg.Wait()
+	if st.Rounds() != 40 {
+		t.Fatalf("rounds = %d", st.Rounds())
+	}
+}
+
 func must(t *testing.T, err error) {
 	t.Helper()
 	if err != nil {

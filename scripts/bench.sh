@@ -7,8 +7,9 @@
 # paper-scale world benchmarks (10k/50k/74k-AS build, steady-state converge
 # and event-path flap re-convergence, with peak-RSS reporting) into
 # BENCH_world.json; then the rovistad serving
-# benchmark (mixed read workload against a populated 1k-AS/50-round store,
-# with qps and p50/p99 latency) into BENCH_serve.json. The files make perf
+# benchmarks (mixed read workload against a populated 1k-AS/50-round store
+# in serial, parallel, and append-storm variants, with qps, qps-parallel,
+# and p50/p99/p999 latency) into BENCH_serve.json. The files make perf
 # regressions diffable across commits.
 #
 # Usage: scripts/bench.sh [round.json [world.json [serve.json]]]
@@ -31,7 +32,8 @@ trap 'rm -f "$tmp"' EXIT
 
 # distill turns `go test -bench` output into a JSON report. Recognizes
 # ns/op, B/op, allocs/op, the scale benchmarks' peakRSS-MB metric, and the
-# serving benchmark's qps / p50-us / p99-us metrics.
+# serving benchmarks' qps / qps-parallel / p50-us / p99-us / p999-us
+# metrics.
 distill() {
     awk -v gover="$(go version | awk '{print $3}')" '
 BEGIN { n = 0 }
@@ -40,15 +42,17 @@ BEGIN { n = 0 }
     sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
     iters[n] = $2
     names[n] = name
-    ns[n] = bytes[n] = allocs[n] = rss[n] = qps[n] = p50[n] = p99[n] = "null"
+    ns[n] = bytes[n] = allocs[n] = rss[n] = qps[n] = qpspar[n] = p50[n] = p99[n] = p999[n] = "null"
     for (i = 3; i < NF; i++) {
-        if ($(i+1) == "ns/op")      ns[n] = $i
-        if ($(i+1) == "B/op")       bytes[n] = $i
-        if ($(i+1) == "allocs/op")  allocs[n] = $i
-        if ($(i+1) == "peakRSS-MB") rss[n] = $i
-        if ($(i+1) == "qps")        qps[n] = $i
-        if ($(i+1) == "p50-us")     p50[n] = $i
-        if ($(i+1) == "p99-us")     p99[n] = $i
+        if ($(i+1) == "ns/op")        ns[n] = $i
+        if ($(i+1) == "B/op")         bytes[n] = $i
+        if ($(i+1) == "allocs/op")    allocs[n] = $i
+        if ($(i+1) == "peakRSS-MB")   rss[n] = $i
+        if ($(i+1) == "qps")          qps[n] = $i
+        if ($(i+1) == "qps-parallel") qpspar[n] = $i
+        if ($(i+1) == "p50-us")       p50[n] = $i
+        if ($(i+1) == "p99-us")       p99[n] = $i
+        if ($(i+1) == "p999-us")      p999[n] = $i
     }
     n++
 }
@@ -59,8 +63,10 @@ END {
             names[i], iters[i], ns[i], bytes[i], allocs[i])
         if (rss[i] != "null") line = line sprintf(", \"peak_rss_mb\": %s", rss[i])
         if (qps[i] != "null") line = line sprintf(", \"qps\": %s", qps[i])
+        if (qpspar[i] != "null") line = line sprintf(", \"qps_parallel\": %s", qpspar[i])
         if (p50[i] != "null") line = line sprintf(", \"latency_p50_us\": %s", p50[i])
         if (p99[i] != "null") line = line sprintf(", \"latency_p99_us\": %s", p99[i])
+        if (p999[i] != "null") line = line sprintf(", \"latency_p999_us\": %s", p999[i])
         printf "%s}%s\n", line, (i < n-1 ? "," : "")
     }
     printf "  ]\n}\n"
@@ -68,7 +74,7 @@ END {
 }
 
 serve_bench() {
-    go test -run '^$' -bench 'BenchmarkServeQueries' -benchmem -benchtime 2s ./internal/api/ | tee "$tmp"
+    go test -run '^$' -bench 'BenchmarkServe' -benchmem -benchtime 2s ./internal/api/ | tee "$tmp"
     distill < "$tmp" > "$serve_out"
     echo "wrote $serve_out"
 }

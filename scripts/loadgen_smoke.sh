@@ -1,0 +1,43 @@
+#!/bin/sh
+# Load-harness smoke test: run cmd/loadgen against a small in-process
+# target (200 ASes, 10k simulated clients, a fixed request budget, with
+# the background append storm on) and assert the report shows nonzero
+# throughput and zero errors. This is what CI's loadgen-smoke job runs —
+# it proves the harness and the contention-free serving path survive a
+# mixed Zipf workload with a writer appending mid-load, not that any
+# particular qps is reached (shared runners are too noisy for that).
+#
+# Usage: scripts/loadgen_smoke.sh
+set -eu
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+fail() {
+    echo "loadgen-smoke: FAIL: $*" >&2
+    echo "--- loadgen report ---" >&2
+    cat "$out" >&2
+    exit 1
+}
+
+go run ./cmd/loadgen \
+    -clients 10000 -ases 200 -rounds 10 -requests 50000 \
+    -append-every 20ms -seed 42 -json >"$out" 2>/dev/null ||
+    fail "loadgen exited nonzero"
+
+# field NAME — extract a numeric field from the JSON report.
+field() {
+    sed -n "s/.*\"$1\": *\([0-9.eE+-]*\).*/\1/p" "$out" | head -1
+}
+
+requests=$(field requests)
+errors=$(field errors)
+qps=$(field qps)
+
+[ "$requests" = "50000" ] || fail "requests = $requests (want 50000)"
+[ "$errors" = "0" ] || fail "errors = $errors (want 0)"
+case "$qps" in
+"" | 0 | 0.*) fail "qps = '$qps' (want nonzero)" ;;
+esac
+
+echo "loadgen-smoke: PASS ($requests requests, $qps qps, 0 errors)"
