@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke robustness cover bench serve-bench serve-smoke loadgen-smoke clean
+.PHONY: check vet build test race fuzz-smoke robustness cover bench serve-bench serve-smoke loadgen-smoke campaign-smoke clean
 
 check: vet build test race fuzz-smoke
 
@@ -24,13 +24,15 @@ test:
 race:
 	$(GO) test -race ./internal/core/ ./internal/netsim/ ./internal/pipeline/ ./internal/bgp/ ./internal/topology/ ./internal/store/ ./internal/api/
 
-# Short fuzzing passes over the two parsers/state machines fuzz has the best
-# shot at: the TCP endpoint's segment handling and the prefix-interning
-# table's LPM invariants. Each target needs its own invocation (go test
-# accepts one -fuzz pattern at a time).
+# Short fuzzing passes over the parsers/state machines fuzz has the best
+# shot at: the TCP endpoint's segment handling, the prefix-interning
+# table's LPM invariants, and the campaign scheduler's exact-restoration
+# invariant under arbitrary overlapping attack windows. Each target needs
+# its own invocation (go test accepts one -fuzz pattern at a time).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzHandleSegment -fuzztime 5s ./internal/tcpsim/
 	$(GO) test -run '^$$' -fuzz FuzzPrefixTable -fuzztime 5s ./internal/bgp/
+	$(GO) test -run '^$$' -fuzz FuzzCampaignSchedule -fuzztime 5s ./internal/campaign/
 
 # Metamorphic robustness harness: determinism under faults, classification
 # F1 against ground truth, the no-silent-flip guard, and the profile sweep
@@ -67,6 +69,12 @@ serve-smoke:
 # (mirrors CI's loadgen-smoke job).
 loadgen-smoke:
 	sh scripts/loadgen_smoke.sh
+
+# Adversarial-scenario smoke: a seeded hijack campaign under paper faults
+# (non-empty, deterministic quadrant report) plus /v1/whatif counterfactual
+# queries against a live rovistad (mirrors CI's campaign-smoke job).
+campaign-smoke:
+	sh scripts/campaign_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -6,11 +6,16 @@
 //
 //	rovista [-seed N] [-day D] [-size small|medium|large] [-top K] [-v]
 //	        [-workers N] [-faults none|paper|harsh] [-progress] [-timings]
-//	        [-rounds N] [-interval D]
+//	        [-rounds N] [-interval D] [-campaign N]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -rounds N (N > 1) the command runs a longitudinal loop instead of a
 // single round: N rounds every -interval days starting at -day (default 0).
+// With -campaign N it additionally schedules N seeded attacks (origin and
+// subprefix hijacks, route leaks, forged-origin spoofs) across those rounds
+// and reports each AS's observed protection as the paper's
+// collateral-benefit/damage quadrants, cross-checked against the measured
+// scores.
 // SIGINT/SIGTERM interrupt the loop at the next round boundary; completed
 // rounds are flushed normally and the exit code is 0 — partial longitudinal
 // data is a valid result, not a failure.
@@ -27,6 +32,7 @@ import (
 	"sort"
 	"syscall"
 
+	"github.com/netsec-lab/rovista/internal/campaign"
 	"github.com/netsec-lab/rovista/internal/core"
 	"github.com/netsec-lab/rovista/internal/export"
 	"github.com/netsec-lab/rovista/internal/faults"
@@ -47,6 +53,7 @@ func main() {
 	timings := flag.Bool("timings", false, "print per-stage wall-clock timings and pair counters to stderr")
 	rounds := flag.Int("rounds", 1, "measurement rounds to run (>1 switches to the longitudinal loop)")
 	interval := flag.Int("interval", 5, "simulated days between rounds in -rounds mode")
+	campaignN := flag.Int("campaign", 0, "schedule N seeded attacks across the rounds and report protection quadrants")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -117,7 +124,42 @@ func main() {
 	runner := core.NewRunner(w, rcfg)
 
 	var snap *core.Snapshot
-	if *rounds > 1 {
+	if *campaignN > 0 {
+		ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stopSig()
+		start := *day
+		if start < 0 {
+			start = 0
+		}
+		ccfg := campaign.DefaultConfig(*seed)
+		ccfg.Rounds = *rounds
+		ccfg.Interval = *interval
+		ccfg.StartDay = start
+		ccfg.Attacks = *campaignN
+		rep, err := campaign.New(w, runner, ccfg).Run(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rovista:", err)
+			os.Exit(1)
+		}
+		if len(rep.Timeline.Snapshots) == 0 {
+			return // interrupted before the first round completed
+		}
+		if *format == "table" {
+			fmt.Printf("campaign: %d attacks scheduled over %d rounds (%d launches skipped)\n",
+				len(rep.Schedule), *rounds, len(rep.SkippedLaunches))
+			for i, s := range rep.Schedule {
+				fmt.Printf("  #%-2d rounds [%d,%d): %v\n", i, s.Start, s.End, s.Attack)
+			}
+			fmt.Printf("\nprotection quadrants (per AS x active attack x round):\n")
+			for q := campaign.DamageAvoided; q <= campaign.Exposed; q++ {
+				fmt.Printf("  %-19s %6d\n", q.String(), rep.Quadrants[q])
+			}
+			fmt.Printf("\nmeasured-score vs data-plane oracle: F1=%.3f accuracy=%.3f over %d (AS,round) checks\n",
+				rep.F1, rep.Accuracy, rep.Confusion.Total())
+			fmt.Printf("\nfinal round (day %d):\n", rep.Timeline.Days[len(rep.Timeline.Days)-1])
+		}
+		snap = rep.Timeline.Snapshots[len(rep.Timeline.Snapshots)-1]
+	} else if *rounds > 1 {
 		// Longitudinal mode: run the shared round loop under a signal
 		// context so ^C flushes completed rounds instead of losing them.
 		ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

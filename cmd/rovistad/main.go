@@ -20,6 +20,13 @@
 // pairs_reused / pairs_remeasured / full_rounds_forced counters are exposed
 // under the "rounds" key of /metrics.
 //
+// When measuring live (not -synth), GET /v1/whatif answers counterfactual
+// queries — "what changes if AS X deploys ROV / drops a route / gets
+// hijacked / leaks" — against a copy-on-write overlay of the live world:
+// the overlay shares the base graph's memory, re-converges only the dirty
+// cone, and is discarded after the answer, so queries never mutate or block
+// the serving path (they briefly serialize with round boundaries only).
+//
 // SIGINT/SIGTERM shut the daemon down gracefully: the measurement loop
 // stops at the next round boundary, in-flight requests drain, the store is
 // closed cleanly, and the exit code is 0.
@@ -33,15 +40,21 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/netip"
+	"net/url"
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"github.com/netsec-lab/rovista/internal/api"
+	"github.com/netsec-lab/rovista/internal/campaign"
 	"github.com/netsec-lab/rovista/internal/core"
+	"github.com/netsec-lab/rovista/internal/inet"
 	"github.com/netsec-lab/rovista/internal/faults"
 	"github.com/netsec-lab/rovista/internal/store"
 	"github.com/netsec-lab/rovista/internal/topology"
@@ -107,6 +120,14 @@ func run() error {
 	// counters (events applied, ASes touched, re-converge latency quantiles)
 	// under the "converge" key of the /metrics expvar snapshot.
 	var convergeStats func() map[string]any
+	// whatIfHook answers /v1/whatif when the daemon measures live. worldMu
+	// serializes counterfactual overlay forks against the measurement loop:
+	// an overlay shares the base graph's memory and is only coherent while
+	// the base is frozen, so the two never interleave.
+	var (
+		worldMu    sync.Mutex
+		whatIfHook func(q url.Values) (any, error)
+	)
 	if *synth != "" {
 		var ases, nRounds int
 		if _, err := fmt.Sscanf(*synth, "%dx%d", &ases, &nRounds); err != nil || ases <= 0 || nRounds <= 0 {
@@ -131,10 +152,25 @@ func run() error {
 				"rounds":   rstats.snapshot(),
 			}
 		}
+		whatIf := &campaign.WhatIfEngine{W: runner.W}
+		whatIfHook = func(q url.Values) (any, error) {
+			wq, err := parseWhatIfQuery(q)
+			if err != nil {
+				return nil, err
+			}
+			worldMu.Lock()
+			defer worldMu.Unlock()
+			return whatIf.Query(wq)
+		}
+		measure := func(r int) error {
+			worldMu.Lock()
+			defer worldMu.Unlock()
+			return measureRound(runner, st, r, *interval, rstats)
+		}
 		// The first round runs before the listener opens so the API never
 		// serves an empty store.
 		if st.Rounds() == 0 {
-			if err := measureRound(runner, st, 0, *interval, rstats); err != nil {
+			if err := measure(0); err != nil {
 				return err
 			}
 		}
@@ -150,7 +186,7 @@ func run() error {
 				} else if ctx.Err() != nil {
 					return
 				}
-				if err := measureRound(runner, st, r, *interval, rstats); err != nil {
+				if err := measure(r); err != nil {
 					log.Printf("measurement loop: %v", err)
 					return
 				}
@@ -172,6 +208,7 @@ func run() error {
 			RateBurst:  *rateBurst,
 			RateRefill: *rateRefill,
 			Extra:      convergeStats,
+			WhatIf:     whatIfHook,
 		}).Handler(),
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -200,6 +237,46 @@ func run() error {
 	<-loopDone
 	log.Printf("stopped cleanly with %d rounds archived", st.Rounds())
 	return st.Close()
+}
+
+// parseWhatIfQuery maps /v1/whatif query parameters onto a campaign
+// counterfactual: ?action=deploy-rov&asn=N, ?action=drop-route&asn=N&prefix=P,
+// ?action=hijack&attacker=N&prefix=P[&victim=M], ?action=leak&asn=N.
+func parseWhatIfQuery(q url.Values) (campaign.WhatIfQuery, error) {
+	var out campaign.WhatIfQuery
+	out.Action = q.Get("action")
+	if out.Action == "" {
+		return out, fmt.Errorf("missing ?action= (deploy-rov, drop-route, hijack, or leak)")
+	}
+	asn := func(key string) (inet.ASN, error) {
+		v := q.Get(key)
+		if v == "" {
+			return 0, nil
+		}
+		n, err := strconv.ParseUint(v, 10, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad %s %q", key, v)
+		}
+		return inet.ASN(n), nil
+	}
+	var err error
+	if out.ASN, err = asn("asn"); err != nil {
+		return out, err
+	}
+	if out.Attacker, err = asn("attacker"); err != nil {
+		return out, err
+	}
+	if out.Victim, err = asn("victim"); err != nil {
+		return out, err
+	}
+	if v := q.Get("prefix"); v != "" {
+		p, err := netip.ParsePrefix(v)
+		if err != nil {
+			return out, fmt.Errorf("bad prefix %q", v)
+		}
+		out.Prefix = p
+	}
+	return out, nil
 }
 
 // roundStats accumulates the measurement loop's incremental-round counters.

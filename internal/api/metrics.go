@@ -22,6 +22,12 @@ type Metrics struct {
 	RateLimited atomic.Int64
 	Errors      atomic.Int64 // 5xx responses
 
+	// WhatIfQueries / WhatIfErrors count /v1/whatif traffic: the endpoint
+	// bypasses the generation cache, so its cost profile (an overlay fork
+	// plus a bounded re-convergence per query) deserves its own counters.
+	WhatIfQueries atomic.Int64
+	WhatIfErrors  atomic.Int64
+
 	// CacheShardResets counts cache shards dropped on observing a newer
 	// store generation; CacheShardRotations counts capacity overflows
 	// that rotated a hot segment to cold. Together they make invalidation
@@ -79,6 +85,8 @@ func (m *Metrics) snapshot() map[string]any {
 		"cache_misses":          m.CacheMisses.Load(),
 		"rate_limited":          m.RateLimited.Load(),
 		"errors":                m.Errors.Load(),
+		"whatif_queries":        m.WhatIfQueries.Load(),
+		"whatif_errors":         m.WhatIfErrors.Load(),
 		"cache_shard_resets":    m.CacheShardResets.Load(),
 		"cache_shard_rotations": m.CacheShardRotations.Load(),
 		"latency_p50_us":        p50,

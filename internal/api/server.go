@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -34,6 +35,15 @@ type Config struct {
 	RateRefill float64
 	// CacheMaxEntries bounds the response cache (default 4096 entries).
 	CacheMaxEntries int
+	// WhatIf, when set, answers GET /v1/whatif counterfactual queries
+	// ("what changes if AS X deploys ROV / drops a route / gets hijacked").
+	// The hook receives the raw query parameters and returns the JSON
+	// payload; errors render as 400. The daemon backs it with a
+	// copy-on-write overlay of the live world, serialized against the
+	// measurement loop — which is why /v1/whatif bypasses the
+	// generation-keyed cache: its answers track the live graph, not the
+	// published store generation.
+	WhatIf func(q url.Values) (any, error)
 	// Extra, when set, contributes additional sections to every /metrics
 	// snapshot (keys merged into the "rovistad" expvar map). The daemon
 	// uses it to publish the convergence engine's counters alongside the
@@ -58,6 +68,7 @@ type Server struct {
 	cache   *genCache
 	limiter *rateLimiter
 	now     func() time.Time
+	whatIf  func(q url.Values) (any, error)
 
 	// genHdr caches the rendered X-Rovista-Generation header value for
 	// the current generation, so the cached read path stays free of
@@ -81,6 +92,7 @@ func New(st *store.Store, cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		limiter: newRateLimiter(cfg.RateBurst, cfg.RateRefill),
 		now:     cfg.now,
+		whatIf:  cfg.WhatIf,
 		Metrics: &Metrics{},
 	}
 	s.cache = newGenCache(cfg.CacheMaxEntries, &s.Metrics.CacheShardResets, &s.Metrics.CacheShardRotations)
@@ -99,6 +111,7 @@ func New(st *store.Store, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/diff", s.handleDiff)
 	s.mux.HandleFunc("GET /v1/export", s.handleExport)
 	s.mux.HandleFunc("GET /v1/rounds", s.handleRounds)
+	s.mux.HandleFunc("GET /v1/whatif", s.handleWhatIf)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -155,7 +168,7 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
 
 	// Only the data-plane endpoints go through the cache: health, metrics
 	// and pprof must always reflect the live process.
-	if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/") {
+	if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/") && r.URL.Path != "/v1/whatif" {
 		// One atomic load pins the whole request to a consistent
 		// snapshot: the generation used as the cache key and the data
 		// the handlers read cannot disagree.
@@ -208,6 +221,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"rounds":     view.Rounds(),
 		"generation": view.Generation(),
 	})
+}
+
+// handleWhatIf answers counterfactual queries through the configured hook.
+// The endpoint is deliberately outside the generation cache: answers are
+// computed against the live world (via a copy-on-write overlay), so two
+// queries at the same store generation may legitimately differ.
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	if s.whatIf == nil {
+		writeError(w, http.StatusServiceUnavailable, "what-if engine not attached (daemon not measuring live)")
+		return
+	}
+	s.Metrics.WhatIfQueries.Add(1)
+	res, err := s.whatIf(r.URL.Query())
+	if err != nil {
+		s.Metrics.WhatIfErrors.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 // parseASN pulls the {asn} path value.

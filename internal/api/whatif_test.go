@@ -1,0 +1,61 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"testing"
+)
+
+// TestWhatIfEndpoint pins the /v1/whatif contract: 503 without a hook, 200
+// with one, 400 on hook errors — and, critically, the endpoint bypasses the
+// generation-keyed cache, because its answers track the live world rather
+// than the published store generation.
+func TestWhatIfEndpoint(t *testing.T) {
+	st := newTestStore(t, 10, 2)
+
+	t.Run("no-hook", func(t *testing.T) {
+		h := New(st, Config{}).Handler()
+		if w := get(t, h, "/v1/whatif?action=hijack"); w.Code != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d without hook, want 503", w.Code)
+		}
+	})
+
+	calls := 0
+	cfg := Config{WhatIf: func(q url.Values) (any, error) {
+		calls++
+		if q.Get("action") == "" {
+			return nil, fmt.Errorf("missing action")
+		}
+		return map[string]any{"action": q.Get("action"), "call": calls}, nil
+	}}
+	s := New(st, cfg)
+	h := s.Handler()
+
+	w := get(t, h, "/v1/whatif?action=deploy-rov&asn=42")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (body %s)", w.Code, w.Body.String())
+	}
+	var resp map[string]any
+	decode(t, w, &resp)
+	if resp["action"] != "deploy-rov" {
+		t.Fatalf("hook did not receive the query: %v", resp)
+	}
+
+	if w := get(t, h, "/v1/whatif"); w.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d on hook error, want 400", w.Code)
+	}
+
+	// Same URL twice: both must reach the hook (no generation-cache replay).
+	get(t, h, "/v1/whatif?action=leak&asn=7")
+	get(t, h, "/v1/whatif?action=leak&asn=7")
+	if calls != 4 {
+		t.Fatalf("hook called %d times, want 4 (whatif response was cached)", calls)
+	}
+	if got := s.Metrics.WhatIfQueries.Load(); got != 4 {
+		t.Fatalf("WhatIfQueries = %d, want 4", got)
+	}
+	if got := s.Metrics.WhatIfErrors.Load(); got != 1 {
+		t.Fatalf("WhatIfErrors = %d, want 1", got)
+	}
+}

@@ -230,6 +230,19 @@ type AS struct {
 	// SLURM processing); nil means the AS sees no VRPs (all NotFound).
 	VRPs *rpki.VRPSet
 
+	// Leaking, when set, disables Gao-Rexford export scoping: every best
+	// route is exported to every neighbor, modelling a full route leak
+	// (provider/peer routes re-announced to other providers and peers).
+	// Toggled through EvLeakChange events so the leak re-converges and
+	// restores deterministically.
+	Leaking bool
+
+	// forged maps an originated prefix to the origin ASN this AS forges when
+	// announcing it (a forged-origin hijack: the wire path ends in the victim
+	// so ROV validates the announcement, but traffic still terminates here).
+	// Managed through EvAnnounce events carrying ForgedOrigin.
+	forged map[netip.Prefix]inet.ASN
+
 	// DefaultRoute, when set, names the neighbor that receives traffic for
 	// destinations missing from the FIB (the §7.6 "default route" pitfall).
 	DefaultRoute inet.ASN
@@ -268,6 +281,12 @@ type AS struct {
 	topoGen         uint64
 	exportGen       uint64
 	exportIdxGen    uint64
+
+	// cowState marks adjIn/rib/spillPool/export lists as shared with a base
+	// AS (overlay clones); materialize copies them before the first write.
+	// cowTopo marks Neighbors as shared; materializeTopo copies it.
+	cowState bool
+	cowTopo  bool
 }
 
 // NewAS creates an AS with no neighbors.
@@ -315,6 +334,15 @@ func (a *AS) ensureSized() {
 // re-convergence). The spill pool is compacted to zero: every cell's run
 // reference dies with the memset of adjIn.
 func (a *AS) resetRoutingState(g *Graph) {
+	if a.cowState {
+		// Everything is cleared below anyway; detach with fresh zeroed
+		// slices instead of copying shared state just to memset it.
+		a.cowState = false
+		a.adjIn = make([]adjCell, len(a.adjIn))
+		a.rib = make([]locRoute, len(a.rib))
+		a.spillPool = nil
+		a.exportAll, a.exportCustomers = nil, nil
+	}
 	if a.tab == nil {
 		a.tab = NewPrefixTable()
 	}
@@ -342,6 +370,9 @@ func (a *AS) resetRoutingState(g *Graph) {
 // lists are rebuilt when stale, so a link added after the first full
 // Converge participates in incremental re-convergence.
 func (a *AS) resetPrefixes(g *Graph, pids []PrefixID, mark []uint32, gen uint32) {
+	if a.cowState && a.cowNeedsWrite(g, pids, mark, gen) {
+		a.materialize()
+	}
 	a.ensureSized()
 	for _, id := range pids {
 		c := &a.adjIn[id]
@@ -407,11 +438,10 @@ func (a *AS) importAnnRel(from inet.ASN, rel Relationship, ann *Announcement) (P
 		// guards direct misuse.
 		return 0, false
 	}
-	c := &a.adjIn[id]
 	// Delta check against the Adj-RIB-In: a sender's whole fan-out shares
 	// one announcement pointer per round, so an identical pointer means
 	// this neighbor re-sent exactly what we already imported.
-	if c.r0.ann == ann && c.r0.from == from {
+	if c := &a.adjIn[id]; c.r0.ann == ann && c.r0.from == from {
 		return 0, false
 	}
 	if ann.ContainsAS(a.ASN) {
@@ -431,6 +461,10 @@ func (a *AS) importAnnRel(from inet.ASN, rel Relationship, ann *Announcement) (P
 			pref = -32768
 		}
 	}
+	// The announcement is accepted: copy shared overlay state before the
+	// cell/RIB writes (the pointer into adjIn must be taken afterwards).
+	a.materialize()
+	c := &a.adjIn[id]
 	a.upsertCell(c, adjRoute{
 		ann:      ann,
 		from:     from,
@@ -511,10 +545,11 @@ func routesEqual(x, y Route) bool {
 // exportTargets returns the neighbors that should receive the given best
 // route under Gao-Rexford export rules: routes from customers (and own
 // routes) go to everyone; routes from peers/providers go to customers only.
-// The neighbor the route was learned from is included — the receiver's
-// AS-path loop check discards the echo — keeping the fan-out lists static.
+// A leaking AS exports everything to everyone. The neighbor the route was
+// learned from is included — the receiver's AS-path loop check discards the
+// echo — keeping the fan-out lists static.
 func (a *AS) exportTargets(l *locRoute) []exportTarget {
-	if l.isSelf() || l.rel == Customer {
+	if a.Leaking || l.isSelf() || l.rel == Customer {
 		return a.exportAll
 	}
 	return a.exportCustomers
@@ -575,10 +610,33 @@ func (a *AS) DropRoute(prefix netip.Prefix) bool {
 	if !ok || int(id) >= len(a.rib) || !a.rib[id].isSet() {
 		return false
 	}
+	a.materialize()
 	a.lenCount[a.tab.plenOf(id)]--
 	a.rib[id] = locRoute{}
 	return true
 }
+
+// setForged records (or clears, for origin 0) the forged origin this AS uses
+// when announcing p, reporting whether the mapping changed. ApplyEvents
+// re-converges the prefix on change; direct callers must do the same.
+func (a *AS) setForged(p netip.Prefix, origin inet.ASN) bool {
+	p = p.Masked()
+	if a.forged[p] == origin {
+		return false
+	}
+	if origin == 0 {
+		delete(a.forged, p)
+		return true
+	}
+	if a.forged == nil {
+		a.forged = make(map[netip.Prefix]inet.ASN, 1)
+	}
+	a.forged[p] = origin
+	return true
+}
+
+// forgedFor returns the forged origin for an originated prefix (0 = none).
+func (a *AS) forgedFor(p netip.Prefix) inet.ASN { return a.forged[p] }
 
 // OriginatesCovering reports whether the AS originates a prefix containing
 // dst (i.e. the packet has reached its destination network).

@@ -32,6 +32,11 @@ const (
 	// relationship Rel (as Graph.Link). A new edge can shift best paths for
 	// arbitrary prefixes, so this dirties the whole interned prefix set.
 	EvLinkChange
+	// EvLeakChange: AS starts (Leak true) or stops (Leak false) leaking —
+	// exporting every best route to every neighbor regardless of Gao-Rexford
+	// scoping. A leak reroutes arbitrary prefixes through the leaker, so this
+	// dirties the whole interned prefix set, exactly like a link change.
+	EvLeakChange
 )
 
 // String returns the kind's wire-ish name.
@@ -47,6 +52,8 @@ func (k EventKind) String() string {
 		return "roa-change"
 	case EvLinkChange:
 		return "link-change"
+	case EvLeakChange:
+		return "leak-change"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -55,12 +62,13 @@ func (k EventKind) String() string {
 // RouteEvent is one typed routing-state change. Which fields are read
 // depends on Kind:
 //
-//	EvAnnounce/EvWithdraw: AS, Prefix
+//	EvAnnounce/EvWithdraw: AS, Prefix, and optionally ForgedOrigin
 //	EvPolicyChange:        AS, Policy, VRPs, and optionally Prefixes as an
 //	                       explicit dirty-scope hint (when empty the engine
 //	                       derives the scope from the old and new VRP views)
 //	EvROAChange:           Prefixes (the changed ROA space)
 //	EvLinkChange:          AS, Peer, Rel
+//	EvLeakChange:          AS, Leak
 type RouteEvent struct {
 	Kind   EventKind
 	AS     inet.ASN
@@ -72,6 +80,12 @@ type RouteEvent struct {
 	Prefixes []netip.Prefix
 	Policy   ImportPolicy
 	VRPs     *rpki.VRPSet
+	// ForgedOrigin, when non-zero on an EvAnnounce, makes AS announce Prefix
+	// with a wire path ending in this ASN instead of itself (a forged-origin
+	// hijack that validates under ROV). Withdrawing the prefix clears it.
+	ForgedOrigin inet.ASN
+	// Leak carries the desired leaking state for EvLeakChange.
+	Leak bool
 }
 
 // EventResult summarizes what one ApplyEvents batch did.
@@ -126,10 +140,16 @@ func (g *Graph) ApplyEvents(events []RouteEvent) (EventResult, error) {
 		asn inet.ASN
 		id  PrefixID
 	}
+	type originState struct {
+		active bool
+		forged inet.ASN
+	}
 	var (
-		order   []originKey
-		desired map[originKey]bool
-		dirty   map[PrefixID]struct{}
+		order     []originKey
+		desired   map[originKey]originState
+		leakOrder []inet.ASN
+		leakWant  map[inet.ASN]bool
+		dirty     map[PrefixID]struct{}
 	)
 	dirtyAll := false
 	markDirty := func(id PrefixID) {
@@ -150,12 +170,16 @@ func (g *Graph) ApplyEvents(events []RouteEvent) (EventResult, error) {
 			}
 			k := originKey{ev.AS, g.tab.Intern(ev.Prefix)}
 			if desired == nil {
-				desired = make(map[originKey]bool, 4)
+				desired = make(map[originKey]originState, 4)
 			}
 			if _, seen := desired[k]; !seen {
 				order = append(order, k)
 			}
-			desired[k] = ev.Kind == EvAnnounce
+			st := originState{active: ev.Kind == EvAnnounce}
+			if st.active && ev.ForgedOrigin != ev.AS {
+				st.forged = ev.ForgedOrigin
+			}
+			desired[k] = st
 		case EvPolicyChange:
 			a := g.ASes[ev.AS]
 			if a == nil {
@@ -194,6 +218,17 @@ func (g *Graph) ApplyEvents(events []RouteEvent) (EventResult, error) {
 				return EventResult{Events: len(events)}, err
 			}
 			dirtyAll = true
+		case EvLeakChange:
+			if g.ASes[ev.AS] == nil {
+				return EventResult{Events: len(events)}, fmt.Errorf("bgp: leak-change event for unknown AS %v", ev.AS)
+			}
+			if leakWant == nil {
+				leakWant = make(map[inet.ASN]bool, 2)
+			}
+			if _, seen := leakWant[ev.AS]; !seen {
+				leakOrder = append(leakOrder, ev.AS)
+			}
+			leakWant[ev.AS] = ev.Leak
 		default:
 			return EventResult{Events: len(events)}, fmt.Errorf("bgp: unknown event kind %d", ev.Kind)
 		}
@@ -201,10 +236,26 @@ func (g *Graph) ApplyEvents(events []RouteEvent) (EventResult, error) {
 
 	// Pass 2: apply the net origination changes. Only transitions dirty a
 	// prefix — a flap that withdraws and re-announces inside the batch
-	// coalesces to nothing here.
+	// coalesces to nothing here. A forged-origin change dirties the prefix
+	// even when the origination set itself is unchanged: the wire path the
+	// origin seeds is different, so it must re-flood.
 	for _, k := range order {
-		if g.ASes[k.asn].setOriginated(g.tab.Prefix(k.id), desired[k]) {
+		a := g.ASes[k.asn]
+		p := g.tab.Prefix(k.id)
+		st := desired[k]
+		changed := a.setOriginated(p, st.active)
+		if a.setForged(p, st.forged) {
+			changed = true
+		}
+		if changed {
 			markDirty(k.id)
+		}
+	}
+	// Net leak toggles dirty the whole prefix set, like link changes.
+	for _, asn := range leakOrder {
+		if a := g.ASes[asn]; a.Leaking != leakWant[asn] {
+			a.Leaking = leakWant[asn]
+			dirtyAll = true
 		}
 	}
 
@@ -222,6 +273,13 @@ func (g *Graph) ApplyEvents(events []RouteEvent) (EventResult, error) {
 		sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
 	}
 	rounds, touched, err := g.convergeDirty(pids)
+	if dirtyAll {
+		// Topology-wide changes (links, leak toggles) can reroute even
+		// destinations no interned prefix covers; move the floor so cached
+		// paths toward the NoPrefixID class drop too. bumpAffected's dense
+		// path covers every interned prefix but not that class.
+		g.affectedFloor = g.version
+	}
 	res.DirtyPrefixes = len(pids)
 	res.Rounds = rounds
 	res.ASesTouched = touched

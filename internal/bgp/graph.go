@@ -118,6 +118,8 @@ func (g *Graph) Link(a, b inet.ASN, rel Relationship) error {
 		return fmt.Errorf("bgp: self-link on %v", a)
 	}
 	asA, asB := g.AddAS(a), g.AddAS(b)
+	asA.materializeTopo()
+	asB.materializeTopo()
 	asA.Neighbors[b] = rel
 	asB.Neighbors[a] = invertRel(rel)
 	// The export fan-out lists of both endpoints are stale now; the
@@ -436,7 +438,15 @@ func (g *Graph) seedQueue(mark []uint32, gen uint32) []update {
 			if len(targets) == 0 {
 				continue
 			}
-			ann := ar.announcement(l.ann.Prefix, a.ASN, l.ann.Path)
+			// Self routes seed with an empty tail; a forged-origin hijack
+			// instead seeds [self, victim] so receivers see the victim as the
+			// wire origin (RFC 6811 validates it) while traffic terminates
+			// here. The victim itself rejects the path via its loop check.
+			rest := l.ann.Path
+			if f := a.forgedFor(l.ann.Prefix); f != 0 && f != a.ASN {
+				rest = []inet.ASN{f}
+			}
+			ann := ar.announcement(l.ann.Prefix, a.ASN, rest)
 			for _, t := range targets {
 				queue = append(queue, update{ann: ann, toIdx: t.idx, rel: t.rel})
 			}

@@ -1,0 +1,122 @@
+package hijack
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/netsec-lab/rovista/internal/bgp"
+	"github.com/netsec-lab/rovista/internal/inet"
+)
+
+// AttackKind classifies a typed attack primitive. The taxonomy follows the
+// RPKI-attack catalogues (SoK 2408.12359, CURE 2312.01872): exact-prefix
+// origin hijacks, more-specific subprefix hijacks, Gao-Rexford route leaks,
+// and forged-origin spoofs that validate under ROV.
+type AttackKind uint8
+
+// Attack kinds.
+const (
+	// OriginHijack: the attacker originates the victim's exact prefix.
+	OriginHijack AttackKind = iota
+	// SubprefixHijack: the attacker originates a /24 inside the victim's
+	// space; longest-prefix match diverts even ASes that kept the legitimate
+	// covering route.
+	SubprefixHijack
+	// RouteLeak: the attacker re-exports provider/peer routes to everyone,
+	// attracting transit traffic it should never carry.
+	RouteLeak
+	// ForgedOriginHijack: the attacker announces the victim's prefix with a
+	// wire path ending in the victim's ASN, so RFC 6811 validation passes at
+	// ROV deployers while traffic still terminates at the attacker.
+	ForgedOriginHijack
+)
+
+// String implements fmt.Stringer.
+func (k AttackKind) String() string {
+	switch k {
+	case OriginHijack:
+		return "origin-hijack"
+	case SubprefixHijack:
+		return "subprefix-hijack"
+	case RouteLeak:
+		return "route-leak"
+	case ForgedOriginHijack:
+		return "forged-origin"
+	default:
+		return fmt.Sprintf("AttackKind(%d)", uint8(k))
+	}
+}
+
+// Attack is one typed adversarial primitive with an exact-restoration
+// guarantee: applying LaunchEvents and then RestoreEvents through the event
+// engine returns the world to its pre-attack routing state bit-for-bit
+// (provided the launch actually changed state — campaign runners skip
+// launches that would collide with existing originations, which keeps the
+// guarantee compositional across overlapping attacks).
+type Attack struct {
+	Kind     AttackKind
+	Attacker inet.ASN
+	Victim   inet.ASN
+	// Prefix is what the attacker announces (equal to VictimPrefix for
+	// exact-prefix kinds, a /24 inside it for subprefix hijacks; unused for
+	// route leaks).
+	Prefix netip.Prefix
+	// VictimPrefix is the victim space whose traffic the attack diverts.
+	VictimPrefix netip.Prefix
+}
+
+// NewAttack builds an attack of the given kind. sub deterministically picks
+// the /24 inside victimPrefix for subprefix hijacks (any value; it wraps).
+func NewAttack(kind AttackKind, attacker, victim inet.ASN, victimPrefix netip.Prefix, sub uint32) Attack {
+	a := Attack{
+		Kind:         kind,
+		Attacker:     attacker,
+		Victim:       victim,
+		Prefix:       victimPrefix,
+		VictimPrefix: victimPrefix,
+	}
+	if kind == SubprefixHijack && victimPrefix.Bits() < 24 {
+		n := uint32(1) << (24 - victimPrefix.Bits())
+		base := inet.V4Int(victimPrefix.Masked().Addr()) + (sub%n)<<8
+		a.Prefix = netip.PrefixFrom(inet.V4(base), 24)
+	}
+	return a
+}
+
+// LaunchEvents returns the event batch that starts the attack.
+func (a Attack) LaunchEvents() []bgp.RouteEvent {
+	switch a.Kind {
+	case RouteLeak:
+		return []bgp.RouteEvent{{Kind: bgp.EvLeakChange, AS: a.Attacker, Leak: true}}
+	case ForgedOriginHijack:
+		return []bgp.RouteEvent{{Kind: bgp.EvAnnounce, AS: a.Attacker, Prefix: a.Prefix, ForgedOrigin: a.Victim}}
+	default:
+		return []bgp.RouteEvent{{Kind: bgp.EvAnnounce, AS: a.Attacker, Prefix: a.Prefix}}
+	}
+}
+
+// RestoreEvents returns the event batch that exactly undoes LaunchEvents.
+func (a Attack) RestoreEvents() []bgp.RouteEvent {
+	if a.Kind == RouteLeak {
+		return []bgp.RouteEvent{{Kind: bgp.EvLeakChange, AS: a.Attacker, Leak: false}}
+	}
+	return []bgp.RouteEvent{{Kind: bgp.EvWithdraw, AS: a.Attacker, Prefix: a.Prefix}}
+}
+
+// ProbeAddr returns an address inside the attacked space; observing where
+// traffic toward it terminates decides per-AS exposure.
+func (a Attack) ProbeAddr() netip.Addr {
+	p := a.Prefix
+	if a.Kind == RouteLeak {
+		p = a.VictimPrefix
+	}
+	return inet.NthAddr(p, 1)
+}
+
+// String renders the attack for logs and reports.
+func (a Attack) String() string {
+	if a.Kind == RouteLeak {
+		return fmt.Sprintf("%v by AS%d", a.Kind, a.Attacker)
+	}
+	return fmt.Sprintf("%v of %v (AS%d) by AS%d", a.Kind, a.Prefix, a.Victim, a.Attacker)
+}

@@ -1,0 +1,119 @@
+package hijack
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/netsec-lab/rovista/internal/bgp"
+	"github.com/netsec-lab/rovista/internal/inet"
+)
+
+// TestAttackLaunchRestoreExactState extends the hijack restoration guarantee
+// to every typed attack primitive: launch + restore through the event engine
+// leaves all Loc-RIBs and sampled data paths bit-identical, for each kind.
+func TestAttackLaunchRestoreExactState(t *testing.T) {
+	w := world(t, 7)
+	var victims []inet.ASN
+	for _, asn := range w.Topo.ASNs {
+		if len(w.Topo.Info[asn].Prefixes) > 0 {
+			victims = append(victims, asn)
+		}
+	}
+	if len(victims) < 2 {
+		t.Fatal("not enough origin ASes")
+	}
+	victim := victims[0]
+	attacker := victims[1]
+	vp := w.Topo.Info[victim].Prefixes[0]
+
+	for _, kind := range []AttackKind{OriginHijack, SubprefixHijack, RouteLeak, ForgedOriginHijack} {
+		t.Run(kind.String(), func(t *testing.T) {
+			a := NewAttack(kind, attacker, victim, vp, 5)
+			before := make(map[inet.ASN][]bgp.Route, len(w.Topo.ASNs))
+			for _, asn := range w.Topo.ASNs {
+				before[asn] = w.Graph.AS(asn).Routes()
+			}
+			pathsBefore := samplePaths(w)
+
+			if _, err := w.Graph.ApplyEvents(a.LaunchEvents()); err != nil {
+				t.Fatalf("launch: %v", err)
+			}
+			if _, err := w.Graph.ApplyEvents(a.RestoreEvents()); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+
+			for _, asn := range w.Topo.ASNs {
+				if got := w.Graph.AS(asn).Routes(); !reflect.DeepEqual(got, before[asn]) {
+					t.Fatalf("AS %v Loc-RIB changed after %v launch+restore", asn, kind)
+				}
+			}
+			if got := samplePaths(w); !reflect.DeepEqual(got, pathsBefore) {
+				t.Fatalf("data paths changed after %v launch+restore", kind)
+			}
+		})
+	}
+}
+
+// TestAttackKindSemantics spot-checks each primitive's effect while active.
+func TestAttackKindSemantics(t *testing.T) {
+	w := world(t, 8)
+	var victims []inet.ASN
+	for _, asn := range w.Topo.ASNs {
+		if len(w.Topo.Info[asn].Prefixes) > 0 {
+			victims = append(victims, asn)
+		}
+	}
+	victim, attacker := victims[0], victims[len(victims)-1]
+	vp := w.Topo.Info[victim].Prefixes[0]
+
+	sub := NewAttack(SubprefixHijack, attacker, victim, vp, 9)
+	if sub.Prefix.Bits() != 24 || !vp.Contains(sub.Prefix.Addr()) {
+		t.Fatalf("subprefix %v not a /24 inside %v", sub.Prefix, vp)
+	}
+	if !sub.Prefix.Contains(sub.ProbeAddr()) {
+		t.Fatalf("probe %v outside attacked prefix %v", sub.ProbeAddr(), sub.Prefix)
+	}
+
+	if _, err := w.Graph.ApplyEvents(sub.LaunchEvents()); err != nil {
+		t.Fatal(err)
+	}
+	// A subprefix hijack wins LPM everywhere the announcement spread: some
+	// AS must now deliver probe traffic to the attacker.
+	diverted := 0
+	for _, asn := range w.Topo.ASNs {
+		if origin, ok := w.Graph.OriginOf(asn, sub.ProbeAddr()); ok && origin == attacker && asn != attacker {
+			diverted++
+		}
+	}
+	if diverted == 0 {
+		t.Fatal("subprefix hijack diverted no traffic")
+	}
+	if _, err := w.Graph.ApplyEvents(sub.RestoreEvents()); err != nil {
+		t.Fatal(err)
+	}
+
+	forged := NewAttack(ForgedOriginHijack, attacker, victim, vp, 0)
+	if _, err := w.Graph.ApplyEvents(forged.LaunchEvents()); err != nil {
+		t.Fatal(err)
+	}
+	// The forged announcement's wire origin must be the victim everywhere it
+	// was accepted.
+	seen := false
+	for _, asn := range w.Topo.ASNs {
+		if asn == attacker {
+			continue
+		}
+		if r, ok := w.Graph.AS(asn).BestRoute(vp); ok && len(r.Path) > 0 && r.Path[len(r.Path)-2] == attacker {
+			seen = true
+			if r.Origin() != victim {
+				t.Fatalf("forged route at AS %v has wire origin %v, want victim %v", asn, r.Origin(), victim)
+			}
+		}
+	}
+	if !seen {
+		t.Fatal("forged announcement propagated nowhere")
+	}
+	if _, err := w.Graph.ApplyEvents(forged.RestoreEvents()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+#!/bin/sh
+# End-to-end smoke test for the adversarial-scenario surface: run a seeded
+# hijack campaign under the paper fault profile asserting a non-empty
+# quadrant report, then start rovistad and drive /v1/whatif through every
+# action (plus its error paths), requiring HTTP 200 answers computed from a
+# copy-on-write overlay of the live world. This is what CI's campaign-smoke
+# job runs.
+#
+# Usage: scripts/campaign_smoke.sh [port]   (default 18091)
+set -eu
+
+port=${1:-18091}
+base="http://127.0.0.1:$port"
+bin=$(mktemp -d)
+store=$(mktemp -d)
+logf=$(mktemp)
+out=$(mktemp)
+pid=
+
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$bin" "$store" "$logf" "$out"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "campaign-smoke: FAIL: $*" >&2
+    echo "--- output ---" >&2
+    cat "$out" >&2
+    echo "--- rovistad log ---" >&2
+    cat "$logf" >&2
+    exit 1
+}
+
+go build -o "$bin/rovista" ./cmd/rovista
+go build -o "$bin/rovistad" ./cmd/rovistad
+
+# --- campaign runner: seeded attacks, paper faults, quadrant report ------
+"$bin/rovista" -campaign 6 -rounds 4 -interval 3 -seed 7 -faults paper >"$out" 2>&1 ||
+    fail "rovista -campaign exited non-zero"
+
+grep -q "attacks scheduled" "$out" || fail "no campaign schedule in output"
+grep -q "protection quadrants" "$out" || fail "no quadrant report in output"
+grep -q "data-plane oracle" "$out" || fail "no oracle agreement line in output"
+
+# The quadrant report must be non-empty: at least one cell non-zero.
+total=$(awk '/damage-avoided|collateral-benefit|collateral-damage|exposed/ {s += $2} END {print s+0}' "$out")
+[ "$total" -gt 0 ] || fail "quadrant report is all zeros"
+echo "ok: campaign quadrant report non-empty ($total observations)"
+
+# Fixed seed => bit-identical report (the determinism contract, end to end).
+out2=$(mktemp)
+"$bin/rovista" -campaign 6 -rounds 4 -interval 3 -seed 7 -faults paper >"$out2" 2>&1 ||
+    { rm -f "$out2"; fail "second campaign run exited non-zero"; }
+cmp -s "$out" "$out2" || { rm -f "$out2"; fail "same seed produced different campaign reports"; }
+rm -f "$out2"
+echo "ok: campaign report deterministic across runs"
+
+# --- /v1/whatif over a live-measured world -------------------------------
+"$bin/rovistad" -addr "127.0.0.1:$port" -store "$store" \
+    -size smoke -rounds 3 -interval 5 -seed 42 >"$logf" 2>&1 &
+pid=$!
+
+i=0
+until curl -sf -o /dev/null "$base/healthz" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -ge 120 ] && fail "daemon did not come up within 60s"
+    kill -0 "$pid" 2>/dev/null || fail "daemon exited before serving"
+    sleep 0.5
+done
+
+asn=$(curl -sf "$base/v1/top?n=1" | sed -n 's/.*"asn": *\([0-9]*\).*/\1/p' | head -1)
+[ -n "$asn" ] || fail "could not extract an ASN from /v1/top"
+
+# expect_200 PATH — assert HTTP 200 and a non-empty body.
+expect_200() {
+    code=$(curl -s -o /tmp/campaign_body.$$ -w '%{http_code}' "$base$1")
+    [ "$code" = "200" ] || fail "GET $1 -> $code (want 200)"
+    [ -s /tmp/campaign_body.$$ ] || fail "GET $1 -> empty body"
+    rm -f /tmp/campaign_body.$$
+    echo "ok: GET $1"
+}
+
+expect_200 "/v1/whatif?action=deploy-rov&asn=$asn"
+expect_200 "/v1/whatif?action=leak&asn=$asn"
+expect_200 "/v1/whatif?action=hijack&attacker=$asn&prefix=10.99.0.0/16"
+
+# The hijack answer must report overlay stats: only a fraction of the world
+# materializes, proving the copy-on-write path is engaged.
+curl -sf "$base/v1/whatif?action=hijack&attacker=$asn&prefix=10.99.0.0/16" |
+    grep -q '"materialized_ases"' || fail "whatif answer lacks overlay stats"
+
+# Error paths: bad action / bad prefix must be 4xx, never 5xx or a crash.
+for path in "/v1/whatif" "/v1/whatif?action=warp" \
+    "/v1/whatif?action=hijack&attacker=$asn&prefix=notaprefix" \
+    "/v1/whatif?action=deploy-rov&asn=999999999"; do
+    code=$(curl -s -o /dev/null -w '%{http_code}' "$base$path")
+    case "$code" in
+    4*) echo "ok: GET $path -> $code" ;;
+    *) fail "GET $path -> $code (want 4xx)" ;;
+    esac
+done
+
+# Queries must not disturb measurement: the daemon still shuts down cleanly.
+kill -INT "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=
+[ "$rc" = "0" ] || fail "daemon exited $rc on SIGINT (want 0)"
+grep -q "stopped cleanly" "$logf" || fail "daemon log lacks clean-shutdown line"
+
+echo "campaign-smoke: PASS"

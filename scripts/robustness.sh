@@ -22,4 +22,12 @@ ROBUSTNESS_JSON="$(pwd)/$out" go test -count=1 -run 'TestRobustnessSweep' -v \
     ./internal/faults/ | grep -E 'robustness_test|wrote ' || true
 
 test -s "$out" || { echo "robustness.sh: $out was not written" >&2; exit 1; }
+
+# Campaign quadrant gate: under the paper profile, measured protection must
+# agree with the data-plane oracle at F1 >= 0.90 across a full hijack
+# campaign; the result is merged into the artifact under "campaign".
+ROBUSTNESS_JSON="$(pwd)/$out" go test -count=1 -run 'TestCampaignQuadrantF1Paper' -v \
+    ./internal/campaign/ | grep -E 'campaign_test|wrote ' || true
+
+grep -q '"campaign"' "$out" || { echo "robustness.sh: $out lacks campaign section" >&2; exit 1; }
 echo "wrote $out"
