@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke robustness cover bench serve-bench serve-smoke loadgen-smoke campaign-smoke clean
+.PHONY: check vet build test race fuzz-smoke robustness cover bench serve-bench serve-smoke loadgen-smoke campaign-smoke stream-smoke clean
 
 check: vet build test race fuzz-smoke
 
@@ -19,10 +19,11 @@ test:
 # The race run focuses on the packages with real concurrency: the parallel
 # pair-measurement executor (core, pipeline), the host/network state it
 # clones and overlays (netsim), the parallel convergence engine (bgp), the
-# parallel cone computation (topology), and the serving subsystem's
-# concurrent append/query paths (store, api).
+# parallel cone computation (topology), the serving subsystem's concurrent
+# append/query paths (store, api), and the streaming-ingest pipeline's
+# stage goroutines and fan-out hub (stream, rtr).
 race:
-	$(GO) test -race ./internal/core/ ./internal/netsim/ ./internal/pipeline/ ./internal/bgp/ ./internal/topology/ ./internal/store/ ./internal/api/
+	$(GO) test -race ./internal/core/ ./internal/netsim/ ./internal/pipeline/ ./internal/bgp/ ./internal/topology/ ./internal/store/ ./internal/api/ ./internal/stream/ ./internal/rtr/
 
 # Short fuzzing passes over the parsers/state machines fuzz has the best
 # shot at: the TCP endpoint's segment handling, the prefix-interning
@@ -75,6 +76,13 @@ loadgen-smoke:
 # queries against a live rovistad (mirrors CI's campaign-smoke job).
 campaign-smoke:
 	sh scripts/campaign_smoke.sh
+
+# Streaming-ingest smoke: rovistad with the synthetic churn source driving
+# rounds through the stage pipeline; a live SSE client must observe pushed
+# score deltas end-to-end, the pipeline/sink/hub counters must appear in
+# /metrics, and SIGINT must drain cleanly (mirrors CI's stream-smoke job).
+stream-smoke:
+	sh scripts/stream_smoke.sh
 
 clean:
 	$(GO) clean ./...

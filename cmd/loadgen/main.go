@@ -11,8 +11,8 @@
 //
 //	loadgen [-clients 1000000] [-workers N] [-duration 5s | -requests N]
 //	        [-ases 1000] [-rounds 50] [-zipf 1.1] [-seed 1]
-//	        [-append-every 250ms] [-rate-burst 0] [-url http://host:port]
-//	        [-json]
+//	        [-append-every 250ms] [-rate-burst 0] [-subscribers N]
+//	        [-url http://host:port] [-json]
 //
 // Example:
 //
@@ -33,8 +33,10 @@ import (
 	"time"
 
 	"github.com/netsec-lab/rovista/internal/api"
+	"github.com/netsec-lab/rovista/internal/inet"
 	"github.com/netsec-lab/rovista/internal/loadharness"
 	"github.com/netsec-lab/rovista/internal/store"
+	"github.com/netsec-lab/rovista/internal/stream"
 )
 
 func main() {
@@ -52,6 +54,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "workload seed (deterministic per worker)")
 		appendEvery = flag.Duration("append-every", 250*time.Millisecond, "background append period (0 disables the storm; in-process only)")
 		rateBurst   = flag.Int("rate-burst", 0, "per-client rate-limit burst on the in-process server (0 disables)")
+		subscribers = flag.Int("subscribers", 0, "push subscribers draining score deltas published per storm append (in-process only)")
 		url         = flag.String("url", "", "drive a live daemon at this base URL instead of in-process")
 		jsonOut     = flag.Bool("json", false, "emit the report as JSON")
 	)
@@ -89,14 +92,38 @@ func main() {
 		if err := store.Synthesize(st, store.SynthConfig{ASes: *ases, Rounds: *rounds, Seed: *seed}); err != nil {
 			log.Fatal(err)
 		}
-		srv := api.New(st, api.Config{RateBurst: *rateBurst})
+		// With -subscribers, a score hub joins the mix: each storm append
+		// also publishes that round's synthetic score deltas, and N
+		// subscribers drain them — the SSE population of a busy dashboard,
+		// measured at the fan-out layer.
+		var hub *stream.Hub
+		if *subscribers > 0 {
+			hub = stream.NewHub()
+			cfg.Subscribers = *subscribers
+			cfg.Hub = hub
+		}
+		srv := api.New(st, api.Config{RateBurst: *rateBurst, Stream: hub})
 		var stormSeed atomic.Int64
 		stormSeed.Store(*seed)
 		cfg.AppendEvery = *appendEvery
 		cfg.Append = func() error {
-			return store.Synthesize(st, store.SynthConfig{
-				ASes: *ases, Rounds: 1, Seed: stormSeed.Add(1),
-			})
+			s := stormSeed.Add(1)
+			if err := store.Synthesize(st, store.SynthConfig{
+				ASes: *ases, Rounds: 1, Seed: s,
+			}); err != nil {
+				return err
+			}
+			if hub != nil {
+				deltas := make([]stream.ScoreDelta, 64)
+				for i := range deltas {
+					deltas[i] = stream.ScoreDelta{
+						ASN: inet.ASN(1000 + (int(s)*37+i)%*ases),
+						Old: float64(i), New: float64(i) + 1,
+					}
+				}
+				hub.Publish(stream.Update{Round: uint32(s), Deltas: deltas})
+			}
+			return nil
 		}
 		log.Printf("driving %d clients × %d workers for %s...", cfg.Clients, cfg.Workers, runLabel(cfg))
 		rep, err = loadharness.Run(srv.Handler(), cfg)

@@ -11,7 +11,20 @@
 //	         [-rounds N] [-interval D] [-period DUR] [-workers N]
 //	         [-faults none|paper|harsh] [-rate-burst N] [-rate-refill R]
 //	         [-compact-every N] [-synth AxR] [-incremental] [-full-every N]
-//	         [-contention-profile]
+//	         [-contention-profile] [-stream mrt:<path>|synth|rtr:<addr>]
+//	         [-stream-window S] [-stream-rate R] [-stream-events N]
+//	         [-stream-speed X] [-stream-interval DUR]
+//
+// With -stream, rounds are driven by a live event stream instead of the
+// day-advance loop: an internal/stream pipeline (source → coalesce → sink)
+// batches route churn into one dirty-scope window per -stream-window virtual
+// seconds and applies each batch through incremental convergence and
+// re-scoring under the same worldMu the query path honours. Sources: replay
+// of concatenated MRT RIB archives at -stream-speed× archive time, the
+// seeded deterministic synthetic churn generator, or serial-notify polling
+// of an RTR cache. Live modes (with or without -stream) also attach a score
+// fan-out hub: GET /v1/stream is an SSE feed of per-round score deltas
+// (filters: ?asn=, ?min_delta=), pushed after every measured round.
 //
 // Rounds are incremental by default: pair results whose routing context is
 // unchanged since the previous round are reused (epoch-keyed cache), so a
@@ -37,6 +50,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -46,6 +60,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -57,6 +72,7 @@ import (
 	"github.com/netsec-lab/rovista/internal/inet"
 	"github.com/netsec-lab/rovista/internal/faults"
 	"github.com/netsec-lab/rovista/internal/store"
+	"github.com/netsec-lab/rovista/internal/stream"
 	"github.com/netsec-lab/rovista/internal/topology"
 )
 
@@ -84,7 +100,16 @@ func run() error {
 	incremental := flag.Bool("incremental", true, "reuse unchanged pair results between rounds (epoch-keyed cache)")
 	fullEvery := flag.Int("full-every", 10, "force a from-scratch round every N rounds (0 = never)")
 	contention := flag.Bool("contention-profile", false, "record mutex and block profiles (view at /debug/pprof via expvar tooling; small steady-state cost)")
+	streamSpec := flag.String("stream", "", "drive rounds from a live event stream instead of the day-advance loop: mrt:<path>, synth, or rtr:<addr>")
+	streamWindow := flag.Float64("stream-window", 2.0, "stream coalescing window in virtual seconds (one incremental round per window)")
+	streamRate := flag.Float64("stream-rate", 10, "synth stream: events per virtual second")
+	streamEvents := flag.Int("stream-events", 0, "synth stream: stop after N events (0 = endless)")
+	streamSpeed := flag.Float64("stream-speed", 60, "mrt stream: replay speedup over archive timestamps")
+	streamInterval := flag.Duration("stream-interval", 100*time.Millisecond, "wall pacing: synth inter-event gap / rtr poll period")
 	flag.Parse()
+	if *streamSpec != "" && *synth != "" {
+		return fmt.Errorf("-stream needs live measurement; drop -synth")
+	}
 
 	if *contention {
 		// Full-rate sampling: the serving path is designed to take zero
@@ -120,6 +145,11 @@ func run() error {
 	// counters (events applied, ASes touched, re-converge latency quantiles)
 	// under the "converge" key of the /metrics expvar snapshot.
 	var convergeStats func() map[string]any
+	// hub fans live score deltas out to /v1/stream subscribers. Live modes
+	// always attach it — every measured round publishes its movement — so
+	// dashboards watch scores change without polling. Synth-serving mode has
+	// no rounds, hence no hub (/v1/stream then answers 503).
+	var hub *stream.Hub
 	// whatIfHook answers /v1/whatif when the daemon measures live. worldMu
 	// serializes counterfactual overlay forks against the measurement loop:
 	// an overlay shares the base graph's memory and is only coherent while
@@ -146,11 +176,20 @@ func run() error {
 		runner.Cfg.Incremental = *incremental
 		rstats := &roundStats{fullEvery: *fullEvery}
 		stats := runner.W.Graph.Stats()
+		hub = stream.NewHub()
+		pub := &deltaPublisher{hub: hub}
+		var pipe *stream.Pipeline
+		var sink *stream.LiveSink
 		convergeStats = func() map[string]any {
-			return map[string]any{
+			out := map[string]any{
 				"converge": stats.Snapshot(),
 				"rounds":   rstats.snapshot(),
 			}
+			if pipe != nil {
+				out["stream_pipeline"] = pipe.Snapshot()
+				out["stream_sink"] = sink.Snapshot()
+			}
+			return out
 		}
 		whatIf := &campaign.WhatIfEngine{W: runner.W}
 		whatIfHook = func(q url.Values) (any, error) {
@@ -165,7 +204,7 @@ func run() error {
 		measure := func(r int) error {
 			worldMu.Lock()
 			defer worldMu.Unlock()
-			return measureRound(runner, st, r, *interval, rstats)
+			return measureRound(runner, st, r, *interval, rstats, pub)
 		}
 		// The first round runs before the listener opens so the API never
 		// serves an empty store.
@@ -174,32 +213,64 @@ func run() error {
 				return err
 			}
 		}
-		go func() {
-			defer close(loopDone)
-			for r := st.Rounds(); r < nTotal; r++ {
-				if *period > 0 {
-					select {
-					case <-ctx.Done():
-						return
-					case <-time.After(*period):
-					}
-				} else if ctx.Err() != nil {
-					return
-				}
-				if err := measure(r); err != nil {
-					log.Printf("measurement loop: %v", err)
-					return
-				}
-				if *compactEvery > 0 && (r+1)%*compactEvery == 0 {
-					if err := st.Compact(); err != nil {
-						log.Printf("compaction: %v", err)
-						return
-					}
-					log.Printf("round %d: compacted store", r)
-				}
+		if *streamSpec != "" {
+			// Streamed rounds: the event pipeline replaces the day-advance
+			// loop. Each coalesced batch is applied through incremental
+			// convergence + re-scoring under worldMu, appended to the store,
+			// and its score deltas pushed to /v1/stream subscribers.
+			src, err := buildStreamSource(*streamSpec, runner.W, *seed,
+				*streamRate, *streamEvents, *streamSpeed, *streamInterval)
+			if err != nil {
+				return err
 			}
-			log.Printf("measurement loop finished after %d rounds; still serving", st.Rounds())
-		}()
+			sink = &stream.LiveSink{
+				W:      runner.W,
+				Runner: runner,
+				Mu:     &worldMu,
+				Append: func(snap *core.Snapshot) error { return st.Append(store.FromSnapshot(snap)) },
+				Hub:    hub,
+			}
+			sink.SeedScores(pub.round, pub.prev) // continue from the baseline round, if any
+			pipe = stream.NewPipeline(0, src,
+				&stream.CoalesceStage{Window: *streamWindow, MaxDelay: time.Second},
+				sink)
+			log.Printf("streaming rounds from %s (window %.3gs virtual)", *streamSpec, *streamWindow)
+			go func() {
+				defer close(loopDone)
+				if err := pipe.Run(ctx); err != nil {
+					log.Printf("stream pipeline: %v", err)
+					return
+				}
+				log.Printf("stream drained after %d streamed rounds; still serving", sink.Rounds.Load())
+			}()
+		} else {
+			go func() {
+				defer close(loopDone)
+				for r := st.Rounds(); r < nTotal; r++ {
+					if *period > 0 {
+						select {
+						case <-ctx.Done():
+							return
+						case <-time.After(*period):
+						}
+					} else if ctx.Err() != nil {
+						return
+					}
+					if err := measure(r); err != nil {
+						log.Printf("measurement loop: %v", err)
+						return
+					}
+					if *compactEvery > 0 && (r+1)%*compactEvery == 0 {
+						if err := st.Compact(); err != nil {
+							log.Printf("compaction: %v", err)
+							return
+						}
+						log.Printf("round %d: compacted store", r)
+					}
+				}
+				log.Printf("measurement loop finished after %d rounds; still serving", st.Rounds())
+			}()
+		}
 	}
 
 	srv := &http.Server{
@@ -209,6 +280,7 @@ func run() error {
 			RateRefill: *rateRefill,
 			Extra:      convergeStats,
 			WhatIf:     whatIfHook,
+			Stream:     hub,
 		}).Handler(),
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -296,11 +368,53 @@ func (s *roundStats) snapshot() map[string]any {
 	}
 }
 
+// deltaPublisher diffs consecutive rounds' scores and fans the movement out
+// to /v1/stream subscribers. Callers serialize via worldMu (measureRound
+// runs under it), so the prev map needs no lock of its own.
+type deltaPublisher struct {
+	hub   *stream.Hub
+	round uint32
+	prev  map[inet.ASN]float64
+}
+
+func (p *deltaPublisher) publish(snap *core.Snapshot) {
+	cur := snap.Scores()
+	if deltas := stream.DiffScores(p.prev, cur); len(deltas) > 0 {
+		p.round++
+		p.hub.Publish(stream.Update{Round: p.round, Day: snap.Day, Deltas: deltas})
+	}
+	p.prev = cur
+}
+
+// buildStreamSource maps a -stream spec to a pipeline source stage.
+func buildStreamSource(spec string, w *core.World, seed int64, rate float64, events int, speed float64, interval time.Duration) (stream.Stage, error) {
+	switch {
+	case spec == "synth":
+		return &stream.SynthSource{
+			Seed:     seed,
+			Origins:  stream.WorldOrigins(w),
+			Rate:     rate,
+			Count:    events,
+			Interval: interval,
+		}, nil
+	case strings.HasPrefix(spec, "mrt:"):
+		return &stream.MRTReplaySource{Path: strings.TrimPrefix(spec, "mrt:"), Speed: speed}, nil
+	case strings.HasPrefix(spec, "rtr:"):
+		addr := strings.TrimPrefix(spec, "rtr:")
+		return &stream.RTRSource{
+			Dial: func() (io.ReadWriter, error) { return net.Dial("tcp", addr) },
+			Poll: interval,
+		}, nil
+	default:
+		return nil, fmt.Errorf("bad -stream %q (want mrt:<path>, synth, or rtr:<addr>)", spec)
+	}
+}
+
 // measureRound advances the world to round r's day, measures, and appends.
 // Every stats.fullEvery rounds it forces a from-scratch round, so a stale
 // cache entry (which the equivalence tests say cannot exist) could never
 // persist in the archive for more than fullEvery-1 rounds.
-func measureRound(runner *core.Runner, st *store.Store, r, interval int, stats *roundStats) error {
+func measureRound(runner *core.Runner, st *store.Store, r, interval int, stats *roundStats, pub *deltaPublisher) error {
 	day := r * interval
 	if day > runner.W.Cfg.Days {
 		day = runner.W.Cfg.Days
@@ -319,6 +433,9 @@ func measureRound(runner *core.Runner, st *store.Store, r, interval int, stats *
 	stats.rounds.Add(1)
 	stats.pairsReused.Add(int64(snap.Metrics.PairsReused))
 	stats.pairsRemeasured.Add(int64(snap.Metrics.PairsRemeasured))
+	if pub != nil {
+		pub.publish(snap)
+	}
 	log.Printf("round %d (day %d): %d ASes scored, status=%s, pairs reused=%d remeasured=%d",
 		r, day, len(snap.Reports), snap.Status, snap.Metrics.PairsReused, snap.Metrics.PairsRemeasured)
 	return nil

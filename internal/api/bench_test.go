@@ -9,7 +9,9 @@ import (
 	"testing"
 	"time"
 
+	"github.com/netsec-lab/rovista/internal/inet"
 	"github.com/netsec-lab/rovista/internal/store"
+	"github.com/netsec-lab/rovista/internal/stream"
 )
 
 // nullResponseWriter discards the response body without the allocation
@@ -181,3 +183,60 @@ func BenchmarkServeQueriesParallel(b *testing.B) { benchServe(b, true, false) }
 // generation, forcing cache-shard resets and re-renders while reads
 // continue against the previous immutable snapshot.
 func BenchmarkServeQueriesAppendStorm(b *testing.B) { benchServe(b, true, true) }
+
+// BenchmarkServeSSEFanout measures the score hub's publish fan-out: 1000
+// live subscribers (the /v1/stream population of a busy dashboard) each
+// draining in its own goroutine while the benchmark publishes one
+// per-round update per iteration. Reported: qps (publishes/s) and
+// sub-p99-us (p99 publish→subscriber delivery latency), the "how stale is
+// a pushed score" number that the subscriber side of the load harness
+// cross-checks over real HTTP.
+func BenchmarkServeSSEFanout(b *testing.B) {
+	const subscribers = 1000
+	hub := stream.NewHub()
+	update := stream.Update{Round: 1, Deltas: make([]stream.ScoreDelta, 32)}
+	for i := range update.Deltas {
+		update.Deltas[i] = stream.ScoreDelta{ASN: inet.ASN(i + 1), Old: float64(i), New: float64(i) + 0.5}
+	}
+
+	var mu sync.Mutex
+	var lats []float64
+	var wg sync.WaitGroup
+	for i := 0; i < subscribers; i++ {
+		sub := hub.Subscribe(stream.SubFilter{}, 256)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]float64, 0, 1<<12)
+			for u := range sub.C {
+				local = append(local, float64(time.Since(u.At).Nanoseconds())/1e3)
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}()
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		u := update
+		u.Round = uint32(i + 1)
+		u.At = time.Now()
+		hub.Publish(u)
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	hub.Close()
+	wg.Wait()
+
+	sort.Float64s(lats)
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "qps")
+	if n := len(lats); n > 0 {
+		b.ReportMetric(lats[int(0.99*float64(n-1))], "sub-p99-us")
+	}
+	if ev := hub.Evictions.Load(); ev > 0 {
+		b.Logf("evicted %d slow subscribers mid-bench", ev)
+	}
+}

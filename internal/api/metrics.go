@@ -28,6 +28,11 @@ type Metrics struct {
 	WhatIfQueries atomic.Int64
 	WhatIfErrors  atomic.Int64
 
+	// StreamClients is the live /v1/stream connection gauge; StreamEvicted
+	// counts SSE subscribers dropped for falling behind the fan-out.
+	StreamClients atomic.Int64
+	StreamEvicted atomic.Int64
+
 	// CacheShardResets counts cache shards dropped on observing a newer
 	// store generation; CacheShardRotations counts capacity overflows
 	// that rotated a hot segment to cold. Together they make invalidation
@@ -46,6 +51,10 @@ type Metrics struct {
 	// every snapshot — e.g. the convergence engine's counters when the
 	// daemon measures live.
 	extra func() map[string]any
+
+	// streamHub, when set (Config.Stream), reports the score fan-out hub's
+	// counters under the "stream_hub" key.
+	streamHub func() map[string]any
 }
 
 // observe records one served request's latency.
@@ -91,9 +100,14 @@ func (m *Metrics) snapshot() map[string]any {
 		"cache_shard_rotations": m.CacheShardRotations.Load(),
 		"latency_p50_us":        p50,
 		"latency_p99_us":        p99,
+		"stream_clients":        m.StreamClients.Load(),
+		"stream_evicted":        m.StreamEvicted.Load(),
 	}
 	if m.storePublishes != nil {
 		out["store_snapshot_publishes"] = m.storePublishes()
+	}
+	if m.streamHub != nil {
+		out["stream_hub"] = m.streamHub()
 	}
 	if m.extra != nil {
 		for k, v := range m.extra() {

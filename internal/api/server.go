@@ -23,6 +23,7 @@ import (
 	"github.com/netsec-lab/rovista/internal/export"
 	"github.com/netsec-lab/rovista/internal/inet"
 	"github.com/netsec-lab/rovista/internal/store"
+	"github.com/netsec-lab/rovista/internal/stream"
 )
 
 // Config tunes a Server.
@@ -50,6 +51,13 @@ type Config struct {
 	// serving-path metrics. Called on every snapshot; must be safe for
 	// concurrent use.
 	Extra func() map[string]any
+	// Stream, when set, backs GET /v1/stream: each subscriber gets a
+	// Server-Sent Events feed of per-round score deltas from this hub,
+	// optionally narrowed by ?asn= and ?min_delta= filters. Like
+	// /v1/whatif, the endpoint lives outside the generation cache — a
+	// subscription is a live connection, not a cacheable response — and it
+	// never touches the query-path cache shards.
+	Stream *stream.Hub
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -69,6 +77,12 @@ type Server struct {
 	limiter *rateLimiter
 	now     func() time.Time
 	whatIf  func(q url.Values) (any, error)
+	hub     *stream.Hub
+	// streamBuf is each SSE subscription's hub buffer (default 16;
+	// tests shrink it to force eviction).
+	streamBuf int
+	// streamKeepalive is the SSE keepalive-comment interval.
+	streamKeepalive time.Duration
 
 	// genHdr caches the rendered X-Rovista-Generation header value for
 	// the current generation, so the cached read path stays free of
@@ -88,12 +102,15 @@ type genHeader struct {
 // New builds a Server over st.
 func New(st *store.Store, cfg Config) *Server {
 	s := &Server{
-		st:      st,
-		mux:     http.NewServeMux(),
-		limiter: newRateLimiter(cfg.RateBurst, cfg.RateRefill),
-		now:     cfg.now,
-		whatIf:  cfg.WhatIf,
-		Metrics: &Metrics{},
+		st:              st,
+		mux:             http.NewServeMux(),
+		limiter:         newRateLimiter(cfg.RateBurst, cfg.RateRefill),
+		now:             cfg.now,
+		whatIf:          cfg.WhatIf,
+		hub:             cfg.Stream,
+		streamBuf:       16,
+		streamKeepalive: 15 * time.Second,
+		Metrics:         &Metrics{},
 	}
 	s.cache = newGenCache(cfg.CacheMaxEntries, &s.Metrics.CacheShardResets, &s.Metrics.CacheShardRotations)
 	if s.now == nil {
@@ -101,6 +118,9 @@ func New(st *store.Store, cfg Config) *Server {
 	}
 	s.Metrics.extra = cfg.Extra
 	s.Metrics.storePublishes = st.SnapshotPublishes
+	if s.hub != nil {
+		s.Metrics.streamHub = s.hub.Snapshot
+	}
 	publishMetrics(s.Metrics)
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -112,6 +132,7 @@ func New(st *store.Store, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/export", s.handleExport)
 	s.mux.HandleFunc("GET /v1/rounds", s.handleRounds)
 	s.mux.HandleFunc("GET /v1/whatif", s.handleWhatIf)
+	s.mux.HandleFunc("GET /v1/stream", s.handleStream)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -167,8 +188,11 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Only the data-plane endpoints go through the cache: health, metrics
-	// and pprof must always reflect the live process.
-	if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/") && r.URL.Path != "/v1/whatif" {
+	// and pprof must always reflect the live process. /v1/whatif answers
+	// from the live world, and /v1/stream is a held-open push connection —
+	// neither may be cached (or even buffered through captureWriter).
+	if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/") &&
+		r.URL.Path != "/v1/whatif" && r.URL.Path != "/v1/stream" {
 		// One atomic load pins the whole request to a consistent
 		// snapshot: the generation used as the cache key and the data
 		// the handlers read cannot disagree.

@@ -1,0 +1,225 @@
+package api
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/netsec-lab/rovista/internal/stream"
+)
+
+// waitFor polls until cond holds, failing the test on timeout.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// streamServer builds a hub-backed server over a small synthesized store.
+func streamServer(t *testing.T) (*Server, *stream.Hub) {
+	t.Helper()
+	st := newTestStore(t, 20, 2)
+	hub := stream.NewHub()
+	return New(st, Config{Stream: hub}), hub
+}
+
+// readFrame reads one SSE frame (through its terminating blank line) and
+// returns its non-empty lines.
+func readFrame(t *testing.T, r *bufio.Reader) []string {
+	t.Helper()
+	var lines []string
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE frame: %v (got %q so far)", err, lines)
+		}
+		line = strings.TrimRight(line, "\n")
+		if line == "" {
+			if len(lines) > 0 {
+				return lines
+			}
+			continue
+		}
+		lines = append(lines, line)
+	}
+}
+
+// frameUpdate decodes the data: payload of an "event: scores" frame.
+func frameUpdate(t *testing.T, lines []string) stream.Update {
+	t.Helper()
+	var u stream.Update
+	for _, line := range lines {
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			if err := json.Unmarshal([]byte(data), &u); err != nil {
+				t.Fatalf("bad update JSON %q: %v", data, err)
+			}
+			return u
+		}
+	}
+	t.Fatalf("frame %q carries no data line", lines)
+	return u
+}
+
+// TestStreamDeliversPerASFilteredDeltas: a /v1/stream?asn=7 subscriber must
+// receive exactly the AS-7 deltas of the rounds that touched AS 7 — pushed,
+// without polling — and nothing from rounds that did not.
+func TestStreamDeliversPerASFilteredDeltas(t *testing.T) {
+	srv, hub := streamServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stream?asn=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/stream = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	r := bufio.NewReader(resp.Body)
+	readFrame(t, r) // the ": rovista score stream" preamble comment
+
+	// Two incremental rounds touching AS 7 (among others), then one that
+	// does not.
+	hub.Publish(stream.Update{Round: 1, Deltas: []stream.ScoreDelta{
+		{ASN: 7, Old: 0, New: 40}, {ASN: 9, Old: 10, New: 20},
+	}})
+	hub.Publish(stream.Update{Round: 2, Deltas: []stream.ScoreDelta{
+		{ASN: 7, Old: 40, New: 55}, {ASN: 9, Old: 20, New: 30},
+	}})
+	hub.Publish(stream.Update{Round: 3, Deltas: []stream.ScoreDelta{
+		{ASN: 9, Old: 30, New: 35},
+	}})
+
+	for want := uint32(1); want <= 2; want++ {
+		u := frameUpdate(t, readFrame(t, r))
+		if u.Round != want {
+			t.Fatalf("update round = %d, want %d", u.Round, want)
+		}
+		if len(u.Deltas) != 1 || u.Deltas[0].ASN != 7 {
+			t.Fatalf("round %d deltas = %+v, want exactly the AS-7 delta", want, u.Deltas)
+		}
+	}
+	// Round 3 must have been filtered out entirely: publish a sentinel the
+	// subscriber does match and assert it arrives next.
+	hub.Publish(stream.Update{Round: 4, Deltas: []stream.ScoreDelta{{ASN: 7, Old: 55, New: 60}}})
+	if u := frameUpdate(t, readFrame(t, r)); u.Round != 4 {
+		t.Fatalf("next update round = %d, want 4 (round 3 should never be delivered)", u.Round)
+	}
+	if srv.Metrics.StreamClients.Load() != 1 {
+		t.Fatalf("stream client gauge = %d", srv.Metrics.StreamClients.Load())
+	}
+}
+
+// TestStreamSlowSubscriberEvicted: a subscriber that stops reading while
+// rounds keep publishing must be evicted — the fan-out never blocks the
+// round loop — and told why with a final evicted frame.
+func TestStreamSlowSubscriberEvicted(t *testing.T) {
+	srv, hub := streamServer(t)
+	srv.streamBuf = 1
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	r := bufio.NewReader(resp.Body)
+	readFrame(t, r) // preamble
+
+	// Big frames so the handler's write outgrows the socket buffers and
+	// blocks while the client reads nothing.
+	big := make([]stream.ScoreDelta, 50_000)
+	for i := range big {
+		big[i] = stream.ScoreDelta{ASN: 1, Old: 0, New: float64(i)}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for round := uint32(1); hub.Evictions.Load() == 0; round++ {
+		if time.Now().After(deadline) {
+			t.Fatal("hub never evicted the stalled subscriber")
+		}
+		hub.Publish(stream.Update{Round: round, Deltas: big})
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Drain: the stream must terminate with the evicted notice.
+	rest, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rest), "event: evicted") {
+		t.Fatal("stream ended without an evicted frame")
+	}
+	waitFor(t, "handler exit", func() bool { return srv.Metrics.StreamClients.Load() == 0 })
+	if srv.Metrics.StreamEvicted.Load() != 1 {
+		t.Fatalf("StreamEvicted = %d, want 1", srv.Metrics.StreamEvicted.Load())
+	}
+}
+
+// TestStreamParamValidationAndAvailability: bad filters 400; a server
+// without a hub 503s instead of hanging.
+func TestStreamParamValidationAndAvailability(t *testing.T) {
+	srv, _ := streamServer(t)
+	h := srv.Handler()
+	for _, p := range []string{"/v1/stream?asn=zero", "/v1/stream?asn=0", "/v1/stream?min_delta=-3", "/v1/stream?min_delta=x"} {
+		if w := get(t, h, p); w.Code != http.StatusBadRequest {
+			t.Fatalf("GET %s = %d, want 400", p, w.Code)
+		}
+	}
+	noHub := New(newTestStore(t, 5, 1), Config{}).Handler()
+	if w := get(t, noHub, "/v1/stream"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("hub-less /v1/stream = %d, want 503", w.Code)
+	}
+}
+
+// TestStreamPathStaysOffQueryShards extends the lock-free serving guard to
+// the push path: a full subscribe → publish → disconnect cycle must acquire
+// zero query-path shard locks and never touch the generation cache — the
+// SSE fan-out is isolated from the cached read path by construction.
+func TestStreamPathStaysOffQueryShards(t *testing.T) {
+	srv, hub := streamServer(t)
+	h := srv.Handler()
+	// Warm the rate limiter for the client (first sight of a client key
+	// takes the limiter's insert path) and the cached read path.
+	if w := get(t, h, "/v1/top?n=5"); w.Code != http.StatusOK {
+		t.Fatalf("warm GET = %d", w.Code)
+	}
+
+	baseLocks := lockCount.Load()
+	hits, misses := srv.Metrics.CacheHits.Load(), srv.Metrics.CacheMisses.Load()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodGet, "/v1/stream", nil).WithContext(ctx)
+	req.RemoteAddr = "192.0.2.1:12345" // same client as get()
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() { defer close(done); h.ServeHTTP(rec, req) }()
+
+	waitFor(t, "subscription", func() bool { return hub.Subscribers.Load() == 1 })
+	hub.Publish(stream.Update{Round: 1, Deltas: []stream.ScoreDelta{{ASN: 3, Old: 1, New: 2}}})
+	waitFor(t, "delivery", func() bool { return hub.Delivered.Load() == 1 })
+	cancel()
+	<-done
+
+	if got := lockCount.Load(); got != baseLocks {
+		t.Fatalf("stream path acquired %d query-path locks", got-baseLocks)
+	}
+	if srv.Metrics.CacheHits.Load() != hits || srv.Metrics.CacheMisses.Load() != misses {
+		t.Fatal("stream request touched the generation cache")
+	}
+}

@@ -67,14 +67,7 @@ func (w *World) AdvanceTo(day int) error {
 		deployed := tr.DeployedAt(day)
 		var view *rpki.VRPSet
 		if deployed {
-			view = vrps
-			if tr.SLURMException.IsValid() {
-				// RFC 8416 local exception: VRPs covering the whitelisted
-				// prefix are filtered out of this AS's view, so the route
-				// validates NotFound and passes the filter (§7.1).
-				slurm := &rpki.SLURM{PrefixFilters: []rpki.PrefixFilter{{Prefix: coveringFilter(tr.SLURMException)}}}
-				view = slurm.Apply(vrps)
-			}
+			view = filteredView(tr, vrps)
 		}
 		switch {
 		case first:
@@ -159,6 +152,34 @@ func (w *World) AdvanceTo(day int) error {
 func coveringFilter(p netip.Prefix) netip.Prefix {
 	wide, _ := p.Addr().Prefix(16)
 	return wide
+}
+
+// filteredView computes one AS's view of the VRP set: the global set, minus
+// any RFC 8416 local exception. VRPs covering the whitelisted prefix are
+// filtered out of this AS's view, so the route validates NotFound and
+// passes the filter (§7.1).
+func filteredView(tr *Truth, vrps *rpki.VRPSet) *rpki.VRPSet {
+	if !tr.SLURMException.IsValid() {
+		return vrps
+	}
+	slurm := &rpki.SLURM{PrefixFilters: []rpki.PrefixFilter{{Prefix: coveringFilter(tr.SLURMException)}}}
+	return slurm.Apply(vrps)
+}
+
+// RefreshVRPViews replaces the world's VRP set — e.g. with a snapshot
+// synchronized from a live RTR cache — and refreshes the (possibly
+// SLURM-filtered) view of every AS currently deploying ROV. It does not
+// re-converge: callers follow up with an EvROAChange batch through
+// Graph.ApplyEvents naming the prefixes whose validity may have changed,
+// exactly as AdvanceTo does for scheduled ROA transitions.
+func (w *World) RefreshVRPViews(vrps *rpki.VRPSet) {
+	w.VRPs = vrps
+	for asn, tr := range w.Truth {
+		if !tr.DeployedAt(w.Day) {
+			continue
+		}
+		w.Graph.AS(asn).VRPs = filteredView(tr, vrps)
+	}
 }
 
 // setOriginated adds or removes p from asn's originated prefixes.

@@ -22,6 +22,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/netsec-lab/rovista/internal/stream"
 )
 
 // Config shapes a load run.
@@ -58,6 +60,14 @@ type Config struct {
 	AppendEvery time.Duration
 	// Append appends one round to the store under test.
 	Append func() error
+	// Subscribers, together with Hub, adds push-subscription load: that many
+	// subscriber goroutines attach to Hub and drain score updates for the
+	// whole run, each delivery's publish→receive latency recorded (the
+	// staleness of a pushed score at the fan-out layer). The storm writer is
+	// the natural publisher: have Append publish an Update per round.
+	Subscribers int
+	// Hub is the score fan-out the subscribers attach to (in-process runs).
+	Hub *stream.Hub
 }
 
 func (c Config) withDefaults() Config {
@@ -100,13 +110,26 @@ type Report struct {
 	// AllocsPerReq is heap allocations per request across harness and
 	// server combined (in-process runs only; 0 over HTTP).
 	AllocsPerReq float64 `json:"allocs_per_req"`
+
+	// Subscriber-side results (zero unless Config.Subscribers was set):
+	// deliveries received, subscribers evicted for falling behind, and the
+	// p99 publish→receive latency in µs.
+	Subscribers int64   `json:"subscribers,omitempty"`
+	Deliveries  int64   `json:"deliveries,omitempty"`
+	SubEvicted  int64   `json:"sub_evicted,omitempty"`
+	SubP99us    float64 `json:"sub_p99_us,omitempty"`
 }
 
 func (r Report) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"%d requests in %.2fs → %.0f qps\nlatency p50 %.1fµs  p99 %.1fµs  p999 %.1fµs\nerrors %d  rate-limited %d  appends %d  allocs/req %.1f",
 		r.Requests, r.Elapsed.Seconds(), r.QPS, r.P50us, r.P99us, r.P999us,
 		r.Errors, r.RateLimited, r.Appends, r.AllocsPerReq)
+	if r.Subscribers > 0 {
+		s += fmt.Sprintf("\nsubscribers %d  deliveries %d  evicted %d  delivery p99 %.1fµs",
+			r.Subscribers, r.Deliveries, r.SubEvicted, r.SubP99us)
+	}
+	return s
 }
 
 // latHistogram records request latencies in 100ns buckets (covering
@@ -355,6 +378,36 @@ func run(do target, cfg Config, inProcess bool) (Report, error) {
 		close(stormDone)
 	}
 
+	// Push-subscription load: each subscriber drains the hub for the whole
+	// run, recording publish→receive latency. Eviction (channel closed by
+	// the hub mid-run) ends that subscriber early and is counted — the
+	// slow-consumer policy showing up under load is a result, not an error.
+	var (
+		deliveries, subEvicted atomic.Int64
+		subs                   []*stream.Subscriber
+		subHists               []*latHistogram
+		subWg                  sync.WaitGroup
+	)
+	if cfg.Hub != nil && cfg.Subscribers > 0 {
+		for i := 0; i < cfg.Subscribers; i++ {
+			sub := cfg.Hub.Subscribe(stream.SubFilter{}, 256)
+			hist := &latHistogram{}
+			subs = append(subs, sub)
+			subHists = append(subHists, hist)
+			subWg.Add(1)
+			go func(sub *stream.Subscriber, hist *latHistogram) {
+				defer subWg.Done()
+				for u := range sub.C {
+					hist.record(time.Since(u.At))
+					deliveries.Add(1)
+				}
+				if sub.Evicted() {
+					subEvicted.Add(1)
+				}
+			}(sub, hist)
+		}
+	}
+
 	var memBefore runtime.MemStats
 	if inProcess {
 		runtime.ReadMemStats(&memBefore)
@@ -416,6 +469,10 @@ func run(do target, cfg Config, inProcess bool) (Report, error) {
 	elapsed := time.Since(start)
 	close(stormStop)
 	<-stormDone
+	for _, sub := range subs {
+		sub.Close() // idempotent; evicted subscribers are already detached
+	}
+	subWg.Wait()
 
 	rep := Report{
 		Requests:    requests.Load(),
@@ -429,6 +486,12 @@ func run(do target, cfg Config, inProcess bool) (Report, error) {
 		rep.QPS = float64(rep.Requests) / elapsed.Seconds()
 	}
 	rep.P50us, rep.P99us, rep.P999us = quantiles(hists)
+	if len(subs) > 0 {
+		rep.Subscribers = int64(len(subs))
+		rep.Deliveries = deliveries.Load()
+		rep.SubEvicted = subEvicted.Load()
+		_, rep.SubP99us, _ = quantiles(subHists)
+	}
 	if inProcess && rep.Requests > 0 {
 		var memAfter runtime.MemStats
 		runtime.ReadMemStats(&memAfter)

@@ -7,6 +7,7 @@ import (
 
 	"github.com/netsec-lab/rovista/internal/api"
 	"github.com/netsec-lab/rovista/internal/store"
+	"github.com/netsec-lab/rovista/internal/stream"
 )
 
 func newTarget(t *testing.T, burst int) (*api.Server, *store.Store) {
@@ -80,6 +81,42 @@ func TestRunAppendStorm(t *testing.T) {
 	}
 	if st.Rounds() <= rounds || rep.Appends == 0 {
 		t.Fatalf("append storm did not land: rounds %d→%d, appends=%d", rounds, st.Rounds(), rep.Appends)
+	}
+}
+
+func TestRunSubscriberMix(t *testing.T) {
+	srv, _ := newTarget(t, 0)
+	hub := stream.NewHub()
+	var round uint32
+	rep, err := Run(srv.Handler(), Config{
+		Clients:     100,
+		Workers:     2,
+		Duration:    200 * time.Millisecond,
+		ASes:        200,
+		Rounds:      10,
+		Seed:        1,
+		Subscribers: 8,
+		Hub:         hub,
+		AppendEvery: 10 * time.Millisecond,
+		Append: func() error {
+			round++
+			hub.Publish(stream.Update{Round: round, Deltas: []stream.ScoreDelta{{ASN: 1000, Old: 1, New: 2}}})
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Subscribers != 8 {
+		t.Fatalf("Subscribers = %d, want 8", rep.Subscribers)
+	}
+	// Every published round fans out to all 8 subscribers, none of whom
+	// fall behind at this rate.
+	if want := int64(round) * 8; rep.Deliveries != want || rep.SubEvicted != 0 {
+		t.Fatalf("deliveries = %d (want %d), evicted = %d", rep.Deliveries, want, rep.SubEvicted)
+	}
+	if hub.Subscribers.Load() != 0 {
+		t.Fatalf("harness left %d subscriptions attached", hub.Subscribers.Load())
 	}
 }
 

@@ -92,6 +92,7 @@ func ReadRecord(r io.Reader) (*Record, error) {
 // Dump is the decoded content of a TABLE_DUMP_V2 archive.
 type Dump struct {
 	CollectorName string
+	Timestamp     uint32 // from the archive's PEER_INDEX_TABLE record
 	Peers         []Peer
 	Entries       []RIBEntry
 }
@@ -198,10 +199,26 @@ func marshalAttrs(path []inet.ASN) []byte {
 	return b.Bytes()
 }
 
-// ReadDump parses a TABLE_DUMP_V2 archive.
+// ReadDump parses a single TABLE_DUMP_V2 archive.
 func ReadDump(r io.Reader) (*Dump, error) {
-	d := &Dump{}
-	sawIndex := false
+	dumps, err := ReadDumps(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(dumps) > 1 {
+		return nil, fmt.Errorf("%w: %d concatenated archives (use ReadDumps)", ErrMalformed, len(dumps))
+	}
+	return dumps[0], nil
+}
+
+// ReadDumps parses a stream of concatenated TABLE_DUMP_V2 archives — the
+// shape of a longitudinal capture where successive RIB snapshots are
+// appended to one file. A new dump begins at each PEER_INDEX_TABLE record;
+// dumps are returned in stream order so callers can diff neighbors into
+// announce/withdraw deltas.
+func ReadDumps(r io.Reader) ([]*Dump, error) {
+	var dumps []*Dump
+	var d *Dump
 	for {
 		rec, err := ReadRecord(r)
 		if err == io.EOF {
@@ -219,10 +236,10 @@ func ReadDump(r io.Reader) (*Dump, error) {
 			if err != nil {
 				return nil, err
 			}
-			d.CollectorName, d.Peers = name, peers
-			sawIndex = true
+			d = &Dump{CollectorName: name, Timestamp: rec.Timestamp, Peers: peers}
+			dumps = append(dumps, d)
 		case SubtypeRIBIPv4Unicast:
-			if !sawIndex {
+			if d == nil {
 				return nil, fmt.Errorf("%w: RIB entry before peer index", ErrMalformed)
 			}
 			entries, err := parseRIBEntry(rec.Body, len(d.Peers))
@@ -232,10 +249,10 @@ func ReadDump(r io.Reader) (*Dump, error) {
 			d.Entries = append(d.Entries, entries...)
 		}
 	}
-	if !sawIndex {
+	if len(dumps) == 0 {
 		return nil, fmt.Errorf("%w: missing peer index table", ErrMalformed)
 	}
-	return d, nil
+	return dumps, nil
 }
 
 func parsePeerIndex(b []byte) (string, []Peer, error) {

@@ -1,8 +1,10 @@
 package rtr
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"github.com/netsec-lab/rovista/internal/rpki"
 )
@@ -10,11 +12,13 @@ import (
 // Client is the router side of the protocol: it synchronizes a local VRP
 // set from a cache and hands it to the BGP import policies.
 type Client struct {
-	rw      io.ReadWriter
-	session uint16
-	serial  uint32
-	synced  bool
-	vrps    map[string]rpki.VRP
+	rw       io.ReadWriter
+	session  uint16
+	serial   uint32
+	notified uint32
+	synced   bool
+	aborted  atomic.Bool
+	vrps     map[string]rpki.VRP
 }
 
 // NewClient wraps a stream to a cache.
@@ -24,6 +28,28 @@ func NewClient(rw io.ReadWriter) *Client {
 
 // Serial returns the serial of the last completed sync.
 func (c *Client) Serial() uint32 { return c.serial }
+
+// Notified returns the serial carried by the most recent Serial Notify the
+// cache pushed mid-session, or 0 when none was seen. A value above Serial()
+// means the cache has newer data and a Refresh is worthwhile.
+func (c *Client) Notified() uint32 { return c.notified }
+
+// ErrAborted is returned by Reset/Refresh when Abort interrupted a sync.
+var ErrAborted = errors.New("rtr: client aborted")
+
+// Abort unblocks a Reset or Refresh that is parked in a blocking read.
+// Client reads have no deadline — over a net.Conn or net.Pipe the read loop
+// would otherwise leak its goroutine when the caller's context is cancelled
+// mid-stream — so Abort closes the underlying transport (when it is an
+// io.Closer) to force the pending ReadPDU to return. The client is
+// unusable afterwards; callers reconnect with a fresh Client.
+func (c *Client) Abort() error {
+	c.aborted.Store(true)
+	if cl, ok := c.rw.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}
 
 // Reset performs a full resynchronization (Reset Query → Cache Response →
 // prefix PDUs → End of Data).
@@ -54,9 +80,16 @@ func (c *Client) consumeResponse(isReset bool) error {
 	for {
 		pdu, err := ReadPDU(c.rw)
 		if err != nil {
+			if c.aborted.Load() {
+				return ErrAborted
+			}
 			return err
 		}
 		switch pdu.Type {
+		case TypeSerialNotify:
+			// Caches may push unsolicited notifies at any time, including
+			// interleaved with an in-flight response. Record and continue.
+			c.notified = pdu.Serial
 		case TypeCacheResponse:
 			sawCacheResponse = true
 			c.session = pdu.Session

@@ -6,6 +6,7 @@ import (
 	"net/netip"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"github.com/netsec-lab/rovista/internal/inet"
 	"github.com/netsec-lab/rovista/internal/rpki"
@@ -279,4 +280,64 @@ func TestRTRFeedsImportPolicy(t *testing.T) {
 			t.Fatal("router view should reject the wrong origin")
 		}
 	})
+}
+
+// TestAbortUnblocksPendingRead is the regression test for the read-loop
+// leak: a client parked in ReadPDU (cache sent Cache Response then went
+// silent) must be released by Abort rather than blocking forever.
+func TestAbortUnblocksPendingRead(t *testing.T) {
+	serverConn, clientConn := net.Pipe()
+	defer serverConn.Close()
+
+	// Half a response: Cache Response, then silence. The client's read
+	// loop is now parked with no deadline.
+	go func() {
+		ReadPDU(serverConn) // consume the Reset Query
+		writePDU(serverConn, &PDU{Version: Version, Type: TypeCacheResponse, Session: 5})
+	}()
+
+	client := NewClient(clientConn)
+	done := make(chan error, 1)
+	go func() { done <- client.Reset() }()
+
+	// Give the reset a moment to get parked, then abort it.
+	time.Sleep(10 * time.Millisecond)
+	client.Abort()
+
+	select {
+	case err := <-done:
+		if err != ErrAborted {
+			t.Fatalf("Reset returned %v, want ErrAborted", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Reset still blocked after Abort")
+	}
+}
+
+// TestSerialNotifyMidResponse: an unsolicited Serial Notify interleaved
+// with an in-flight response must be recorded, not treated as a protocol
+// error.
+func TestSerialNotifyMidResponse(t *testing.T) {
+	serverConn, clientConn := net.Pipe()
+	defer serverConn.Close()
+	defer clientConn.Close()
+
+	go func() {
+		ReadPDU(serverConn)
+		writePDU(serverConn, &PDU{Version: Version, Type: TypeCacheResponse, Session: 5})
+		writePDU(serverConn, &PDU{Version: Version, Type: TypeSerialNotify, Session: 5, Serial: 9})
+		writePDU(serverConn, PrefixPDU(rpki.VRP{ASN: 64500, Prefix: pfx("10.0.0.0/8"), MaxLength: 16}, true, 5))
+		writePDU(serverConn, &PDU{Version: Version, Type: TypeEndOfData, Session: 5, Serial: 3})
+	}()
+
+	client := NewClient(clientConn)
+	if err := client.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if client.Len() != 1 || client.Serial() != 3 {
+		t.Fatalf("len=%d serial=%d", client.Len(), client.Serial())
+	}
+	if client.Notified() != 9 {
+		t.Fatalf("Notified() = %d, want 9", client.Notified())
+	}
 }

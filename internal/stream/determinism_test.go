@@ -1,0 +1,137 @@
+package stream
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/netsec-lab/rovista/internal/core"
+	"github.com/netsec-lab/rovista/internal/inet"
+)
+
+// buildStreamWorld makes a small converged world plus its runner.
+func buildStreamWorld(t *testing.T, seed int64, workers int) (*core.World, *core.Runner) {
+	t.Helper()
+	w, err := core.BuildWorld(core.SmallWorldConfig(seed))
+	if err != nil {
+		t.Fatalf("BuildWorld: %v", err)
+	}
+	if err := w.AdvanceTo(0); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+	cfg := core.DefaultRunnerConfig(seed)
+	cfg.Workers = workers
+	return w, core.NewRunner(w, cfg)
+}
+
+// timelineViaPipeline streams a fixed-seed synthetic churn sequence through
+// the full pipeline (source → coalesce → live sink) and records the score
+// timeline.
+func timelineViaPipeline(t *testing.T, seed int64, workers, events int, window float64) []map[inet.ASN]float64 {
+	t.Helper()
+	w, runner := buildStreamWorld(t, seed, workers)
+	var timeline []map[inet.ASN]float64
+	sink := &LiveSink{W: w, Runner: runner, OnRound: func(s *core.Snapshot) {
+		timeline = append(timeline, s.Scores())
+	}}
+	src := &SynthSource{Seed: seed, Origins: WorldOrigins(w), Rate: 10, Count: events}
+	p := NewPipeline(8, src, &CoalesceStage{Window: window}, sink)
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	return timeline
+}
+
+// timelineDirect applies the same coalesced batches without any pipeline
+// machinery: Plan → CoalescePlan → ApplyEvents → Measure. This is the
+// reference the streamed path must reproduce bit-for-bit.
+func timelineDirect(t *testing.T, seed int64, workers, events int, window float64) []map[inet.ASN]float64 {
+	t.Helper()
+	w, runner := buildStreamWorld(t, seed, workers)
+	src := &SynthSource{Seed: seed, Origins: WorldOrigins(w), Rate: 10, Count: events}
+	batches := CoalescePlan(src.Plan(events), window)
+	var timeline []map[inet.ASN]float64
+	for _, b := range batches {
+		if _, err := w.Graph.ApplyEvents(b.Events); err != nil {
+			t.Fatalf("ApplyEvents: %v", err)
+		}
+		timeline = append(timeline, runner.Measure().Scores())
+	}
+	return timeline
+}
+
+// TestStreamDeterminismAcrossWorkers is the metamorphic determinism pin:
+// a fixed-seed synthetic-churn stream replayed through the pipeline must
+// produce a score timeline bit-identical to applying the same coalesced
+// batches directly — at every combination of worker counts, in either
+// direction. Channel scheduling, coalescer timing, and the parallel pair
+// executor may change *when* work happens, never *what* it produces.
+func TestStreamDeterminismAcrossWorkers(t *testing.T) {
+	const seed, events = 42, 40
+	const window = 2.0 // virtual seconds → batches of ~20 events at Rate 10
+
+	ref := timelineDirect(t, seed, 1, events, window)
+	if len(ref) == 0 {
+		t.Fatal("reference timeline is empty; property is vacuous")
+	}
+	for _, workers := range []int{1, 4} {
+		got := timelineViaPipeline(t, seed, workers, events, window)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("pipeline timeline (workers=%d) diverged from direct workers=1 reference", workers)
+		}
+	}
+	// And the reverse pairing: direct at 4 workers vs the single reference.
+	if got := timelineDirect(t, seed, 4, events, window); !reflect.DeepEqual(got, ref) {
+		t.Fatal("direct timeline at workers=4 diverged from workers=1")
+	}
+}
+
+// TestSynthPlanMatchesRun: the generator's Plan and its streaming Run emit
+// the same sequence (Plan is the reference the determinism pin relies on).
+func TestSynthPlanMatchesRun(t *testing.T) {
+	w, _ := buildStreamWorld(t, 7, 1)
+	src := &SynthSource{Seed: 7, Origins: WorldOrigins(w), Rate: 10, Count: 25}
+	want := src.Plan(25)
+
+	sink := &collectSink{}
+	p := NewPipeline(4, src, sink)
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sink.msgs, want) {
+		t.Fatalf("Run emitted %d msgs, Plan %d; sequences differ", len(sink.msgs), len(want))
+	}
+}
+
+// TestLiveSinkPublishesDeltas: each applied batch triggers a measure and a
+// hub publication whose deltas describe the score movement.
+func TestLiveSinkPublishesDeltas(t *testing.T) {
+	w, runner := buildStreamWorld(t, 11, 1)
+	hub := NewHub()
+	sub := hub.Subscribe(SubFilter{}, 64)
+	sink := &LiveSink{W: w, Runner: runner, Hub: hub}
+
+	src := &SynthSource{Seed: 11, Origins: WorldOrigins(w), Rate: 10, Count: 20}
+	p := NewPipeline(8, src, &CoalesceStage{Window: 2}, sink)
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Rounds.Load() == 0 {
+		t.Fatal("sink measured no rounds")
+	}
+	// First round's deltas are all Appeared (prev was empty).
+	select {
+	case u := <-sub.C:
+		if len(u.Deltas) == 0 {
+			t.Fatal("first update carried no deltas")
+		}
+		for _, d := range u.Deltas {
+			if !d.Appeared {
+				t.Fatalf("first-round delta not Appeared: %+v", d)
+			}
+		}
+	default:
+		t.Fatal("no update published")
+	}
+	sub.Close()
+}

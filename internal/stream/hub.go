@@ -1,0 +1,213 @@
+package stream
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/netsec-lab/rovista/internal/inet"
+)
+
+// ScoreDelta is one AS's score movement between two measurement rounds.
+type ScoreDelta struct {
+	ASN inet.ASN `json:"asn"`
+	Old float64  `json:"old"`
+	New float64  `json:"new"`
+	// Appeared: the AS was not scorable in the previous round (Old is 0 by
+	// convention). Vanished: it dropped out of this round (New is 0).
+	Appeared bool `json:"appeared,omitempty"`
+	Vanished bool `json:"vanished,omitempty"`
+}
+
+// Update is one round's worth of score changes, fanned out to subscribers.
+type Update struct {
+	Round  uint32       `json:"round"`
+	Day    int          `json:"day"`
+	Deltas []ScoreDelta `json:"deltas"`
+	// At stamps publication, for delivery-latency measurement. Not
+	// serialized.
+	At time.Time `json:"-"`
+}
+
+// DiffScores renders the movement between two score maps as deltas sorted
+// by ASN. Unchanged scores produce nothing.
+func DiffScores(prev, cur map[inet.ASN]float64) []ScoreDelta {
+	var out []ScoreDelta
+	for asn, s := range cur {
+		old, had := prev[asn]
+		switch {
+		case !had:
+			out = append(out, ScoreDelta{ASN: asn, New: s, Appeared: true})
+		case old != s:
+			out = append(out, ScoreDelta{ASN: asn, Old: old, New: s})
+		}
+	}
+	for asn, s := range prev {
+		if _, have := cur[asn]; !have {
+			out = append(out, ScoreDelta{ASN: asn, Old: s, Vanished: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ASN < out[j].ASN })
+	return out
+}
+
+// SubFilter narrows what a subscriber receives.
+type SubFilter struct {
+	// ASN, when nonzero, selects a single AS.
+	ASN inet.ASN
+	// MinDelta suppresses deltas whose |New-Old| is below the threshold
+	// (appear/vanish transitions always pass: they are state changes, not
+	// noise).
+	MinDelta float64
+}
+
+func (f SubFilter) match(d ScoreDelta) bool {
+	if f.ASN != 0 && d.ASN != f.ASN {
+		return false
+	}
+	if f.MinDelta > 0 && !d.Appeared && !d.Vanished {
+		diff := d.New - d.Old
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < f.MinDelta {
+			return false
+		}
+	}
+	return true
+}
+
+// Subscriber is one push-subscription: read updates from C until it closes
+// (Close called, or the hub evicted the subscriber for falling behind).
+type Subscriber struct {
+	C <-chan Update
+
+	c       chan Update
+	f       SubFilter
+	hub     *Hub
+	closed  bool
+	evicted bool
+}
+
+// Evicted reports whether the hub closed this subscription for falling
+// behind (valid after C closes).
+func (s *Subscriber) Evicted() bool {
+	s.hub.mu.Lock()
+	defer s.hub.mu.Unlock()
+	return s.evicted
+}
+
+// Close detaches the subscriber; C closes. Idempotent.
+func (s *Subscriber) Close() {
+	h := s.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		delete(h.subs, s)
+		close(s.c)
+		h.Subscribers.Add(-1)
+	}
+}
+
+// Hub fans score updates out to push subscribers. Publish never blocks on
+// a subscriber: each subscription has a bounded buffer, and a subscriber
+// whose buffer is full when an update arrives is evicted (its channel
+// closes) rather than allowed to stall the round loop — the same
+// slow-consumer policy every production fan-out uses.
+type Hub struct {
+	mu   sync.Mutex
+	subs map[*Subscriber]struct{}
+
+	// Published counts Publish calls; Delivered counts per-subscriber
+	// enqueues; Evictions counts slow-subscriber evictions; Subscribers is
+	// the live-subscription gauge.
+	Published   atomic.Uint64
+	Delivered   atomic.Uint64
+	Evictions   atomic.Uint64
+	Subscribers atomic.Int64
+}
+
+// NewHub creates an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: make(map[*Subscriber]struct{})}
+}
+
+// Subscribe attaches a subscription with the given filter and buffer
+// capacity (<=0 selects 16).
+func (h *Hub) Subscribe(f SubFilter, buf int) *Subscriber {
+	if buf <= 0 {
+		buf = 16
+	}
+	s := &Subscriber{f: f, hub: h, c: make(chan Update, buf)}
+	s.C = s.c
+	h.mu.Lock()
+	h.subs[s] = struct{}{}
+	h.mu.Unlock()
+	h.Subscribers.Add(1)
+	return s
+}
+
+// Publish delivers u to every subscriber whose filter matches at least one
+// delta, evicting subscribers whose buffers are full.
+func (h *Hub) Publish(u Update) {
+	h.Published.Add(1)
+	if u.At.IsZero() {
+		u.At = time.Now()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for s := range h.subs {
+		filtered := u
+		if s.f.ASN != 0 || s.f.MinDelta > 0 {
+			var kept []ScoreDelta
+			for _, d := range u.Deltas {
+				if s.f.match(d) {
+					kept = append(kept, d)
+				}
+			}
+			if len(kept) == 0 {
+				continue
+			}
+			filtered.Deltas = kept
+		}
+		select {
+		case s.c <- filtered:
+			h.Delivered.Add(1)
+		default:
+			// Slow subscriber: evict under the lock (no send can race the
+			// close — all sends happen here).
+			s.closed = true
+			s.evicted = true
+			delete(h.subs, s)
+			close(s.c)
+			h.Evictions.Add(1)
+			h.Subscribers.Add(-1)
+		}
+	}
+}
+
+// Close detaches every subscriber (their channels close). Idempotent; the
+// hub can keep accepting Subscribe/Publish afterwards, so it doubles as a
+// "disconnect everyone" control.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for s := range h.subs {
+		s.closed = true
+		delete(h.subs, s)
+		close(s.c)
+		h.Subscribers.Add(-1)
+	}
+}
+
+// Snapshot renders the hub counters as an expvar-friendly map.
+func (h *Hub) Snapshot() map[string]any {
+	return map[string]any{
+		"published":   h.Published.Load(),
+		"delivered":   h.Delivered.Load(),
+		"evictions":   h.Evictions.Load(),
+		"subscribers": h.Subscribers.Load(),
+	}
+}

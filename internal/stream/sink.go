@@ -1,0 +1,120 @@
+package stream
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"github.com/netsec-lab/rovista/internal/core"
+	"github.com/netsec-lab/rovista/internal/inet"
+)
+
+// LiveSink terminates the pipeline at the live world: each incoming
+// (coalesced) batch is applied through the incremental convergence path,
+// an incremental measurement round re-scores the affected pairs, the
+// snapshot is persisted, and the score movement fans out to push
+// subscribers. All of it happens under Mu — the same mutex rovistad's
+// query and round paths serialize on — so a streamed batch respects the
+// existing round-boundary discipline.
+type LiveSink struct {
+	W      *core.World
+	Runner *core.Runner
+	// Mu, when set, serializes batch application against the daemon's
+	// other world mutators (rovistad passes its worldMu).
+	Mu *sync.Mutex
+	// Append, when set, persists each round's snapshot (rovistad appends
+	// to the store, which publishes a new read view).
+	Append func(*core.Snapshot) error
+	// Hub, when set, receives the score deltas of each round.
+	Hub *Hub
+	// OnRound, when set, observes each round's snapshot (after Append).
+	OnRound func(*core.Snapshot)
+
+	// Batches/EventsApplied/Rounds/DeltasPublished are the sink's live
+	// counters, readable while the pipeline runs.
+	Batches         atomic.Uint64
+	EventsApplied   atomic.Uint64
+	Rounds          atomic.Uint64
+	DeltasPublished atomic.Uint64
+
+	prev  map[inet.ASN]float64
+	round uint32
+}
+
+// SeedScores primes the delta baseline (typically with the daemon's
+// pre-stream baseline round) so the first streamed round publishes
+// movement rather than an "every AS appeared" flood, and continues the
+// round numbering so SSE ids stay monotonic across the handoff. Call
+// before the pipeline starts; not safe concurrently with Run.
+func (s *LiveSink) SeedScores(round uint32, scores map[inet.ASN]float64) {
+	s.round = round
+	s.prev = scores
+}
+
+func (s *LiveSink) Name() string { return "live-sink" }
+
+func (s *LiveSink) Run(ctx context.Context, in <-chan Msg, out chan<- Msg) error {
+	for {
+		select {
+		case m, ok := <-in:
+			if !ok {
+				return nil
+			}
+			if err := s.apply(m); err != nil {
+				return err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// apply installs one batch and runs one incremental round.
+func (s *LiveSink) apply(m Msg) error {
+	if s.Mu != nil {
+		s.Mu.Lock()
+		defer s.Mu.Unlock()
+	}
+	if m.VRPs != nil {
+		s.W.RefreshVRPViews(m.VRPs)
+	}
+	if len(m.Events) > 0 {
+		if _, err := s.W.Graph.ApplyEvents(m.Events); err != nil {
+			return err
+		}
+	} else if m.VRPs == nil {
+		return nil // nothing to do
+	}
+	s.Batches.Add(1)
+	s.EventsApplied.Add(uint64(len(m.Events)))
+
+	snap := s.Runner.Measure()
+	s.Rounds.Add(1)
+	s.round++
+	if s.Append != nil {
+		if err := s.Append(snap); err != nil {
+			return err
+		}
+	}
+	cur := snap.Scores()
+	deltas := DiffScores(s.prev, cur)
+	s.prev = cur
+	if s.Hub != nil && len(deltas) > 0 {
+		s.Hub.Publish(Update{Round: s.round, Day: snap.Day, Deltas: deltas})
+		s.DeltasPublished.Add(uint64(len(deltas)))
+	}
+	if s.OnRound != nil {
+		s.OnRound(snap)
+	}
+	return nil
+}
+
+// Snapshot renders the sink counters as an expvar-friendly map.
+func (s *LiveSink) Snapshot() map[string]any {
+	return map[string]any{
+		"batches":          s.Batches.Load(),
+		"events_applied":   s.EventsApplied.Load(),
+		"rounds":           s.Rounds.Load(),
+		"deltas_published": s.DeltasPublished.Load(),
+	}
+}

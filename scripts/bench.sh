@@ -32,8 +32,8 @@ trap 'rm -f "$tmp"' EXIT
 
 # distill turns `go test -bench` output into a JSON report. Recognizes
 # ns/op, B/op, allocs/op, the scale benchmarks' peakRSS-MB metric, and the
-# serving benchmarks' qps / qps-parallel / p50-us / p99-us / p999-us
-# metrics.
+# serving benchmarks' qps / qps-parallel / p50-us / p99-us / p999-us /
+# sub-p99-us metrics.
 distill() {
     awk -v gover="$(go version | awk '{print $3}')" '
 BEGIN { n = 0 }
@@ -42,7 +42,7 @@ BEGIN { n = 0 }
     sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
     iters[n] = $2
     names[n] = name
-    ns[n] = bytes[n] = allocs[n] = rss[n] = qps[n] = qpspar[n] = p50[n] = p99[n] = p999[n] = "null"
+    ns[n] = bytes[n] = allocs[n] = rss[n] = qps[n] = qpspar[n] = p50[n] = p99[n] = p999[n] = subp99[n] = "null"
     for (i = 3; i < NF; i++) {
         if ($(i+1) == "ns/op")        ns[n] = $i
         if ($(i+1) == "B/op")         bytes[n] = $i
@@ -53,6 +53,7 @@ BEGIN { n = 0 }
         if ($(i+1) == "p50-us")       p50[n] = $i
         if ($(i+1) == "p99-us")       p99[n] = $i
         if ($(i+1) == "p999-us")      p999[n] = $i
+        if ($(i+1) == "sub-p99-us")   subp99[n] = $i
     }
     n++
 }
@@ -67,6 +68,7 @@ END {
         if (p50[i] != "null") line = line sprintf(", \"latency_p50_us\": %s", p50[i])
         if (p99[i] != "null") line = line sprintf(", \"latency_p99_us\": %s", p99[i])
         if (p999[i] != "null") line = line sprintf(", \"latency_p999_us\": %s", p999[i])
+        if (subp99[i] != "null") line = line sprintf(", \"sub_delivery_p99_us\": %s", subp99[i])
         printf "%s}%s\n", line, (i < n-1 ? "," : "")
     }
     printf "  ]\n}\n"

@@ -1,0 +1,104 @@
+#!/bin/sh
+# End-to-end streaming smoke test: start rovistad with the deterministic
+# synthetic churn source driving rounds through the stage pipeline, attach a
+# live SSE client to /v1/stream, and require that it observes pushed score
+# changes (an "event: scores" frame with a non-empty delta list) without
+# polling. Then assert the pipeline/sink/hub counters surfaced in /metrics
+# and a clean SIGINT shutdown. This is what CI's stream-smoke job runs.
+#
+# Usage: scripts/stream_smoke.sh [port]   (default 18095)
+set -eu
+
+port=${1:-18095}
+base="http://127.0.0.1:$port"
+bin=$(mktemp -d)
+store=$(mktemp -d)
+logf=$(mktemp)
+ssef=$(mktemp)
+pid=
+
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$bin" "$store" "$logf" "$ssef"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "stream-smoke: FAIL: $*" >&2
+    echo "--- rovistad log ---" >&2
+    cat "$logf" >&2
+    echo "--- SSE capture ---" >&2
+    cat "$ssef" >&2
+    exit 1
+}
+
+go build -o "$bin/rovistad" ./cmd/rovistad
+
+# An endless synthetic stream (one event every 100ms, 1-virtual-second
+# coalescing windows → a streamed round roughly every half second at
+# -stream-rate 20), so the SSE client below always has rounds to watch.
+"$bin/rovistad" -addr "127.0.0.1:$port" -store "$store" \
+    -size smoke -seed 42 -stream synth -stream-rate 20 -stream-window 1 \
+    -stream-interval 100ms >"$logf" 2>&1 &
+pid=$!
+
+i=0
+until curl -sf -o /dev/null "$base/healthz" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -ge 120 ] && fail "daemon did not come up within 60s"
+    kill -0 "$pid" 2>/dev/null || fail "daemon exited before serving"
+    sleep 0.5
+done
+
+# The push path end-to-end: a plain SSE client must see at least one scores
+# frame with a real delta, pushed — it never polls a query endpoint.
+curl -sN --max-time 60 "$base/v1/stream" >"$ssef" 2>/dev/null &
+ssepid=$!
+i=0
+until grep -q "^event: scores" "$ssef" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -ge 60 ] && fail "SSE client saw no scores frame within 30s"
+    sleep 0.5
+done
+kill "$ssepid" 2>/dev/null || true
+wait "$ssepid" 2>/dev/null || true
+grep -q '"deltas":\[{"asn":' "$ssef" || fail "scores frame carried no deltas"
+echo "ok: SSE client observed pushed score deltas"
+
+# A filtered subscription must still answer (and not 4xx).
+code=$(curl -s --max-time 3 -o /dev/null -w '%{http_code}' "$base/v1/stream?asn=1001&min_delta=0.5" || true)
+[ "$code" = "200" ] || fail "filtered /v1/stream -> $code (want 200)"
+echo "ok: filtered subscription accepted"
+for q in "asn=0" "min_delta=-1"; do
+    code=$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/stream?$q")
+    case "$code" in
+    4*) echo "ok: GET /v1/stream?$q -> $code" ;;
+    *) fail "GET /v1/stream?$q -> $code (want 4xx)" ;;
+    esac
+done
+
+# The stage pipeline and fan-out hub must be visible in /metrics: batches
+# flowed through the coalescer into the sink, rounds were measured, and the
+# hub delivered updates to the subscriber above.
+metrics=$(curl -sf "$base/metrics")
+echo "$metrics" | grep -q '"stream_pipeline"' || fail "/metrics lacks stream_pipeline"
+echo "$metrics" | grep -q '"1:coalesce"' || fail "/metrics lacks coalesce stage counters"
+echo "$metrics" | grep -Eq '"batches": *[1-9]' || fail "sink applied no batches"
+echo "$metrics" | grep -Eq '"delivered": *[1-9]' || fail "hub delivered no updates"
+echo "$metrics" | grep -Eq '"pairs_remeasured": *[1-9]' || fail "no pairs remeasured"
+echo "ok: pipeline/sink/hub counters live in /metrics"
+
+# Streamed rounds must land in the archive: more rounds than the baseline.
+rounds=$(curl -sf "$base/v1/rounds" | grep -o '"round"' | wc -l)
+[ "$rounds" -ge 2 ] || fail "archive has $rounds rounds (want >= 2: baseline + streamed)"
+echo "ok: $rounds rounds archived (baseline + streamed)"
+
+# Graceful shutdown: SIGINT must drain the pipeline and exit 0.
+kill -INT "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=
+[ "$rc" = "0" ] || fail "daemon exited $rc on SIGINT (want 0)"
+grep -q "stopped cleanly" "$logf" || fail "daemon log lacks clean-shutdown line"
+
+echo "stream-smoke: PASS"
